@@ -1,0 +1,127 @@
+"""E-T12 / E-L8 — the 32.70·m non-preemptive agreeable algorithm.
+
+Series: total machines (and the EDF/MediumFit breakdown) against the
+Theorem 12 bound, plus Lemma 8's 16m/α bound for the MediumFit part and the
+anchoring ablation the paper calls out (running jobs at the start or the end
+of their window instead of the middle does *not* give O(m)).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.agreeable import AgreeableAlgorithm, combined_bound, optimal_alpha
+from repro.core.medium_fit import MediumFit, lemma8_bound
+from repro.generators import agreeable_instance, agreeable_tight_instance
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+
+from conftest import run_once
+
+
+def _theorem12():
+    algo = AgreeableAlgorithm()
+    rows = []
+    for seed in (1, 2, 3, 4):
+        inst = agreeable_instance(60, seed=seed)
+        result = algo.run(inst)
+        result.schedule.verify(inst).require_feasible()
+        m = migratory_optimum(inst)
+        bound = float(algo.theorem12_bound(m))
+        rows.append((seed, len(inst), m, result.loose_machines,
+                     result.tight_machines, result.machines, round(bound, 1),
+                     result.machines <= bound))
+    return rows
+
+
+def test_theorem12_agreeable(benchmark):
+    rows = run_once(benchmark, _theorem12)
+    print_table(
+        "E-T12: Theorem 12 algorithm on agreeable instances "
+        "(paper bound: 32.70·m, non-preemptive)",
+        ["seed", "n", "OPT m", "EDF pool", "MediumFit pool", "total",
+         "32.70·m", "within bound"],
+        rows,
+    )
+    assert all(r[-1] for r in rows)
+
+
+def test_optimal_alpha_constant(benchmark):
+    alpha, bound = run_once(benchmark, lambda: optimal_alpha(20_000))
+    print(f"\nE-T12: optimizer α* = {float(alpha):.4f}, "
+          f"bound = {float(bound):.4f} (paper: α ≈ 0.63, 32.70)")
+    assert abs(float(bound) - 32.7007) < 1e-3
+
+
+def _lemma8():
+    alpha = Fraction(63, 100)
+    rows = []
+    for seed in (1, 2, 3):
+        inst = agreeable_tight_instance(60, alpha, seed=seed)
+        m = migratory_optimum(inst)
+        used = MediumFit().machines_needed(inst)
+        bound = float(lemma8_bound(m, alpha))
+        rows.append((seed, len(inst), m, used, round(bound, 1), used <= bound))
+    return rows
+
+
+def test_lemma8_medium_fit(benchmark):
+    rows = run_once(benchmark, _lemma8)
+    print_table(
+        "E-L8: MediumFit on α-tight agreeable instances (paper: ≤ 16m/α)",
+        ["seed", "n", "OPT m", "MediumFit machines", "16m/α", "within bound"],
+        rows,
+    )
+    assert all(r[-1] for r in rows)
+
+
+def _anchor_ablation():
+    """The paper: running j in [r, d−ℓ) or [r+ℓ, d) does not give O(m).
+
+    Geometric staircase: job i has window [0, 2^{i+2}) and processing just
+    above half the window.  Left anchoring stacks all n jobs at time 0
+    (n machines) while the ℓ/2-centering spreads the slots across scales so
+    only O(1) of them overlap anywhere — and the optimum here is O(1).
+    """
+    rows = []
+    for n in (6, 9, 12):
+        horizon = 2 ** (n + 2)
+        release_aligned = Instance(
+            [Job(0, 2 ** (i + 2) // 2 + 1, 2 ** (i + 2), id=i) for i in range(n)]
+        )
+        deadline_aligned = Instance(
+            [
+                Job(horizon - 2 ** (i + 2), 2 ** (i + 2) // 2 + 1, horizon, id=i)
+                for i in range(n)
+            ]
+        )
+        m = max(
+            migratory_optimum(release_aligned), migratory_optimum(deadline_aligned)
+        )
+        rows.append(
+            (
+                n,
+                m,
+                MediumFit("middle").machines_needed(release_aligned),
+                MediumFit("middle").machines_needed(deadline_aligned),
+                MediumFit("left").machines_needed(release_aligned),
+                MediumFit("right").machines_needed(deadline_aligned),
+            )
+        )
+    return rows
+
+
+def test_anchor_ablation(benchmark):
+    rows = run_once(benchmark, _anchor_ablation)
+    print_table(
+        "E-L8 ablation: anchoring matters — the ℓ/2-centering is load-bearing "
+        "(paper: [r, d−ℓ) / [r+ℓ, d) slots do not give O(m))",
+        ["n", "OPT m", "middle (rel-aligned)", "middle (dl-aligned)",
+         "left anchor (rel-aligned)", "right anchor (dl-aligned)"],
+        rows,
+    )
+    for n, m, mid_rel, mid_dl, left, right in rows:
+        # the naive anchors collapse to n machines; MediumFit stays O(m)
+        assert left == n and right == n
+        assert mid_rel <= 4 * m and mid_dl <= 4 * m

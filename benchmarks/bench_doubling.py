@@ -1,0 +1,71 @@
+"""E-DBL — guessing the optimum m online (Section 2's standing assumption).
+
+The paper assumes the online algorithm knows m, citing [4] for the fact
+that a guess-and-double wrapper loses only a constant factor.  Series:
+machines opened by the doubling wrapper vs the known-m requirement, for the
+general first-fit assigner and the laminar budget assigner.
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.laminar import LaminarAlgorithm
+from repro.generators import laminar_random, uniform_random_instance
+from repro.online.doubling import LaminarAssigner, run_doubling
+from repro.online.engine import min_machines
+from repro.online.nonmigratory import FirstFitEDF
+
+from conftest import run_once
+
+
+def _first_fit_rows():
+    rows = []
+    for seed in (1, 2, 3, 4):
+        inst = uniform_random_instance(40, seed=seed)
+        known = min_machines(lambda k: FirstFitEDF(), inst)
+        engine, policy = run_doubling(inst)
+        assert not engine.missed_jobs
+        rows.append((seed, len(inst), known, policy.total_machines_opened,
+                     len(policy.phases), policy.current_guess,
+                     round(policy.total_machines_opened / known, 2)))
+    return rows
+
+
+def test_doubling_first_fit(benchmark):
+    rows = run_once(benchmark, _first_fit_rows)
+    print_table(
+        "E-DBL: guess-and-double vs known-m first fit "
+        "(paper/[4]: unknown m costs a constant factor)",
+        ["seed", "n", "known-m machines", "doubling machines", "phases",
+         "final guess", "overhead"],
+        rows,
+    )
+    for _, _, known, opened, _, _, _ in rows:
+        assert opened <= 4 * known + 2
+
+
+def _laminar_rows():
+    rows = []
+    for seed in (1, 2, 3):
+        inst = laminar_random(30, density_range=(0.6, 0.9), seed=seed)
+        known = LaminarAlgorithm().min_tight_machines(inst)
+        engine, policy = run_doubling(
+            inst, assigner_factory=lambda mu: LaminarAssigner()
+        )
+        assert not engine.missed_jobs
+        rows.append((seed, len(inst), known, policy.total_machines_opened,
+                     len(policy.phases),
+                     round(policy.total_machines_opened / known, 2)))
+    return rows
+
+
+def test_doubling_laminar(benchmark):
+    rows = run_once(benchmark, _laminar_rows)
+    print_table(
+        "E-DBL: guess-and-double with the Section 5 budget assigner",
+        ["seed", "n", "known-m' machines", "doubling machines", "phases",
+         "overhead"],
+        rows,
+    )
+    for _, _, known, opened, _, _ in rows:
+        assert opened <= 4 * known + 4

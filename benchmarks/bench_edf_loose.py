@@ -1,0 +1,66 @@
+"""E-T13 — EDF on α-loose instances (Theorem 13 / Corollary 1).
+
+Series: minimal EDF machine count over the migratory optimum across α,
+against the paper's ``m/(1−α)²`` bound, plus the non-preemptiveness of EDF
+on agreeable inputs (Corollary 1).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.metrics import theorem13_bound
+from repro.analysis.report import print_table
+from repro.generators import agreeable_instance, loose_instance
+from repro.offline.optimum import migratory_optimum
+from repro.online.edf import EDF
+from repro.online.engine import min_machines, simulate
+
+from conftest import run_once
+
+ALPHAS = [Fraction(1, 5), Fraction(2, 5), Fraction(3, 5), Fraction(4, 5)]
+
+
+def _alpha_sweep():
+    rows = []
+    for alpha in ALPHAS:
+        inst = loose_instance(50, alpha, seed=13)
+        m = migratory_optimum(inst)
+        k = min_machines(lambda k: EDF(), inst)
+        bound = float(theorem13_bound(m, alpha))
+        rows.append((float(alpha), len(inst), m, k, round(bound, 1), k <= bound))
+    return rows
+
+
+def test_theorem13_edf_bound(benchmark):
+    rows = run_once(benchmark, _alpha_sweep)
+    print_table(
+        "E-T13: EDF machine need on α-loose instances "
+        "(paper: feasible on m/(1−α)² machines)",
+        ["alpha", "n", "OPT m", "EDF machines", "m/(1−α)²", "within bound"],
+        rows,
+    )
+    assert all(r[-1] for r in rows)
+
+
+def _corollary1():
+    rows = []
+    for seed in (1, 2, 3):
+        inst = agreeable_instance(50, max_slack=25, seed=seed)
+        k = min_machines(lambda k: EDF(), inst)
+        eng = simulate(EDF(), inst, machines=k)
+        rep = eng.schedule().verify(inst)
+        rows.append((seed, len(inst), k, rep.preemptions, rep.migrations,
+                     rep.feasible))
+    return rows
+
+
+def test_corollary1_nonpreemptive_on_agreeable(benchmark):
+    rows = run_once(benchmark, _corollary1)
+    print_table(
+        "E-T13/Cor-1: EDF on agreeable instances never preempts a started job",
+        ["seed", "n", "EDF machines", "preemptions", "migrations", "feasible"],
+        rows,
+    )
+    for _, _, _, preemptions, migrations, feasible in rows:
+        assert feasible and preemptions == 0 and migrations == 0

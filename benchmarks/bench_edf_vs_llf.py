@@ -1,0 +1,72 @@
+"""E-BL — the EDF Ω(Δ) vs LLF O(log Δ) separation (related work, Section 1).
+
+Series: machine need of EDF and LLF on the trap family as Δ grows, plus the
+class-based non-preemptive baseline (Saha-style, O(log Δ) machine classes).
+"""
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.adversary.nonpreemptive import ClassBasedNonPreemptive
+from repro.generators import edf_trap_instance, uniform_random_instance
+from repro.offline.optimum import migratory_optimum
+from repro.online.edf import EDF
+from repro.online.engine import min_machines
+from repro.online.llf import LLF
+
+from conftest import run_once
+
+DELTAS = [4, 8, 16, 32]
+
+
+def _delta_sweep():
+    rows = []
+    for delta in DELTAS:
+        inst = edf_trap_instance(delta)
+        m = migratory_optimum(inst)
+        edf = min_machines(lambda k: EDF(), inst)
+        llf = min_machines(lambda k: LLF(), inst)
+        rows.append((delta, m, edf, llf, edf / m, llf / m))
+    return rows
+
+
+def test_edf_vs_llf_separation(benchmark):
+    rows = run_once(benchmark, _delta_sweep)
+    print_table(
+        "E-BL: EDF vs LLF on the trap family "
+        "(paper/related work: EDF = Ω(Δ), LLF = O(log Δ); here LLF is optimal)",
+        ["Delta", "OPT m", "EDF machines", "LLF machines", "EDF/m", "LLF/m"],
+        rows,
+    )
+    for delta, m, edf, llf, _, _ in rows:
+        assert edf == delta  # linear in Δ
+        assert llf == m == 2  # flat
+
+    edf_ratios = [r[4] for r in rows]
+    assert edf_ratios[-1] > edf_ratios[0]  # the gap grows with Δ
+
+
+def _random_comparison():
+    rows = []
+    for seed in (1, 2, 3):
+        inst = uniform_random_instance(40, seed=seed)
+        m = migratory_optimum(inst)
+        edf = min_machines(lambda k: EDF(), inst)
+        llf = min_machines(lambda k: LLF(), inst)
+        nonpre = ClassBasedNonPreemptive().machines_needed(inst)
+        rows.append((seed, len(inst), m, edf, llf, nonpre,
+                     ClassBasedNonPreemptive.class_count(inst)))
+    return rows
+
+
+def test_baselines_on_random_instances(benchmark):
+    rows = run_once(benchmark, _random_comparison)
+    print_table(
+        "E-BL: baselines on random instances "
+        "(non-preemptive pays the O(log Δ) class factor)",
+        ["seed", "n", "OPT m", "EDF", "LLF", "class-based non-preemptive",
+         "p-classes (≈log Δ)"],
+        rows,
+    )
+    for _, _, m, edf, llf, nonpre, _ in rows:
+        assert m <= min(edf, llf) <= nonpre * 2 + 8

@@ -1,0 +1,134 @@
+"""E-T9 — the O(m log m) laminar algorithm (Theorems 9/11).
+
+Series: minimal machine pool m' at which the budget scheme succeeds on
+α-tight laminar families of growing depth, against m·(log₂ m + 1).
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.laminar import (
+    GreedyLaminarPolicy,
+    LaminarAlgorithm,
+    LaminarBudgetPolicy,
+)
+from repro.generators import laminar_chain, laminar_instance, laminar_random
+from repro.offline.optimum import migratory_optimum
+from repro.online.engine import min_machines
+
+from conftest import run_once
+
+
+def _depth_sweep():
+    algo = LaminarAlgorithm()
+    rows = []
+    for depth in (2, 3, 4):
+        inst = laminar_instance(depth=depth, fanout=2, jobs_per_node=2,
+                                density=Fraction(3, 4), seed=5)
+        m = migratory_optimum(inst)
+        m_prime = algo.min_tight_machines(inst)
+        bound = m * (math.log2(max(m, 2)) + 1)
+        rows.append((depth, len(inst), m, m_prime, round(bound, 1),
+                     round(m_prime / bound, 2)))
+    return rows
+
+
+def test_laminar_depth_sweep(benchmark):
+    rows = run_once(benchmark, _depth_sweep)
+    print_table(
+        "E-T9: laminar budget scheme vs depth "
+        "(paper: m' = O(m log m); column m'/(m(log m +1)) must stay bounded)",
+        ["depth", "n", "OPT m", "min m'", "m(log2 m+1)", "m'/bound"],
+        rows,
+    )
+    for _, _, _, _, _, ratio in rows:
+        assert ratio <= 8
+
+
+def _chain_sweep():
+    algo = LaminarAlgorithm()
+    rows = []
+    for length in (4, 8, 12, 16):
+        inst = laminar_chain(length, density=Fraction(2, 3))
+        m = migratory_optimum(inst)
+        m_prime = algo.min_tight_machines(inst)
+        rows.append((length, m, m_prime))
+    return rows
+
+
+def test_laminar_chain_sweep(benchmark):
+    rows = run_once(benchmark, _chain_sweep)
+    print_table(
+        "E-T9: nested chains — machine pool vs nesting depth "
+        "(paper: bounded by O(m log m), not by the chain length)",
+        ["chain length", "OPT m", "min m'"],
+        rows,
+    )
+    # doubling the chain must not double the pool (it is not Ω(depth))
+    assert rows[-1][2] <= rows[0][2] + 6
+
+
+def _full_pipeline():
+    rows = []
+    for seed in (1, 2, 3):
+        inst = laminar_random(40, seed=seed)
+        result = LaminarAlgorithm().run(inst)
+        result.schedule.verify(inst).require_feasible()
+        m = migratory_optimum(inst)
+        rows.append((seed, len(inst), m, result.tight_machines,
+                     result.loose_machines, result.machines))
+    return rows
+
+
+def test_laminar_full_pipeline(benchmark):
+    rows = run_once(benchmark, _full_pipeline)
+    print_table(
+        "E-T9: full Theorem 9 pipeline on random laminar instances",
+        ["seed", "n", "OPT m", "tight pool", "loose pool", "total machines"],
+        rows,
+    )
+    for _, _, m, _, _, total in rows:
+        assert total <= 10 * m * (math.log2(max(m, 2)) + 1)
+
+
+def _greedy_ablation():
+    rows = []
+    cases = [
+        ("tree d3 f3", laminar_instance(depth=3, fanout=3, jobs_per_node=2,
+                                        density=Fraction(4, 5), seed=1)),
+        ("tree d4 f2", laminar_instance(depth=4, fanout=2, jobs_per_node=3,
+                                        density=Fraction(17, 20), seed=2)),
+        ("chain 12", laminar_chain(12, density=Fraction(9, 10))),
+        ("random 40", laminar_random(40, density_range=(0.7, 0.95), seed=3)),
+    ]
+    for name, inst in cases:
+        greedy = min_machines(lambda k: GreedyLaminarPolicy(), inst)
+        budget = min_machines(lambda k: LaminarBudgetPolicy(), inst)
+        rows.append((name, len(inst), migratory_optimum(inst), greedy, budget))
+    return rows
+
+
+def test_greedy_vs_budget_ablation(benchmark):
+    """Section 5.1's warning, measured.
+
+    The paper states greedy ≺-minimal candidate selection *fails* (no
+    O(m log m) guarantee), citing the difficult laminar family of
+    [10, Theorem 2.13], which is not part of the supplied text.  On generic
+    families the greedy variant is empirically comparable (the sub-budget
+    split is deliberately more conservative — that conservatism is what the
+    Lemma 7 witness-set argument needs); this ablation records the
+    comparison and pins both variants to feasibility.
+    """
+    rows = run_once(benchmark, _greedy_ablation)
+    print_table(
+        "E-T9 ablation: greedy total-budget vs per-index sub-budgets "
+        "(paper: greedy has no worst-case guarantee; generic families do "
+        "not separate them)",
+        ["family", "n", "OPT m", "greedy machines", "budget machines"],
+        rows,
+    )
+    for _, _, m, greedy, budget in rows:
+        assert greedy >= m and budget >= m

@@ -1,0 +1,80 @@
+"""E-T5 — the O(1)-competitive algorithm for α-loose jobs (Theorems 5/8).
+
+Series: machines used by the Theorem 6 pipeline over the migratory optimum,
+across α and instance size.  The paper promises a ratio bounded by a
+constant independent of m and n (the constant depends on α through the
+Theorem 7 budget ⌈(1+1/ε)²⌉).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.loose import LooseAlgorithm
+from repro.generators import loose_instance
+from repro.offline.optimum import migratory_optimum
+
+from conftest import run_once
+
+ALPHAS = [Fraction(1, 10), Fraction(1, 4), Fraction(2, 5), Fraction(3, 5)]
+
+
+def _sweep_alpha():
+    rows = []
+    for alpha in ALPHAS:
+        inst = loose_instance(60, alpha, seed=17)
+        algo = LooseAlgorithm(alpha)
+        result = algo.run(inst)
+        m = migratory_optimum(inst)
+        result.schedule.verify(inst).require_feasible()
+        rows.append(
+            (
+                float(alpha),
+                len(inst),
+                m,
+                result.machines,
+                Fraction(result.machines, m),
+                float(result.speed),
+                algo.theorem7_budget(m),
+            )
+        )
+    return rows
+
+
+def test_loose_alpha_sweep(benchmark):
+    rows = run_once(benchmark, _sweep_alpha)
+    print_table(
+        "E-T5: Theorem 5 pipeline on α-loose instances "
+        "(paper: machines = O(m), constant depends only on α)",
+        ["alpha", "n", "OPT m", "machines", "machines/m", "speed s",
+         "Thm-7 budget for m"],
+        rows,
+    )
+    for _, _, m, machines, ratio, _, _ in rows:
+        assert ratio <= 8  # O(1): generous concrete constant
+
+
+def _sweep_size():
+    alpha = Fraction(1, 3)
+    rows = []
+    for n in (20, 40, 80, 160):
+        inst = loose_instance(n, alpha, seed=n)
+        result = LooseAlgorithm(alpha).run(inst)
+        m = migratory_optimum(inst)
+        rows.append((n, m, result.machines, Fraction(result.machines, m)))
+    return rows
+
+
+def test_loose_size_sweep(benchmark):
+    rows = run_once(benchmark, _sweep_size)
+    print_table(
+        "E-T5: ratio vs instance size at α = 1/3 "
+        "(paper: flat in n — competitiveness independent of n)",
+        ["n", "OPT m", "machines", "machines/m"],
+        rows,
+    )
+    ratios = [float(r[3]) for r in rows]
+    assert max(ratios) <= 8
+    # the ratio must not grow systematically with n
+    assert ratios[-1] <= ratios[0] * 2 + 1

@@ -1,0 +1,118 @@
+"""E-T3 / E-T4 — the strong lower bound (Theorem 3, Lemma 2, Theorem 4).
+
+Series: for k = 2..K and each non-migratory policy, the adversary forces k
+machines with n = O(2^k) jobs while the constructed instance has a verified
+3-machine migratory witness.  Theorem 4's statement column reports the
+non-migratory offline bound 6·3−5 = 13 (the instance is feasible offline
+non-migratorily on ≤ 13 machines by Theorem 2), against which the forced
+machine count is unbounded.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import theorem2_bound
+from repro.analysis.report import print_table
+from repro.core.adversary.migration_gap import MigrationGapAdversary
+from repro.offline.optimum import migratory_optimum
+from repro.online.nonmigratory import BestFitEDF, EmptiestFitEDF, FirstFitEDF
+
+from conftest import run_once
+
+POLICIES = [FirstFitEDF, BestFitEDF, EmptiestFitEDF]
+K_RANGE = range(2, 9)
+
+
+def _run_policy(policy_cls):
+    rows = []
+    for k in K_RANGE:
+        adv = MigrationGapAdversary(policy_cls(), machines=k + 3)
+        res = adv.run(k)
+        witness = res.offline_witness()
+        rep = witness.verify(res.instance)
+        rows.append(
+            (
+                k,
+                res.n_jobs,
+                res.machines_forced,
+                round(math.log2(res.n_jobs), 2),
+                rep.feasible and rep.machines_used <= 3,
+                theorem2_bound(3),
+            )
+        )
+    return rows
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_migration_gap_lower_bound(benchmark, policy_cls):
+    rows = run_once(benchmark, lambda: _run_policy(policy_cls))
+    print_table(
+        f"E-T3/E-T4: Lemma 2 adversary vs {policy_cls.__name__} "
+        "(paper: forced = k = Ω(log n), migratory OPT ≤ 3, OPT_nonmig ≤ 13)",
+        ["k", "n jobs", "machines forced", "log2(n)", "3-machine witness ok",
+         "Thm-2 bound on OPT_nonmig"],
+        rows,
+    )
+    for k, n, forced, log_n, witness_ok, _ in rows:
+        assert forced == k
+        assert witness_ok
+        assert forced >= log_n - 1  # Ω(log n)
+
+
+def test_migration_gap_flow_cross_check(benchmark):
+    """Exact flow OPT of the adversarial instance (small k: flow is costly)."""
+
+    def run():
+        rows = []
+        for k in (2, 3, 4, 5):
+            adv = MigrationGapAdversary(FirstFitEDF(), machines=k + 3)
+            res = adv.run(k)
+            rows.append((k, res.n_jobs, res.machines_forced,
+                         migratory_optimum(res.instance)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_table(
+        "E-T3 cross-check: exact migratory OPT of I_k via max-flow (paper: ≤ 3)",
+        ["k", "n jobs", "machines forced", "flow OPT"],
+        rows,
+    )
+    for _, _, forced, opt in rows:
+        assert opt <= 3
+
+
+def _parameter_sweep():
+    """Lemma 2 across (α, β) pairs satisfying Equation (1)."""
+    from fractions import Fraction
+
+    pairs = [
+        (Fraction(3, 4), Fraction(1, 4)),   # the paper's example values
+        (Fraction(4, 5), Fraction(1, 5)),
+        (Fraction(3, 4), Fraction(1, 8)),   # finer short jobs
+        (Fraction(9, 10), Fraction(2, 5)),  # Equation (1) needs α > 1/√2
+    ]
+    rows = []
+    for alpha, beta in pairs:
+        adv = MigrationGapAdversary(
+            FirstFitEDF(), machines=9, alpha=alpha, beta=beta
+        )
+        res = adv.run(6)
+        witness_ok = res.offline_witness().verify(res.instance).feasible
+        rows.append((float(alpha), float(beta), res.n_jobs,
+                     res.machines_forced, witness_ok))
+    return rows
+
+
+def test_construction_parameter_sweep(benchmark):
+    """The construction works for every (α, β) satisfying Equation (1),
+    not just the paper's example α = 3/4, β = 1/4."""
+    rows = run_once(benchmark, _parameter_sweep)
+    print_table(
+        "E-T3 parameters: Lemma 2 across valid (α, β) pairs "
+        "(Equation (1): ⌊(2α−1)/β⌋·αβ > 1−α)",
+        ["alpha", "beta", "n jobs", "machines forced", "witness ok"],
+        rows,
+    )
+    for _, _, _, forced, witness_ok in rows:
+        assert forced == 6 and witness_ok

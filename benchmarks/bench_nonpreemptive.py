@@ -1,0 +1,74 @@
+"""E-NP — the non-preemptive regime (related work, Saha [11]).
+
+The paper's Section 1: the non-preemptive variant is "hopeless in terms of
+competitiveness" — no ``f(m)`` bound exists and ``Θ(log Δ)`` is the answer.
+The nesting-trap adversary certifies the gap with *exact* non-preemptive
+optima (subset DP + branch and bound), and the class-based baseline shows
+the matching ``O(log Δ)`` upper-bound shape.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.core.adversary.np_trap import NonPreemptiveTrapAdversary
+from repro.core.adversary.nonpreemptive import ClassBasedNonPreemptive
+from repro.generators import heavy_tailed_instance
+from repro.offline.nonpreemptive import exact_np_optimum, np_first_fit
+from repro.online.edf import NonPreemptiveEDF
+
+from conftest import run_once
+
+
+def _trap_sweep():
+    rows = []
+    for k in (2, 3, 4, 5, 6, 7):
+        adv = NonPreemptiveTrapAdversary(NonPreemptiveEDF(), machines=k + 2)
+        res = adv.run(k)
+        opt = exact_np_optimum(res.instance)
+        rows.append((k, res.delta, res.levels, res.machines_forced, opt,
+                     round(math.log2(max(res.delta, 2)), 1)))
+    return rows
+
+
+def test_np_trap_lower_bound(benchmark):
+    rows = run_once(benchmark, _trap_sweep)
+    print_table(
+        "E-NP: nesting trap vs NP-EDF — forced machines grow as log Δ while "
+        "the exact non-preemptive OPT stays ≤ 3 (Saha's Ω(log Δ))",
+        ["k", "Delta", "levels", "machines forced", "exact NP-OPT", "log2 Δ"],
+        rows,
+    )
+    for k, _, levels, forced, opt, _ in rows:
+        assert forced == levels == k
+        assert opt <= 3
+    # the gap grows without bound relative to OPT
+    assert rows[-1][3] / rows[-1][4] > rows[0][3] / rows[0][4]
+
+
+def _class_baseline():
+    rows = []
+    for delta_cap in (8, 32, 128):
+        inst = heavy_tailed_instance(
+            40, max_processing=delta_cap, horizon=160, slack=60, seed=21
+        )
+        machines, sched = np_first_fit(inst)
+        class_machines = ClassBasedNonPreemptive().machines_needed(inst)
+        classes = ClassBasedNonPreemptive.class_count(inst)
+        rows.append((delta_cap, float(inst.delta_ratio), machines,
+                     class_machines, classes))
+    return rows
+
+
+def test_np_class_baseline(benchmark):
+    rows = run_once(benchmark, _class_baseline)
+    print_table(
+        "E-NP: non-preemptive upper-bound shapes on heavy-tailed workloads "
+        "(class-based pays ≈ #p-classes ≈ log Δ)",
+        ["Δ cap", "Δ actual", "NP first-fit machines",
+         "class-based machines", "p-classes"],
+        rows,
+    )
+    for _, _, ff, cls, classes in rows:
+        assert cls >= classes  # at least one machine per non-empty class

@@ -1,0 +1,123 @@
+"""E-RT — capacity planning for real-time task sets (the intro's domain).
+
+The paper's motivation is scheduling recurring hard-deadline work in
+real-time systems.  This experiment runs periodic/sporadic task sets
+through the library end-to-end: expansion → classification → algorithm →
+verified schedule, comparing the recommendation against the utilization
+bound and the exact optimum.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.online.llf import LLF
+from repro.realtime import (
+    TaskSet,
+    PeriodicTask,
+    harmonic_taskset,
+    machines_for_taskset,
+    online_machines_for_taskset,
+    provisioning_report,
+    random_taskset,
+)
+
+from conftest import run_once
+
+
+def _harmonic_sweep():
+    rows = []
+    for levels in (2, 3, 4, 5):
+        ts = harmonic_taskset(levels, base_period=4,
+                              utilization_per_task=Fraction(2, 5))
+        rep = provisioning_report(ts)
+        rows.append((levels, rep.n_jobs, round(rep.utilization, 2),
+                     rep.utilization_bound, rep.migratory_opt,
+                     rep.recommended_machines, rep.instance_class))
+    return rows
+
+
+def test_harmonic_provisioning(benchmark):
+    rows = run_once(benchmark, _harmonic_sweep)
+    print_table(
+        "E-RT: harmonic task sets through the dispatcher "
+        "(utilization ⌈U⌉ vs exact OPT vs recommendation)",
+        ["levels", "jobs", "U", "ceil(U)", "OPT m", "recommended",
+         "class"],
+        rows,
+    )
+    for _, _, _, ceil_u, opt, recommended, _ in rows:
+        assert ceil_u <= opt + 1  # utilization is (almost) a lower bound
+        assert recommended >= opt
+
+
+def _random_sweep():
+    rows = []
+    for seed in range(4):
+        ts = random_taskset(5, Fraction(2), seed=seed)
+        rep = provisioning_report(ts, horizon=48)
+        rows.append((seed, rep.n_jobs, round(rep.utilization, 2),
+                     rep.migratory_opt, rep.recommended_machines,
+                     round(rep.overhead, 2), rep.algorithm))
+    return rows
+
+
+def test_random_taskset_provisioning(benchmark):
+    rows = run_once(benchmark, _random_sweep)
+    print_table(
+        "E-RT: random UUniFast task sets (U = 2.0, horizon 48)",
+        ["seed", "jobs", "U", "OPT m", "recommended", "overhead", "algorithm"],
+        rows,
+    )
+    for _, _, _, opt, recommended, overhead, _ in rows:
+        assert recommended >= opt
+        assert overhead <= 4.0
+
+
+def _sporadic_vs_periodic():
+    rows = []
+    ts = TaskSet()
+    for i, (c, p) in enumerate([(1, 4), (2, 6), (1, 8), (2, 12)]):
+        ts.add(PeriodicTask(c, p, name=f"t{i}"))
+    periodic = ts.periodic_instance(horizon=48)
+    m_periodic = machines_for_taskset(ts, horizon=48)
+    for delay in (0, 2, 6):
+        sporadic = ts.sporadic_instance(horizon=48, max_extra_delay=delay, seed=7)
+        from repro.offline.optimum import migratory_optimum
+
+        rows.append((delay, len(sporadic), migratory_optimum(sporadic),
+                     m_periodic))
+    return rows
+
+
+def test_sporadic_slack_helps(benchmark):
+    rows = run_once(benchmark, _sporadic_vs_periodic)
+    print_table(
+        "E-RT: sporadic release jitter vs the periodic baseline "
+        "(later releases = fewer jobs in the horizon = never harder)",
+        ["max extra delay", "jobs", "OPT (sporadic)", "OPT (periodic)"],
+        rows,
+    )
+    for _, _, opt_sporadic, opt_periodic in rows:
+        assert opt_sporadic <= opt_periodic
+
+
+def test_online_policy_on_tasksets(benchmark):
+    def run():
+        rows = []
+        for levels in (3, 4):
+            ts = harmonic_taskset(levels, utilization_per_task=Fraction(2, 5))
+            opt = machines_for_taskset(ts)
+            llf = online_machines_for_taskset(ts, lambda: LLF())
+            rows.append((levels, opt, llf))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_table(
+        "E-RT: LLF online vs exact OPT on harmonic task sets",
+        ["levels", "OPT m", "LLF machines"],
+        rows,
+    )
+    for _, opt, llf in rows:
+        assert llf <= 2 * opt + 1

@@ -1,0 +1,68 @@
+"""E-SCALE — substrate throughput (true timing benchmarks).
+
+These are the only benchmarks here meant primarily as *performance* tests:
+the engine, the flow solver, and the vectorized profiler at growing sizes.
+They keep the simulation substrate honest — the theorem experiments assume
+the harness can afford exact arithmetic at laptop scale.
+"""
+
+import pytest
+
+from repro.analysis.profile import approx_lower_bound
+from repro.generators import uniform_random_instance
+from repro.offline.optimum import migratory_optimum
+from repro.online.edf import EDF
+from repro.online.engine import simulate
+from repro.online.nonmigratory import FirstFitEDF
+
+
+@pytest.mark.parametrize("n", [300, 1000, 3000])
+def test_engine_throughput_first_fit(benchmark, n):
+    inst = uniform_random_instance(n, horizon=max(100, n), seed=n)
+
+    def run():
+        return simulate(FirstFitEDF(), inst, machines=12)
+
+    engine = benchmark(run)
+    assert not engine.missed_jobs
+
+
+@pytest.mark.parametrize("n", [300, 1000])
+def test_engine_throughput_edf(benchmark, n):
+    inst = uniform_random_instance(n, horizon=max(100, n), seed=n)
+
+    def run():
+        return simulate(EDF(), inst, machines=12)
+
+    engine = benchmark(run)
+    assert not engine.missed_jobs
+
+
+@pytest.mark.parametrize("n", [50, 150, 400])
+def test_flow_optimum_scaling(benchmark, n):
+    inst = uniform_random_instance(n, horizon=2 * n, seed=n)
+    m = benchmark(lambda: migratory_optimum(inst))
+    assert m >= 1
+
+
+@pytest.mark.parametrize("n", [2000, 10000])
+def test_vectorized_profile_scaling(benchmark, n):
+    inst = uniform_random_instance(n, horizon=n, seed=n)
+    bound = benchmark(lambda: approx_lower_bound(inst))
+    assert bound >= 1
+
+
+@pytest.mark.parametrize("k", [9, 10, 11])
+def test_adversary_scaling(benchmark, k):
+    """The Lemma 2 adversary at depth k: n = 2^k − 1 jobs, exact arithmetic
+    with denominators growing geometrically — the stress test for the
+    Fraction-based engine."""
+    from repro.core.adversary.migration_gap import MigrationGapAdversary
+    from repro.online.nonmigratory import FirstFitEDF
+
+    def run():
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=k + 3)
+        return adv.run(k)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.machines_forced == k

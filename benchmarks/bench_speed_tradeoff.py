@@ -1,0 +1,69 @@
+"""E-SPD — speed vs machine augmentation (related work, Section 1).
+
+The paper contrasts its machine-augmentation results with the
+speed-augmentation line: Chan–Lam–To [3] schedule non-migratorily with
+speed 5.828 on the migratory optimum's m machines, and trade
+``⌈(1+1/ε)²⌉·m`` machines against speed ``(1+ε)²``.  Series:
+
+* the empirical minimum speed of the non-migratory first-fit black box at
+  m, m+1, … machines (the trade-off curve: more machines → less speed),
+* the empirical speed requirement at exactly m machines vs the 5.828
+  worst-case constant.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.analysis.speed import min_speed, speed_machines_tradeoff
+from repro.generators import uniform_random_instance
+from repro.offline.optimum import migratory_optimum
+from repro.online.nonmigratory import FirstFitEDF
+
+from conftest import run_once
+
+CLT_CONSTANT = 5.828
+
+
+def _tradeoff_curve():
+    inst = uniform_random_instance(30, seed=11)
+    m = migratory_optimum(inst)
+    curve = speed_machines_tradeoff(
+        lambda: FirstFitEDF(), inst, range(m, m + 5), precision=Fraction(1, 16)
+    )
+    return m, [(k, float(s) if s else None) for k, s in curve]
+
+
+def test_speed_machines_tradeoff(benchmark):
+    m, curve = run_once(benchmark, _tradeoff_curve)
+    print_table(
+        f"E-SPD: machines vs required speed (non-migratory first fit, m = {m}) "
+        "— the related-work trade-off axis",
+        ["machines", "min speed"],
+        curve,
+    )
+    speeds = [s for _, s in curve if s is not None]
+    assert speeds == sorted(speeds, reverse=True)  # more machines, less speed
+    assert speeds[-1] == 1.0  # enough machines need no speed-up
+
+
+def _speed_at_m():
+    rows = []
+    for seed in range(6):
+        inst = uniform_random_instance(24, seed=seed)
+        m = migratory_optimum(inst)
+        s = min_speed(lambda: FirstFitEDF(), inst, m, precision=Fraction(1, 16))
+        rows.append((seed, len(inst), m, float(s), s is not None and float(s) <= CLT_CONSTANT))
+    return rows
+
+
+def test_speed_requirement_at_m(benchmark):
+    rows = run_once(benchmark, _speed_at_m)
+    print_table(
+        "E-SPD: empirical non-migratory speed requirement on exactly m "
+        f"machines (CLT [3] worst case: {CLT_CONSTANT})",
+        ["seed", "n", "OPT m", "min speed", "≤ 5.828"],
+        rows,
+    )
+    assert all(r[-1] for r in rows)

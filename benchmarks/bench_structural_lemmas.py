@@ -1,0 +1,69 @@
+"""E-L3 / E-L4 — the structural transformation lemmas of Section 4.
+
+* Lemma 3: ``m(J^γ), m(J^0) ≤ m(J)/(1−γ) + 1`` (laxity trims),
+* Lemma 4: ``m(J^s) = O(m(J))`` for α-loose ``J`` with ``α < 1/s``
+  (processing-time inflation).
+
+Both are measured with the exact flow optimum on random instances.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.report import print_table
+from repro.generators import loose_instance, uniform_random_instance
+from repro.offline.optimum import migratory_optimum
+
+from conftest import run_once
+
+GAMMAS = [Fraction(1, 10), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)]
+SPEEDS = [Fraction(3, 2), Fraction(2), Fraction(5, 2)]
+
+
+def _lemma3():
+    inst = uniform_random_instance(40, seed=23)
+    m = migratory_optimum(inst)
+    rows = []
+    for gamma in GAMMAS:
+        bound = m / (1 - gamma) + 1
+        m_left = migratory_optimum(inst.trim_left(gamma))
+        m_right = migratory_optimum(inst.trim_right(gamma))
+        rows.append((float(gamma), m, m_left, m_right, float(bound),
+                     m_left <= bound and m_right <= bound))
+    return rows
+
+
+def test_lemma3_trim_bounds(benchmark):
+    rows = run_once(benchmark, _lemma3)
+    print_table(
+        "E-L3: Lemma 3 — m(J^γ), m(J^0) vs bound m/(1−γ)+1",
+        ["gamma", "m(J)", "m(J^γ) left-trim", "m(J^0) right-trim",
+         "paper bound", "bound holds"],
+        rows,
+    )
+    assert all(r[-1] for r in rows)
+
+
+def _lemma4():
+    rows = []
+    for speed in SPEEDS:
+        # α must satisfy α < 1/s; pick α = 1/(2s) on the safe side
+        alpha = 1 / (2 * speed)
+        inst = loose_instance(40, alpha, seed=31)
+        m = migratory_optimum(inst)
+        m_inflated = migratory_optimum(inst.inflated(speed))
+        rows.append((float(speed), float(alpha), m, m_inflated,
+                     Fraction(m_inflated, m)))
+    return rows
+
+
+def test_lemma4_inflation_bound(benchmark):
+    rows = run_once(benchmark, _lemma4)
+    print_table(
+        "E-L4: Lemma 4 — m(J^s) = O(m(J)) for α-loose J, α < 1/s",
+        ["speed s", "alpha", "m(J)", "m(J^s)", "m(J^s)/m(J)"],
+        rows,
+    )
+    for _, _, _, _, ratio in rows:
+        assert ratio <= 10  # O(1) with a generous concrete constant

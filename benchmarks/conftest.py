@@ -1,0 +1,15 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one experiment row/series from EXPERIMENTS.md and
+prints it through ``repro.analysis.report.print_table`` (run with ``-s`` to
+see the tables; pytest-benchmark reports the timings either way).  Heavy
+experiments use ``benchmark.pedantic`` with a single round so the reported
+series comes from exactly one run.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with one warm round and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,97 @@
+"""A gallery of the instances that separate scheduling models.
+
+Each exhibit shows a small instance where two models/algorithms genuinely
+differ, with Gantt charts for both sides:
+
+1. **McNaughton's wrap-around** — migration saves a machine (2 vs 3).
+2. **The EDF trap** — earliest-deadline ignores laxity and pays Ω(Δ);
+   least-laxity is optimal.
+3. **The geometric staircase** — MediumFit's ℓ/2-centering vs naive
+   left-anchoring (O(m) vs n machines).
+4. **The adversarial I_4** — four machines forced out of a non-migratory
+   scheduler while three suffice offline (the paper's Figure 1).
+
+Run:  python examples/hard_instances_gallery.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    EDF,
+    LLF,
+    Instance,
+    Job,
+    MigrationGapAdversary,
+    min_machines,
+    optimal_migratory_schedule,
+    simulate,
+)
+from repro.analysis import render_gantt, render_witness
+from repro.core.medium_fit import MediumFit
+from repro.generators import edf_trap_instance
+from repro.offline import eliminate_migration, exact_nonmigratory_optimum
+from repro.online import FirstFitEDF
+
+WIDTH = 72
+
+
+def exhibit_mcnaughton() -> None:
+    print("\n### 1. McNaughton's wrap-around: migration saves a machine\n")
+    inst = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+    m, migratory = optimal_migratory_schedule(inst)
+    print(f"migratory optimum: {m} machines "
+          f"(job {migratory.verify(inst).migratory_jobs[0]} migrates)")
+    print(render_gantt(migratory, width=WIDTH))
+    nonmig = exact_nonmigratory_optimum(inst)
+    print(f"\nnon-migratory optimum: {nonmig} machines — the wrap is impossible"
+          " without migration")
+    machines, repaired = eliminate_migration(inst, migratory)
+    print(render_gantt(repaired, width=WIDTH))
+
+
+def exhibit_edf_trap() -> None:
+    print("\n### 2. The EDF trap: deadlines are not urgency\n")
+    inst = edf_trap_instance(6)
+    edf_need = min_machines(lambda k: EDF(), inst)
+    llf_need = min_machines(lambda k: LLF(), inst)
+    print(f"Δ = 6: EDF needs {edf_need} machines, LLF needs {llf_need} (= OPT)")
+    engine = simulate(LLF(), inst, machines=llf_need)
+    labels = {j.id: ("A" if j.laxity == 0 else "b") for j in inst}
+    print("LLF on 2 machines (A = zero-laxity anchor, b = loose baits):")
+    print(render_gantt(engine.schedule(), width=WIDTH, labels=labels))
+
+
+def exhibit_staircase() -> None:
+    print("\n### 3. MediumFit's centering vs naive anchoring\n")
+    jobs = [Job(0, 2 ** (i + 2) // 2 + 1, 2 ** (i + 2), id=i) for i in range(6)]
+    inst = Instance(jobs)
+    middle = MediumFit("middle")
+    left = MediumFit("left")
+    print(f"geometric staircase, n = 6: centered slots use "
+          f"{middle.machines_needed(inst)} machines, left-anchored "
+          f"{left.machines_needed(inst)} (every job piles onto time 0)")
+    print("centered (MediumFit):")
+    print(render_gantt(middle.schedule(inst), width=WIDTH))
+    print("left-anchored:")
+    print(render_gantt(left.schedule(inst), width=WIDTH))
+
+
+def exhibit_adversary() -> None:
+    print("\n### 4. The Lemma 2 adversary: Ω(log n) vs 3 machines\n")
+    adversary = MigrationGapAdversary(FirstFitEDF(), machines=7)
+    result = adversary.run(4)
+    print(f"the adversary forced {result.machines_forced} machines out of "
+          f"FirstFitEDF with {result.n_jobs} jobs; the offline witness uses "
+          f"{result.offline_witness().verify(result.instance).machines_used}:")
+    print(render_witness(result.node, width=WIDTH))
+
+
+def main() -> None:
+    exhibit_mcnaughton()
+    exhibit_edf_trap()
+    exhibit_staircase()
+    exhibit_adversary()
+
+
+if __name__ == "__main__":
+    main()

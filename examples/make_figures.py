@@ -1,0 +1,125 @@
+"""Regenerate the paper-style figures as standalone SVG files.
+
+Writes into ``figures/``:
+
+* ``fig1_witness.svg``       — the Lemma 2 offline 3-machine witness
+  (the paper's Figure 1, with the critical time marked),
+* ``lower_bound_series.svg`` — machines forced vs log₂ n per policy (E-T3),
+* ``threshold_series.svg``   — Lemma 9 survival rounds vs capacity (E-T15),
+* ``tradeoff_series.svg``    — machines vs speed trade-off curve (E-SPD),
+* ``mcnaughton.svg``         — the migratory wrap-around schedule.
+
+Run:  python examples/make_figures.py [output_dir]
+"""
+
+import math
+import os
+import sys
+from fractions import Fraction
+
+from repro import Instance, Job, MigrationGapAdversary, optimal_migratory_schedule
+from repro.analysis.speed import speed_machines_tradeoff
+from repro.analysis.svg import render_series_svg, render_svg, witness_svg
+from repro.core.adversary.agreeable_lb import AgreeableAdversary
+from repro.generators import uniform_random_instance
+from repro.offline.optimum import migratory_optimum
+from repro.online import EDF, LLF, BestFitEDF, EmptiestFitEDF, FirstFitEDF
+
+
+def _write(path: str, content: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)
+    print(f"wrote {path}")
+
+
+def fig1(outdir: str) -> None:
+    adversary = MigrationGapAdversary(FirstFitEDF(), machines=8)
+    result = adversary.run(5)
+    _write(os.path.join(outdir, "fig1_witness.svg"), witness_svg(result.node))
+
+
+def lower_bound_series(outdir: str) -> None:
+    series = {}
+    for policy_cls in (FirstFitEDF, BestFitEDF, EmptiestFitEDF):
+        points = []
+        for k in range(2, 9):
+            adv = MigrationGapAdversary(policy_cls(), machines=k + 3)
+            res = adv.run(k)
+            points.append((math.log2(res.n_jobs), res.machines_forced))
+        series[policy_cls.__name__] = points
+    series["log2(n) reference"] = [(x, x) for x in range(1, 9)]
+    _write(
+        os.path.join(outdir, "lower_bound_series.svg"),
+        render_series_svg(
+            series,
+            title="Lemma 2: machines forced vs log2(n)  (offline OPT ≤ 3)",
+            x_label="log2(n)",
+            y_label="machines",
+        ),
+    )
+
+
+def threshold_series(outdir: str) -> None:
+    series = {}
+    for policy_cls in (EDF, LLF):
+        points = []
+        for c_num in range(100, 150, 5):
+            machines = int(Fraction(c_num, 100) * 40)
+            adv = AgreeableAdversary(policy_cls(), m=40, machines=machines)
+            res = adv.run(max_rounds=12)
+            points.append((c_num / 100, res.rounds_played if res.missed else 12))
+        series[policy_cls.__name__ + " rounds survived"] = points
+    _write(
+        os.path.join(outdir, "threshold_series.svg"),
+        render_series_svg(
+            series,
+            title="Lemma 9: rounds survived vs capacity c (threshold ≈ 1.101)",
+            x_label="capacity c (machines / m)",
+            y_label="rounds",
+        ),
+    )
+
+
+def tradeoff_series(outdir: str) -> None:
+    inst = uniform_random_instance(30, seed=11)
+    m = migratory_optimum(inst)
+    curve = speed_machines_tradeoff(
+        lambda: FirstFitEDF(), inst, range(m, m + 5), precision=Fraction(1, 16)
+    )
+    series = {
+        "min speed": [(k, float(s)) for k, s in curve if s is not None]
+    }
+    _write(
+        os.path.join(outdir, "tradeoff_series.svg"),
+        render_series_svg(
+            series,
+            title="Speed vs machine augmentation (non-migratory first fit)",
+            x_label="machines",
+            y_label="speed",
+        ),
+    )
+
+
+def mcnaughton(outdir: str) -> None:
+    inst = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+    _, schedule = optimal_migratory_schedule(inst)
+    _write(
+        os.path.join(outdir, "mcnaughton.svg"),
+        render_svg(schedule, width=700,
+                   title="McNaughton wrap-around: 2 machines with migration"),
+    )
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "figures"
+    os.makedirs(outdir, exist_ok=True)
+    fig1(outdir)
+    lower_bound_series(outdir)
+    threshold_series(outdir)
+    tradeoff_series(outdir)
+    mcnaughton(outdir)
+    print("all figures written")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: model an instance, compute optima, run online algorithms.
+
+Demonstrates the core objects of the library on the smallest interesting
+example — McNaughton's wrap-around instance, where migration provably saves
+a machine:
+
+* 3 jobs with processing time 2, all in the window [0, 3);
+* a migratory schedule fits on 2 machines (one job is split across both);
+* every non-migratory schedule needs 3 machines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    EDF,
+    LLF,
+    FirstFitEDF,
+    Instance,
+    Job,
+    min_machines,
+    optimal_migratory_schedule,
+    simulate,
+)
+from repro.analysis import render_gantt
+from repro.offline import exact_nonmigratory_optimum
+
+
+def main() -> None:
+    # --- build an instance (exact rational data; ints are fine) ----------
+    instance = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+    print(f"instance: {len(instance)} jobs, total work {instance.total_work}, "
+          f"span {instance.span}")
+
+    # --- exact offline optima --------------------------------------------
+    m, schedule = optimal_migratory_schedule(instance)
+    report = schedule.verify(instance).require_feasible()
+    print(f"\nmigratory optimum: {m} machines "
+          f"(jobs that migrate: {list(report.migratory_jobs)})")
+    print(render_gantt(schedule, width=60))
+
+    nonmig = exact_nonmigratory_optimum(instance)
+    print(f"\nnon-migratory optimum: {nonmig} machines "
+          "(the McNaughton trick needs migration)")
+
+    # --- online algorithms ------------------------------------------------
+    for name, factory in [
+        ("EDF (migratory)", lambda k: EDF()),
+        ("LLF (migratory)", lambda k: LLF()),
+        ("FirstFit-EDF (non-migratory)", lambda k: FirstFitEDF()),
+    ]:
+        k = min_machines(factory, instance)
+        print(f"{name:32s} needs {k} machines online")
+
+    # --- inspect one online run -------------------------------------------
+    engine = simulate(LLF(), instance, machines=2)
+    print(f"\nLLF on 2 machines: misses = {engine.missed_jobs}")
+    print(render_gantt(engine.schedule(), width=60))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Provisioning a real-time system: how many cores does a task set need?
+
+The paper's motivation is operating real-time systems: jobs with hard
+deadlines arrive online, migration is expensive in practice (cache misses,
+synchronization), so non-migratory schedules are preferred — at the price
+the paper quantifies.
+
+This example simulates a mixed real-time workload (periodic sensor tasks =
+agreeable; sporadic bursty requests = loose; a watchdog hierarchy = laminar),
+classifies each component, routes it through the paper's matching algorithm
+via the dispatcher, and compares the non-migratory provisioning against the
+exact migratory optimum.
+
+Run:  python examples/realtime_taskset.py
+"""
+
+from fractions import Fraction
+
+from repro import classify, dispatch, migratory_optimum
+from repro.analysis import print_table
+from repro.generators import (
+    agreeable_instance,
+    bursty_instance,
+    laminar_instance,
+    loose_instance,
+)
+
+
+def main() -> None:
+    workloads = {
+        "periodic sensors (agreeable)": agreeable_instance(
+            50, horizon=120, max_processing=6, max_slack=8, seed=42
+        ),
+        "sporadic requests (loose)": loose_instance(
+            60, Fraction(1, 3), horizon=120, seed=42
+        ),
+        "watchdog hierarchy (laminar)": laminar_instance(
+            depth=3, fanout=2, jobs_per_node=1, density=Fraction(2, 3), seed=42
+        ),
+        "synchronized bursts": bursty_instance(
+            bursts=4, jobs_per_burst=6, burst_gap=25, seed=42
+        ),
+    }
+
+    rows = []
+    for name, instance in workloads.items():
+        kind = classify(instance)
+        result = dispatch(instance)
+        result.schedule.verify(instance).require_feasible()
+        m = migratory_optimum(instance)
+        rows.append(
+            (
+                name,
+                len(instance),
+                kind,
+                result.algorithm,
+                m,
+                result.machines,
+                Fraction(result.machines, m),
+            )
+        )
+
+    print_table(
+        "Core provisioning per workload: non-migratory online algorithm vs "
+        "exact migratory optimum",
+        ["workload", "n", "class", "algorithm", "migratory OPT",
+         "cores provisioned", "overhead factor"],
+        rows,
+    )
+
+    print(
+        "\nInterpretation: structured workloads (agreeable/laminar/loose) pay"
+        "\nonly a small constant for banning migration — the paper's positive"
+        "\nresults.  For adversarial general workloads no bound exists at all"
+        "\n(Theorem 3); see examples/migration_gap_demo.py."
+    )
+
+
+def taskset_api_demo() -> None:
+    """The same exercise through the first-class task-set API."""
+    from repro.realtime import PeriodicTask, TaskSet, provisioning_report
+
+    ts = TaskSet()
+    ts.add(PeriodicTask(wcet=1, period=4, name="imu"))
+    ts.add(PeriodicTask(wcet=2, period=8, deadline=6, name="vision"))
+    ts.add(PeriodicTask(wcet=1, period=16, name="logger"))
+    ts.add(PeriodicTask(wcet=3, period=8, name="control"))
+
+    report = provisioning_report(ts)
+    print("\nPeriodic task set (one hyperperiod):")
+    print(f"  tasks = {report.n_tasks}, jobs = {report.n_jobs}, "
+          f"U = {report.utilization:.3f} (⌈U⌉ = {report.utilization_bound})")
+    print(f"  exact migratory optimum = {report.migratory_opt} machines")
+    print(f"  recommendation: {report.recommended_machines} machines via "
+          f"{report.algorithm} ({report.instance_class} class, "
+          f"{report.overhead:.2f}× the optimum)")
+
+
+if __name__ == "__main__":
+    main()
+    taskset_api_demo()

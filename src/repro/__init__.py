@@ -1,0 +1,53 @@
+"""repro — reproduction of Chen, Megow, Schewior (SPAA 2016):
+"The Power of Migration in Online Machine Minimization".
+
+The package is layered:
+
+* :mod:`repro.model` — exact jobs, instances, intervals, schedules,
+* :mod:`repro.offline` — exact offline optima (flow-based migratory,
+  branch-and-bound non-migratory) and the Theorem 1 workload bounds,
+* :mod:`repro.online` — the event-driven online engine plus EDF/LLF and
+  non-migratory first-fit baselines,
+* :mod:`repro.core` — the paper's algorithms (loose/agreeable/laminar) and
+  executable adversaries (Lemma 2 migration gap, Lemma 9 agreeable bound),
+* :mod:`repro.generators` — seeded workload generators per instance class,
+* :mod:`repro.analysis` — metrics, ASCII Gantt (Figure 1), report tables.
+"""
+
+from .model import Instance, Job, Schedule, Segment
+from .offline import migratory_optimum, optimal_migratory_schedule
+from .online import EDF, LLF, FirstFitEDF, min_machines, simulate
+from .core import (
+    AgreeableAlgorithm,
+    LaminarAlgorithm,
+    LooseAlgorithm,
+    MediumFit,
+    classify,
+    dispatch,
+)
+from .core.adversary import AgreeableAdversary, MigrationGapAdversary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "Job",
+    "Schedule",
+    "Segment",
+    "migratory_optimum",
+    "optimal_migratory_schedule",
+    "EDF",
+    "LLF",
+    "FirstFitEDF",
+    "min_machines",
+    "simulate",
+    "AgreeableAlgorithm",
+    "LaminarAlgorithm",
+    "LooseAlgorithm",
+    "MediumFit",
+    "classify",
+    "dispatch",
+    "AgreeableAdversary",
+    "MigrationGapAdversary",
+    "__version__",
+]

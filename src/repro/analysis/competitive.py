@@ -1,0 +1,86 @@
+"""Systematic competitive-ratio profiling across policies and families.
+
+Lemma 1 of the paper ties the power-of-migration ratio to the competitive
+ratio; these helpers measure the empirical ratio ``machines / m`` of any
+policy over seeded workload families, powering the capstone cross-table in
+``benchmarks/bench_competitive_profile.py`` ("who wins where, by how much").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from statistics import mean, median
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..model.instance import Instance
+from ..offline.optimum import migratory_optimum
+from ..online.base import Policy
+from ..online.engine import min_machines
+
+
+@dataclass(frozen=True)
+class RatioProfile:
+    """Distribution summary of ``machines / m`` over a family sample."""
+
+    policy: str
+    family: str
+    samples: int
+    worst: float
+    average: float
+    med: float
+
+    def row(self) -> Tuple[str, str, int, float, float, float]:
+        return (
+            self.policy,
+            self.family,
+            self.samples,
+            round(self.worst, 3),
+            round(self.average, 3),
+            round(self.med, 3),
+        )
+
+
+def ratio_profile(
+    policy_name: str,
+    policy_factory: Callable[[], Policy],
+    family_name: str,
+    instance_maker: Callable[[int], Instance],
+    seeds: Sequence[int],
+) -> RatioProfile:
+    """Sample ``machines/m`` for one policy over one instance family."""
+    ratios: List[float] = []
+    for seed in seeds:
+        instance = instance_maker(seed)
+        if len(instance) == 0:
+            continue
+        m = migratory_optimum(instance)
+        if m == 0:
+            continue
+        k = min_machines(lambda n: policy_factory(), instance)
+        ratios.append(k / m)
+    if not ratios:
+        raise ValueError("no non-trivial samples")
+    return RatioProfile(
+        policy=policy_name,
+        family=family_name,
+        samples=len(ratios),
+        worst=max(ratios),
+        average=mean(ratios),
+        med=median(ratios),
+    )
+
+
+def profile_matrix(
+    policies: Dict[str, Callable[[], Policy]],
+    families: Dict[str, Callable[[int], Instance]],
+    seeds: Sequence[int],
+) -> List[RatioProfile]:
+    """Full cross product of policies × families."""
+    out: List[RatioProfile] = []
+    for family_name, maker in families.items():
+        for policy_name, factory in policies.items():
+            out.append(
+                ratio_profile(policy_name, factory, family_name, maker, seeds)
+            )
+    return out

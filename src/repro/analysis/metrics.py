@@ -1,0 +1,83 @@
+"""Measurement helpers shared by the experiments.
+
+These wrap the substrate primitives into the quantities the paper reasons
+about: machine counts relative to the migratory optimum (the paper's primary
+yardstick), competitive ratios against the non-migratory optimum (Lemma 1's
+second yardstick), and migration/preemption statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..model.instance import Instance
+from ..model.schedule import Schedule
+from ..offline.nonmigratory import nonmigratory_optimum_bounds
+from ..offline.optimum import migratory_optimum
+
+
+@dataclass
+class ScheduleStats:
+    """All per-run quantities reported by the experiments."""
+
+    instance_size: int
+    machines_used: int
+    migratory_opt: int
+    migrations: int
+    preemptions: int
+    feasible: bool
+    nonmigratory_opt_lower: Optional[int] = None
+    nonmigratory_opt_upper: Optional[int] = None
+
+    @property
+    def machines_over_opt(self) -> Fraction:
+        """``machines / m`` — the power-of-migration ratio of the run."""
+        if self.migratory_opt == 0:
+            return Fraction(0)
+        return Fraction(self.machines_used, self.migratory_opt)
+
+    @property
+    def competitive_ratio_upper(self) -> Optional[Fraction]:
+        """``machines / OPT_nonmig-lower`` — upper estimate of the ratio."""
+        if not self.nonmigratory_opt_lower:
+            return None
+        return Fraction(self.machines_used, self.nonmigratory_opt_lower)
+
+
+def evaluate_schedule(
+    instance: Instance,
+    schedule: Schedule,
+    with_nonmigratory_opt: bool = False,
+    speed: int = 1,
+) -> ScheduleStats:
+    """Verify a schedule and collect every reported metric."""
+    report = schedule.verify(instance, speed=speed)
+    opt = migratory_optimum(instance) if len(instance) else 0
+    lower = upper = None
+    if with_nonmigratory_opt and len(instance):
+        lower, upper = nonmigratory_optimum_bounds(instance)
+    return ScheduleStats(
+        instance_size=len(instance),
+        machines_used=report.machines_used,
+        migratory_opt=opt,
+        migrations=report.migrations,
+        preemptions=report.preemptions,
+        feasible=report.feasible,
+        nonmigratory_opt_lower=lower,
+        nonmigratory_opt_upper=upper,
+    )
+
+
+def theorem2_bound(m: int) -> int:
+    """Theorem 2's offline non-migratory bound: ``6m − 5``."""
+    if m <= 0:
+        return 0
+    return 6 * m - 5
+
+
+def theorem13_bound(m: int, alpha) -> Fraction:
+    """Theorem 13's EDF bound for α-loose instances: ``m/(1−α)²``."""
+    alpha = Fraction(alpha) if not isinstance(alpha, Fraction) else alpha
+    return m / (1 - alpha) ** 2

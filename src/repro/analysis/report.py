@@ -1,0 +1,60 @@
+"""Plain-text experiment tables (the benchmark harness's output format).
+
+Every benchmark prints its series through :func:`print_table` so the rows in
+EXPERIMENTS.md and the rows produced by ``pytest benchmarks/`` come from the
+same code path.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, Fraction):
+        return f"{float(value):.3f}"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table with a title rule."""
+    str_rows: List[List[str]] = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==",
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print()
+    print(format_table(title, headers, rows))
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """The same series as RFC-4180-ish CSV (for downstream plotting)."""
+    import csv
+    import io
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([_fmt(v) for v in row])
+    return buf.getvalue()
+
+
+def save_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.write(format_csv(headers, rows))

@@ -1,0 +1,65 @@
+"""Speed-augmentation measurements (related work, Section 1).
+
+The paper contrasts its machine-augmentation model with the
+speed-augmentation literature: Chan–Lam–To [3] give a non-migratory online
+algorithm with speed 5.828 on the *same* number of machines as the
+migratory optimum, and trade-offs ``⌈(1+1/ε)²⌉·m`` machines at speed
+``(1+ε)²``.  These helpers measure the empirical speed requirement of any
+policy so the benchmarks can chart machines-vs-speed trade-off curves.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..online.base import Policy
+from ..online.engine import succeeds
+
+
+def min_speed(
+    policy_factory: Callable[[], Policy],
+    instance: Instance,
+    machines: int,
+    hi: Numeric = 16,
+    precision: Numeric = Fraction(1, 32),
+) -> Optional[Fraction]:
+    """Least speed (on a ``precision`` grid) at which the policy succeeds.
+
+    Binary search over ``{1, 1+precision, 1+2·precision, …, hi}``; assumes
+    success is monotone in speed (true for every policy in this repo).
+    Returns ``None`` if even ``hi`` does not suffice.
+    """
+    hi = to_fraction(hi)
+    precision = to_fraction(precision)
+    if len(instance) == 0:
+        return Fraction(1)
+    steps = int((hi - 1) / precision)
+    lo_idx, hi_idx = 0, steps
+    if not succeeds(policy_factory(), instance, machines, speed=1 + hi_idx * precision):
+        return None
+    if succeeds(policy_factory(), instance, machines, speed=1):
+        return Fraction(1)
+    while lo_idx < hi_idx:
+        mid = (lo_idx + hi_idx) // 2
+        if succeeds(policy_factory(), instance, machines, speed=1 + mid * precision):
+            hi_idx = mid
+        else:
+            lo_idx = mid + 1
+    return 1 + hi_idx * precision
+
+
+def speed_machines_tradeoff(
+    policy_factory: Callable[[], Policy],
+    instance: Instance,
+    machine_range,
+    hi: Numeric = 16,
+    precision: Numeric = Fraction(1, 32),
+):
+    """``[(machines, min_speed)]`` across a machine-count range."""
+    return [
+        (k, min_speed(policy_factory, instance, k, hi=hi, precision=precision))
+        for k in machine_range
+    ]

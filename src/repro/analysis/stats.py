@@ -1,0 +1,43 @@
+"""Bootstrap statistics for experiment series.
+
+Competitive-ratio profiles are sample maxima/means over seeded families;
+these helpers attach bootstrap confidence intervals so EXPERIMENTS.md rows
+can be reported with uncertainty, per standard empirical-algorithmics
+practice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """``(point, lo, hi)`` percentile-bootstrap CI of ``statistic``."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("no samples")
+    rng = np.random.default_rng(seed)
+    point = float(statistic(data))
+    if data.size == 1:
+        return point, point, point
+    idx = rng.integers(0, data.size, size=(n_resamples, data.size))
+    stats = np.array([statistic(data[row]) for row in idx])
+    alpha = (1 - confidence) / 2
+    lo, hi = np.quantile(stats, [alpha, 1 - alpha])
+    return point, float(lo), float(hi)
+
+
+def mean_ci(values: Sequence[float], **kwargs) -> Tuple[float, float, float]:
+    return bootstrap_ci(values, np.mean, **kwargs)
+
+
+def max_ci(values: Sequence[float], **kwargs) -> Tuple[float, float, float]:
+    return bootstrap_ci(values, np.max, **kwargs)

@@ -1,0 +1,227 @@
+"""Dependency-free SVG rendering of schedules.
+
+The ASCII renderer (:mod:`repro.analysis.gantt`) regenerates Figure 1 in a
+terminal; this module writes the same picture as a standalone SVG file for
+reports.  Pure string templating — no plotting library required.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from ..model.schedule import Schedule
+
+# a categorical palette (okabe-ito, colorblind-safe)
+_PALETTE = [
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+]
+
+_ROW_HEIGHT = 28
+_ROW_GAP = 8
+_MARGIN_LEFT = 60
+_MARGIN_TOP = 30
+_MARGIN_BOTTOM = 40
+
+
+def render_svg(
+    schedule: Schedule,
+    width: int = 800,
+    title: str = "",
+    colors: Optional[Dict[int, str]] = None,
+    markers: Optional[Dict[str, Fraction]] = None,
+) -> str:
+    """Render a schedule as an SVG document string.
+
+    * one row per machine, one rectangle per segment,
+    * ``colors`` maps job ids to CSS colors (defaults to a cycling palette),
+    * ``markers`` draws labelled vertical lines (e.g. the critical time
+      ``t0`` of the Lemma 2 witness).
+    """
+    if len(schedule) == 0:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40">'
+            '<text x="10" y="25">(empty schedule)</text></svg>'
+        )
+    t0 = min(s.start for s in schedule)
+    t1 = max(s.end for s in schedule)
+    span = float(t1 - t0) or 1.0
+    machines = schedule.machines()
+    height = (
+        _MARGIN_TOP
+        + len(machines) * (_ROW_HEIGHT + _ROW_GAP)
+        + _MARGIN_BOTTOM
+    )
+    plot_width = width - _MARGIN_LEFT - 20
+
+    def x_of(t) -> float:
+        return _MARGIN_LEFT + (float(t) - float(t0)) / span * plot_width
+
+    job_color: Dict[int, str] = {}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">'
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT}" y="18" font-weight="bold">{title}</text>'
+        )
+    for row, machine in enumerate(machines):
+        y = _MARGIN_TOP + row * (_ROW_HEIGHT + _ROW_GAP)
+        parts.append(
+            f'<text x="8" y="{y + _ROW_HEIGHT // 2 + 4}">M{machine}</text>'
+        )
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{plot_width}" '
+            f'height="{_ROW_HEIGHT}" fill="#f4f4f4"/>'
+        )
+        for seg in schedule.machine_segments(machine):
+            if seg.job_id not in job_color:
+                if colors and seg.job_id in colors:
+                    job_color[seg.job_id] = colors[seg.job_id]
+                else:
+                    job_color[seg.job_id] = _PALETTE[len(job_color) % len(_PALETTE)]
+            x = x_of(seg.start)
+            w = max(x_of(seg.end) - x, 1.0)
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y + 2}" width="{w:.2f}" '
+                f'height="{_ROW_HEIGHT - 4}" fill="{job_color[seg.job_id]}" '
+                f'stroke="white" stroke-width="0.5">'
+                f"<title>job {seg.job_id}: [{seg.start}, {seg.end})</title></rect>"
+            )
+            if w > 18:
+                parts.append(
+                    f'<text x="{x + 3:.2f}" y="{y + _ROW_HEIGHT // 2 + 4}" '
+                    f'fill="white">j{seg.job_id}</text>'
+                )
+    baseline = _MARGIN_TOP + len(machines) * (_ROW_HEIGHT + _ROW_GAP) + 4
+    parts.append(
+        f'<text x="{_MARGIN_LEFT}" y="{baseline + 14}">t = {float(t0):g}</text>'
+    )
+    parts.append(
+        f'<text x="{width - 80}" y="{baseline + 14}">t = {float(t1):g}</text>'
+    )
+    if markers:
+        for label, t in markers.items():
+            x = x_of(t)
+            parts.append(
+                f'<line x1="{x:.2f}" y1="{_MARGIN_TOP - 6}" x2="{x:.2f}" '
+                f'y2="{baseline}" stroke="#d00" stroke-dasharray="4 3"/>'
+            )
+            parts.append(
+                f'<text x="{x + 3:.2f}" y="{_MARGIN_TOP - 8}" '
+                f'fill="#d00">{label}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_svg(schedule: Schedule, path: str, **kwargs) -> None:
+    """Write :func:`render_svg` output to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_svg(schedule, **kwargs))
+
+
+def render_series_svg(
+    series: Dict[str, list],
+    width: int = 640,
+    height: int = 360,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A minimal multi-series line chart as SVG.
+
+    ``series`` maps a legend label to a list of ``(x, y)`` pairs.  Used by
+    ``examples/make_figures.py`` to plot experiment series (machines vs k,
+    debt trajectories, trade-off curves) without a plotting dependency.
+    """
+    pad_l, pad_r, pad_t, pad_b = 60, 20, 36, 46
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    points = [(float(x), float(y)) for pts in series.values() for x, y in pts]
+    if not points:
+        return ('<svg xmlns="http://www.w3.org/2000/svg" width="200" '
+                'height="40"><text x="10" y="25">(no data)</text></svg>')
+    xs, ys = zip(*points)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    def px(x: float) -> float:
+        return pad_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return pad_t + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="12">'
+    ]
+    if title:
+        parts.append(f'<text x="{pad_l}" y="20" font-weight="bold">{title}</text>')
+    # axes
+    parts.append(
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" y2="{pad_t + plot_h}" '
+        'stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" x2="{pad_l + plot_w}" '
+        f'y2="{pad_t + plot_h}" stroke="#333"/>'
+    )
+    for frac in (0.0, 0.5, 1.0):
+        xv = x_lo + frac * (x_hi - x_lo)
+        yv = y_lo + frac * (y_hi - y_lo)
+        parts.append(
+            f'<text x="{px(xv):.1f}" y="{pad_t + plot_h + 16}" '
+            f'text-anchor="middle">{xv:g}</text>'
+        )
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{py(yv) + 4:.1f}" '
+            f'text-anchor="end">{yv:g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{pad_l + plot_w / 2}" y="{height - 8}" '
+            f'text-anchor="middle">{x_label}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{pad_t - 8}" text-anchor="start">{y_label}</text>'
+        )
+    for idx, (label, pts) in enumerate(series.items()):
+        color = _PALETTE[idx % len(_PALETTE)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {px(float(x)):.1f} {py(float(y)):.1f}"
+            for i, (x, y) in enumerate(pts)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{px(float(x)):.1f}" cy="{py(float(y)):.1f}" '
+                f'r="3" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{pad_l + plot_w - 4}" y="{pad_t + 14 + 16 * idx}" '
+            f'text-anchor="end" fill="{color}">{label}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def witness_svg(node, width: int = 900) -> str:
+    """The Figure 1 witness as SVG, with the critical time marked."""
+    from ..core.adversary.migration_gap import offline_witness
+
+    schedule = offline_witness(node)
+    return render_svg(
+        schedule,
+        width=width,
+        title=f"Lemma 2 offline witness (k = {node.k})",
+        markers={"t0": node.critical_time},
+    )

@@ -1,0 +1,321 @@
+"""Command-line interface.
+
+Subcommands (``python -m repro <cmd> …`` or the ``repro`` entry point):
+
+* ``generate``  — write a seeded instance of any class to JSON
+* ``classify``  — name the structure of an instance (loose/agreeable/…)
+* ``opt``       — exact migratory optimum (optionally non-migratory bounds)
+* ``solve``     — schedule with the dispatcher or a named paper algorithm
+* ``simulate``  — run a classic online policy at a fixed machine count
+* ``gantt``     — render a schedule JSON as an ASCII chart
+* ``adversary`` — run the Lemma 2 or Lemma 9 adversary against a policy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .analysis.gantt import render_gantt, render_witness
+from .analysis.profile import approx_lower_bound, load_profile
+from .analysis.svg import save_svg
+from .core.adversary.agreeable_lb import AgreeableAdversary
+from .core.adversary.migration_gap import MigrationGapAdversary
+from .core.agreeable import AgreeableAlgorithm
+from .core.laminar import LaminarAlgorithm
+from .core.loose import LooseAlgorithm
+from .core.splitter import classify, dispatch
+from .generators import (
+    agreeable_instance,
+    laminar_random,
+    loose_instance,
+    tight_instance,
+    uniform_random_instance,
+)
+from .model import Instance, Schedule
+from .model.io import load, save
+from .offline.nonmigratory import nonmigratory_optimum_bounds
+from .offline.optimum import migratory_optimum
+from .online.edf import EDF, NonPreemptiveEDF
+from .online.engine import min_machines, simulate
+from .online.llf import LLF
+from .online.nonmigratory import BestFitEDF, EmptiestFitEDF, FirstFitEDF
+
+POLICIES = {
+    "edf": EDF,
+    "llf": LLF,
+    "npedf": NonPreemptiveEDF,
+    "firstfit": FirstFitEDF,
+    "bestfit": BestFitEDF,
+    "emptiestfit": EmptiestFitEDF,
+}
+
+GENERATORS = {
+    "uniform": lambda args: uniform_random_instance(args.n, seed=args.seed),
+    "loose": lambda args: loose_instance(args.n, Fraction(args.alpha), seed=args.seed),
+    "tight": lambda args: tight_instance(args.n, Fraction(args.alpha), seed=args.seed),
+    "agreeable": lambda args: agreeable_instance(args.n, seed=args.seed),
+    "laminar": lambda args: laminar_random(args.n, seed=args.seed),
+}
+
+
+def _load_instance(path: str) -> Instance:
+    obj = load(path)
+    if not isinstance(obj, Instance):
+        raise SystemExit(f"{path} does not contain an instance")
+    return obj
+
+
+def cmd_generate(args) -> int:
+    instance = GENERATORS[args.kind](args)
+    save(instance, args.output)
+    print(f"wrote {len(instance)}-job {args.kind} instance to {args.output}")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    instance = _load_instance(args.instance)
+    kind = classify(instance)
+    print(f"n = {len(instance)}")
+    print(f"class = {kind}")
+    print(f"max density = {float(instance.max_density):.3f}")
+    print(f"agreeable = {instance.is_agreeable()}, laminar = {instance.is_laminar()}")
+    return 0
+
+
+def cmd_opt(args) -> int:
+    instance = _load_instance(args.instance)
+    m = migratory_optimum(instance)
+    print(f"migratory optimum: {m}")
+    if args.nonmigratory:
+        lo, hi = nonmigratory_optimum_bounds(instance, exact_threshold=args.exact_threshold)
+        kind = "exact" if lo == hi else "bounds"
+        print(f"non-migratory optimum ({kind}): [{lo}, {hi}]")
+    return 0
+
+
+def cmd_solve(args) -> int:
+    instance = _load_instance(args.instance)
+    if args.algorithm == "auto":
+        result = dispatch(instance)
+        schedule, machines, name = result.schedule, result.machines, result.algorithm
+        print(f"class = {result.instance_class}; guarantee: {result.guarantee}")
+    elif args.algorithm == "loose":
+        alpha = instance.max_density
+        run = LooseAlgorithm(alpha).run(instance)
+        schedule, machines, name = run.schedule, run.machines, "LooseAlgorithm"
+    elif args.algorithm == "agreeable":
+        run = AgreeableAlgorithm().run(instance)
+        schedule, machines, name = run.schedule, run.machines, "AgreeableAlgorithm"
+    elif args.algorithm == "laminar":
+        run = LaminarAlgorithm().run(instance)
+        schedule, machines, name = run.schedule, run.machines, "LaminarAlgorithm"
+    else:
+        raise SystemExit(f"unknown algorithm {args.algorithm}")
+    report = schedule.verify(instance)
+    print(f"{name}: {machines} machines, feasible = {report.feasible}, "
+          f"migrations = {report.migrations}, preemptions = {report.preemptions}")
+    if not report.feasible:
+        return 1
+    if args.output:
+        save(schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    instance = _load_instance(args.instance)
+    policy_cls = POLICIES[args.policy]
+    if args.machines is None:
+        k = min_machines(lambda k: policy_cls(), instance)
+        print(f"minimum machines for {args.policy}: {k}")
+        return 0
+    engine = simulate(policy_cls(), instance, machines=args.machines,
+                      speed=Fraction(args.speed))
+    print(f"{args.policy} on {args.machines} machines (speed {args.speed}): "
+          f"missed = {engine.missed_jobs or 'none'}")
+    if args.gantt:
+        print(render_gantt(engine.schedule(), width=args.width))
+    return 1 if engine.missed_jobs else 0
+
+
+def cmd_gantt(args) -> int:
+    obj = load(args.schedule)
+    if not isinstance(obj, Schedule):
+        raise SystemExit(f"{args.schedule} does not contain a schedule")
+    print(render_gantt(obj, width=args.width))
+    return 0
+
+
+def cmd_svg(args) -> int:
+    obj = load(args.schedule)
+    if not isinstance(obj, Schedule):
+        raise SystemExit(f"{args.schedule} does not contain a schedule")
+    save_svg(obj, args.output, width=args.width, title=args.title)
+    print(f"SVG written to {args.output}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    instance = _load_instance(args.instance)
+    times, density = load_profile(instance, samples=args.samples)
+    bound = approx_lower_bound(instance)
+    peak = max(density) if len(density) else 0.0
+    print(f"n = {len(instance)}, mandatory-load peak = {peak:.2f}, "
+          f"certified lower bound on m = {bound}")
+    # ASCII sparkline of the load profile
+    blocks = " ▁▂▃▄▅▆▇█"
+    if peak > 0:
+        line = "".join(
+            blocks[min(8, int(d / peak * 8))] for d in density[:: max(1, len(density) // args.width)]
+        )
+        print(line)
+    return 0
+
+
+def cmd_realtime(args) -> int:
+    import json as _json
+
+    from .realtime import PeriodicTask, TaskSet, provisioning_report
+
+    with open(args.taskset, "r", encoding="utf-8") as fh:
+        spec = _json.load(fh)
+    ts = TaskSet()
+    for item in spec["tasks"]:
+        ts.add(PeriodicTask(
+            wcet=Fraction(str(item["wcet"])),
+            period=Fraction(str(item["period"])),
+            deadline=Fraction(str(item["deadline"])) if "deadline" in item else None,
+            phase=Fraction(str(item.get("phase", 0))),
+            name=item.get("name", ""),
+        ))
+    report = provisioning_report(ts, horizon=args.horizon)
+    print(f"tasks = {report.n_tasks}, jobs = {report.n_jobs}, "
+          f"U = {report.utilization:.3f} (⌈U⌉ = {report.utilization_bound})")
+    print(f"migratory optimum = {report.migratory_opt}")
+    print(f"recommended (non-migratory, {report.algorithm} on "
+          f"{report.instance_class} class) = {report.recommended_machines} "
+          f"machines ({report.overhead:.2f}× the optimum)")
+    return 0
+
+
+def cmd_adversary(args) -> int:
+    policy_cls = POLICIES[args.policy]
+    if args.kind == "migration-gap":
+        adv = MigrationGapAdversary(policy_cls(), machines=args.k + 3)
+        res = adv.run(args.k)
+        print(f"forced {res.machines_forced} machines with {res.n_jobs} jobs "
+              f"(policy: {args.policy})")
+        rep = res.offline_witness().verify(res.instance)
+        print(f"offline witness: feasible = {rep.feasible} on "
+              f"{rep.machines_used} machines")
+        if args.gantt:
+            print(render_witness(res.node, width=args.width))
+        if args.output:
+            save(res.instance, args.output)
+            print(f"instance written to {args.output}")
+        return 0
+    if args.kind == "agreeable":
+        adv = AgreeableAdversary(policy_cls(), m=args.m, machines=args.machines)
+        res = adv.run(max_rounds=args.rounds)
+        print(f"capacity {args.machines}/{args.m} = "
+              f"{args.machines / args.m:.3f}: "
+              f"{'MISSED a deadline' if res.missed else 'survived'} "
+              f"after {res.rounds_played} rounds")
+        if args.output:
+            save(res.instance, args.output)
+            print(f"instance written to {args.output}")
+        return 0
+    raise SystemExit(f"unknown adversary {args.kind}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Online machine minimization: algorithms, optima, and "
+        "adversaries from Chen–Megow–Schewior (SPAA 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a seeded instance")
+    p.add_argument("kind", choices=sorted(GENERATORS))
+    p.add_argument("-n", type=int, default=30)
+    p.add_argument("--alpha", default="1/2", help="looseness for loose/tight")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("classify", help="classify an instance JSON")
+    p.add_argument("instance")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("opt", help="exact optima of an instance")
+    p.add_argument("instance")
+    p.add_argument("--nonmigratory", action="store_true")
+    p.add_argument("--exact-threshold", type=int, default=14)
+    p.set_defaults(func=cmd_opt)
+
+    p = sub.add_parser("solve", help="schedule with a paper algorithm")
+    p.add_argument("instance")
+    p.add_argument("--algorithm", default="auto",
+                   choices=["auto", "loose", "agreeable", "laminar"])
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("simulate", help="run a classic online policy")
+    p.add_argument("instance")
+    p.add_argument("--policy", default="edf", choices=sorted(POLICIES))
+    p.add_argument("--machines", type=int, default=None,
+                   help="fixed machine count (omit to search the minimum)")
+    p.add_argument("--speed", default="1")
+    p.add_argument("--gantt", action="store_true")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("gantt", help="render a schedule JSON")
+    p.add_argument("schedule")
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("svg", help="render a schedule JSON to SVG")
+    p.add_argument("schedule")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--width", type=int, default=900)
+    p.add_argument("--title", default="")
+    p.set_defaults(func=cmd_svg)
+
+    p = sub.add_parser("profile", help="mandatory-load profile of an instance")
+    p.add_argument("instance")
+    p.add_argument("--samples", type=int, default=256)
+    p.add_argument("--width", type=int, default=80)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("realtime", help="provision machines for a task set JSON")
+    p.add_argument("taskset", help='JSON: {"tasks": [{"wcet": 1, "period": 4, ...}]}')
+    p.add_argument("--horizon", type=int, default=None)
+    p.set_defaults(func=cmd_realtime)
+
+    p = sub.add_parser("adversary", help="run a lower-bound adversary")
+    p.add_argument("kind", choices=["migration-gap", "agreeable"])
+    p.add_argument("--policy", default="firstfit", choices=sorted(POLICIES))
+    p.add_argument("--k", type=int, default=5, help="migration-gap depth")
+    p.add_argument("--m", type=int, default=40, help="agreeable: optimum m")
+    p.add_argument("--machines", type=int, default=44,
+                   help="agreeable: the policy's machine budget")
+    p.add_argument("--rounds", type=int, default=15)
+    p.add_argument("--gantt", action="store_true")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_adversary)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: non-migratory algorithms and adversaries."""
+
+from .agreeable import AgreeableAlgorithm, AgreeableRunResult, combined_bound, optimal_alpha
+from .laminar import (
+    LaminarAlgorithm,
+    LaminarAssignmentError,
+    LaminarBudgetPolicy,
+    LaminarRunResult,
+)
+from .loose import LooseAlgorithm, LooseRunResult, default_epsilon
+from .medium_fit import MediumFit, fixed_slot, lemma8_bound, pack_fixed_intervals
+from .speed_fit import SpeedFit, clt_machine_budget, clt_speed, speed_fit_machines
+from .splitter import DispatchResult, classify, dispatch
+
+__all__ = [
+    "AgreeableAlgorithm",
+    "AgreeableRunResult",
+    "combined_bound",
+    "optimal_alpha",
+    "LaminarAlgorithm",
+    "LaminarAssignmentError",
+    "LaminarBudgetPolicy",
+    "LaminarRunResult",
+    "LooseAlgorithm",
+    "LooseRunResult",
+    "default_epsilon",
+    "MediumFit",
+    "fixed_slot",
+    "lemma8_bound",
+    "pack_fixed_intervals",
+    "SpeedFit",
+    "clt_machine_budget",
+    "clt_speed",
+    "speed_fit_machines",
+    "DispatchResult",
+    "classify",
+    "dispatch",
+]

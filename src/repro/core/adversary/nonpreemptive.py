@@ -1,0 +1,105 @@
+"""Non-preemptive baseline scheduler (Saha-style processing-time classes).
+
+Related work (Section 1): for the *non-preemptive* problem Saha [11] gave an
+``O(log Δ)``-competitive algorithm (``Δ`` = max/min processing-time ratio)
+and showed no ``f(m)``-competitive algorithm exists.  The classic scheme
+groups jobs into geometric processing-time classes ``p ∈ [2^i, 2^{i+1})``
+and serves each class on its own machine pool, which is what this module
+provides as the related-work baseline for experiment E-BL: the number of
+non-empty classes is ``⌈log₂ Δ⌉ + 1``, giving the logarithmic factor.
+
+Within a class, a job is started as late as safe (at its latest start time
+``a_j``) unless a machine is free earlier; machines are added on demand.
+This is an *inspired-by* rendition for baseline comparison, not a claim of
+reproducing Saha's exact construction (her paper is not part of the
+supplied text).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ...model.instance import Instance
+from ...model.job import Job
+from ...model.schedule import Schedule, Segment
+
+
+@dataclass
+class ClassPool:
+    """Machines dedicated to one processing-time class."""
+
+    index: int
+    #: per machine, the time it becomes free
+    free_at: List[Fraction]
+
+
+class ClassBasedNonPreemptive:
+    """Greedy non-preemptive scheduler over geometric processing-time classes."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[int, ClassPool] = {}
+
+    @staticmethod
+    def job_class(job: Job) -> int:
+        """Class index ``i`` with ``p_j ∈ [2^i, 2^{i+1})``."""
+        return math.floor(math.log2(float(job.processing)))
+
+    def schedule(self, instance: Instance) -> Tuple[Schedule, Dict[int, int]]:
+        """Non-preemptive schedule; returns it with per-class machine counts.
+
+        Jobs are processed in release order (online): each job starts on the
+        first machine of its class pool that is free by ``a_j = r_j + ℓ_j``
+        (at ``max(r_j, free time)``), opening a new machine if none is.
+        """
+        segments: List[Segment] = []
+        machine_base: Dict[int, int] = {}
+        next_base = 0
+        per_class: Dict[int, int] = {}
+        order = sorted(instance, key=lambda j: (j.release, j.deadline, j.id))
+        pools: Dict[int, ClassPool] = {}
+        for job in order:
+            cls = self.job_class(job)
+            pool = pools.setdefault(cls, ClassPool(cls, []))
+            start: Optional[Fraction] = None
+            chosen: Optional[int] = None
+            for idx, free in enumerate(pool.free_at):
+                candidate = max(job.release, free)
+                if candidate <= job.latest_start:
+                    if start is None or candidate < start:
+                        start = candidate
+                        chosen = idx
+            if chosen is None:
+                pool.free_at.append(job.release)
+                chosen = len(pool.free_at) - 1
+                start = job.release
+            assert start is not None
+            pool.free_at[chosen] = start + job.processing
+            if cls not in machine_base:
+                machine_base[cls] = next_base
+                # reserve a generous block; compacted below
+                next_base += len(instance)
+            segments.append(
+                Segment(job.id, machine_base[cls] + chosen, start, start + job.processing)
+            )
+            per_class[cls] = max(per_class.get(cls, 0), chosen + 1)
+        # compact machine indices
+        remap: Dict[int, int] = {}
+        for seg in sorted(segments, key=lambda s: s.machine):
+            if seg.machine not in remap:
+                remap[seg.machine] = len(remap)
+        compacted = [
+            Segment(s.job_id, remap[s.machine], s.start, s.end) for s in segments
+        ]
+        return Schedule(compacted), per_class
+
+    def machines_needed(self, instance: Instance) -> int:
+        schedule, per_class = self.schedule(instance)
+        return schedule.machines_used
+
+    @staticmethod
+    def class_count(instance: Instance) -> int:
+        """Number of distinct processing-time classes (the log Δ factor)."""
+        return len({ClassBasedNonPreemptive.job_class(j) for j in instance})

@@ -1,0 +1,114 @@
+"""Adaptive adversary against non-preemptive policies (related work [11]).
+
+Saha showed the fully non-preemptive problem admits no ``f(m)``-competitive
+algorithm and that ``Θ(log Δ)`` is the right answer.  This module provides
+an executable adversary in that spirit: a *nesting trap* exploiting that a
+started job cannot be preempted.
+
+Strategy (``k`` levels, ``Δ = 2^k``):
+
+1. release ``J_1`` with ``p = 2^k`` and laxity ``2^k`` (window ``2^{k+1}``);
+2. wait until the policy *starts* ``J_1`` at some ``s_1`` — it must, by
+   ``a_{J_1}``; the machine is now locked for ``2^k`` time;
+3. release ``J_2`` at ``s_1`` with ``p = 2^{k-1}`` and window ``2^k`` —
+   its entire window sits inside ``J_1``'s locked run, so the policy needs
+   a second machine; recurse on ``J_2``'s start, halving each level.
+
+Every job's window nests inside all previously locked runs, so the policy
+ends with ``k+1`` jobs running on ``k+1`` distinct machines.  The exact
+non-preemptive offline optimum of the released instance is computed with
+the subset-DP solver and is small (≈2–3): the adversary certifies the
+``Ω(log Δ)`` gap rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from ...model.instance import Instance
+from ...model.job import Job
+from ...online.base import Policy
+from ...online.engine import OnlineEngine
+
+
+@dataclass
+class NpTrapResult:
+    instance: Instance
+    engine: OnlineEngine
+    levels: int
+    starts: List[Fraction]
+
+    @property
+    def machines_forced(self) -> int:
+        return len(
+            {self.engine.state_of(j.id).last_machine for j in self.instance
+             if self.engine.state_of(j.id).last_machine is not None}
+        )
+
+    @property
+    def delta(self) -> int:
+        return 2 ** (self.levels - 1)
+
+    @property
+    def missed(self) -> bool:
+        return bool(self.engine.missed_jobs)
+
+
+class NonPreemptiveTrapAdversary:
+    """Drives the nesting trap against a non-preemptive policy.
+
+    The policy must genuinely be non-preemptive (started jobs run to
+    completion on their machine); :class:`~repro.online.edf.NonPreemptiveEDF`
+    is the canonical target.
+    """
+
+    def __init__(self, policy: Policy, machines: int) -> None:
+        self.policy = policy
+        self.engine = OnlineEngine(policy, machines=machines, on_miss="record")
+
+    def run(self, levels: int) -> NpTrapResult:
+        if levels < 1:
+            raise ValueError("need at least one level")
+        jobs: List[Job] = []
+        starts: List[Fraction] = []
+        release = Fraction(0)
+        lock_end: Fraction = None  # end of the previous level's locked run
+        for level in range(levels):
+            p = Fraction(2 ** (levels - 1 - level))
+            deadline = release + 2 * p
+            if lock_end is not None:
+                # keep the window strictly inside the parent's locked run so
+                # waiting for that machine can never save the policy
+                deadline = min(deadline, lock_end)
+            if deadline - release < p:  # pragma: no cover - hop bound keeps this
+                break
+            job = Job(release, p, deadline, id=level, label=f"L{level}")
+            jobs.append(job)
+            self.engine.release([job])
+            start = self._wait_for_start(job)
+            if start is None:
+                break  # the policy failed outright; stop releasing
+            starts.append(start)
+            lock_end = start + p
+            # the engine may sit slightly past the observed start; release
+            # the next level at the current instant (still inside the run)
+            release = max(start, self.engine.time)
+        self.engine.run_to_completion()
+        return NpTrapResult(
+            instance=Instance(jobs),
+            engine=self.engine,
+            levels=len(jobs),
+            starts=starts,
+        )
+
+    def _wait_for_start(self, job: Job):
+        """Advance until the job starts processing (or its latest start)."""
+        state = self.engine.state_of(job.id)
+        while state.started_at is None:
+            horizon = min(job.latest_start, self.engine.time + job.laxity / 4 + Fraction(1, 8))
+            if self.engine.time >= job.latest_start:
+                return None  # must miss; adversary wins outright
+            self.engine.run_until(horizon)
+        return state.started_at

@@ -1,0 +1,142 @@
+"""The O(1)-competitive non-migratory algorithm for α-loose jobs (Section 4).
+
+Theorem 6's reduction, implemented verbatim:
+
+1. *Inflate*: replace every arriving job ``j`` by ``j^s`` with processing
+   time ``s · p_j`` (feasible because ``α < 1/s`` keeps ``p ≤ window``).
+2. *Black box*: run a non-migratory online algorithm for general instances
+   on speed-``s`` machines on the inflated instance ``J^s``.
+3. *Deflate*: whenever ``j^s`` is processed, process ``j`` on the same
+   machine at unit speed.
+
+Step 3 is exact: ``j^s`` needs ``s·p_j / s = p_j`` wall-clock machine time,
+so the black-box segments *are* the unit-speed schedule of ``j`` — windows,
+non-migration, and exclusivity carry over unchanged, and the pipeline stays
+online because the transform is applied per job at its release.
+
+Lemma 4 (validated in experiment E-L4) bounds ``m(J^s) = O(m(J))``, and the
+black box uses ``f(m(J^s))`` machines, which yields Theorem 5's ``O(m)``
+machines overall; with Lemma 1 this gives the O(1) competitive ratio of
+Theorem 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.schedule import Schedule
+from ..online.engine import min_machines, simulate, succeeds
+from .speed_fit import SpeedFit, clt_machine_budget, clt_speed
+
+
+def default_epsilon(alpha: Numeric) -> Fraction:
+    """A valid ε for α-loose jobs: needs speed ``(1+ε)² < 1/α``.
+
+    Picks the midpoint ``ε = (√(1/α) − 1)/2`` (as an exact rational via a
+    conservative rational square root), so the inflated jobs still fit their
+    windows with slack.
+    """
+    alpha = to_fraction(alpha)
+    if not (0 < alpha < 1):
+        raise ValueError("alpha must lie in (0, 1)")
+    root = Fraction(math.isqrt(int((1 / alpha) * 10**12 * 10**12)), 10**12)
+    # round the approximate sqrt(1/α) down so that (1+2ε)... stays safe
+    eps = (root - 1) / 2
+    if eps <= 0:
+        raise ValueError(f"alpha={alpha} leaves no room for speed augmentation")
+    while (1 + eps) ** 2 >= 1 / alpha:
+        eps = eps * Fraction(9, 10)
+    return eps
+
+
+@dataclass
+class LooseRunResult:
+    """Outcome of the Theorem 6 pipeline on one instance."""
+
+    schedule: Schedule
+    machines: int
+    speed: Fraction
+    epsilon: Fraction
+    inflated: Instance
+
+    @property
+    def machines_used(self) -> int:
+        return self.schedule.machines_used
+
+
+class LooseAlgorithm:
+    """Theorem 5's algorithm: inflate → speed-s black box → deflate.
+
+    ``alpha`` is the looseness bound of the input class; ``epsilon``
+    (optional) tunes the trade-off of Theorem 7 and must satisfy
+    ``(1+ε)² < 1/α``.
+    """
+
+    def __init__(
+        self,
+        alpha: Numeric,
+        epsilon: Optional[Numeric] = None,
+        blackbox_factory=None,
+    ) -> None:
+        self.alpha = to_fraction(alpha)
+        self.epsilon = (
+            to_fraction(epsilon) if epsilon is not None else default_epsilon(alpha)
+        )
+        self.speed = clt_speed(self.epsilon)
+        if self.speed >= 1 / self.alpha:
+            raise ValueError(
+                f"speed (1+ε)² = {self.speed} must be < 1/α = {1 / self.alpha}"
+            )
+        # Theorem 6 is agnostic to the black box: any non-migratory online
+        # policy works; the default is the SpeedFit substitute (DESIGN.md §5)
+        self.blackbox_factory = blackbox_factory or (lambda: SpeedFit())
+        probe = self.blackbox_factory()
+        if probe.migratory:
+            raise ValueError("the Theorem 6 black box must be non-migratory")
+
+    def inflate(self, instance: Instance) -> Instance:
+        """``J → J^s`` (valid because every job is α-loose with α < 1/s)."""
+        for job in instance:
+            if not job.is_loose(self.alpha):
+                raise ValueError(f"job {job.id} is not {self.alpha}-loose")
+        return instance.inflated(self.speed)
+
+    def run_with_budget(self, instance: Instance, machines: int) -> Optional[LooseRunResult]:
+        """Run on a fixed machine budget; ``None`` if a deadline is missed."""
+        inflated = self.inflate(instance)
+        engine = simulate(
+            self.blackbox_factory(), inflated, machines=machines, speed=self.speed
+        )
+        if engine.missed_jobs:
+            return None
+        # Deflate: the black-box wall-clock segments are the unit-speed
+        # schedule of the original jobs (see module docstring).
+        schedule = engine.schedule()
+        return LooseRunResult(
+            schedule=schedule,
+            machines=machines,
+            speed=self.speed,
+            epsilon=self.epsilon,
+            inflated=inflated,
+        )
+
+    def run(self, instance: Instance) -> LooseRunResult:
+        """Run with the smallest machine budget that succeeds."""
+        if len(instance) == 0:
+            return LooseRunResult(Schedule([]), 0, self.speed, self.epsilon, instance)
+        inflated = self.inflate(instance)
+        machines = min_machines(
+            lambda k: self.blackbox_factory(), inflated, speed=self.speed
+        )
+        result = self.run_with_budget(instance, machines)
+        assert result is not None
+        return result
+
+    def theorem7_budget(self, m: int) -> int:
+        """The machine budget Theorem 7 would grant for optimum ``m``."""
+        return clt_machine_budget(m, self.epsilon)

@@ -1,0 +1,108 @@
+"""MediumFit — the non-preemptive rule for α-tight agreeable jobs (Lemma 8).
+
+MediumFit runs every job ``j`` exactly in ``[r_j + ℓ_j/2, d_j − ℓ_j/2)``
+(length exactly ``p_j``), *independently of all other jobs*.  The paper
+notes this centering is essential: anchoring at ``[r_j, d_j − ℓ_j)`` or
+``[r_j + ℓ_j, d_j)`` does **not** give an ``O(m)`` bound — experiment E-L8
+includes this ablation via the ``anchor`` parameter.
+
+Machine packing of the resulting fixed intervals is greedy first-fit in
+start-time order, which is optimal for interval-graph coloring, i.e. it uses
+exactly the maximum overlap many machines.  The whole procedure is online
+(the slot of a job depends only on the job itself) and non-preemptive.
+
+Lemma 8: on agreeable instances of α-tight jobs, the maximum overlap — and
+hence the machine count — is at most ``16 m / α``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from fractions import Fraction
+from typing import Dict, List, Literal, Tuple
+
+from ..model.instance import Instance
+from ..model.intervals import Interval, Numeric, to_fraction
+from ..model.job import Job
+from ..model.schedule import Schedule, Segment
+
+Anchor = Literal["middle", "left", "right"]
+
+
+def fixed_slot(job: Job, anchor: Anchor = "middle") -> Interval:
+    """The slot MediumFit (or an ablation anchor) assigns to ``job``."""
+    half = job.laxity / 2
+    if anchor == "middle":
+        return Interval(job.release + half, job.deadline - half)
+    if anchor == "left":
+        return Interval(job.release, job.release + job.processing)
+    if anchor == "right":
+        return Interval(job.deadline - job.processing, job.deadline)
+    raise ValueError(f"unknown anchor {anchor!r}")
+
+
+def pack_fixed_intervals(slots: List[Tuple[int, Interval]]) -> Dict[int, int]:
+    """First-fit machine assignment of fixed intervals, by start time.
+
+    Returns ``job_id → machine``.  Uses the optimal greedy interval-coloring:
+    process intervals by start, reuse the machine freed the longest ago.
+    """
+    order = sorted(slots, key=lambda item: (item[1].start, item[1].end, item[0]))
+    free: List[int] = []  # machine indices available for reuse (min-heap)
+    busy: List[Tuple[Fraction, int]] = []  # (end, machine)
+    assignment: Dict[int, int] = {}
+    next_machine = 0
+    for job_id, slot in order:
+        while busy and busy[0][0] <= slot.start:
+            _, machine = heapq.heappop(busy)
+            heapq.heappush(free, machine)
+        if free:
+            machine = heapq.heappop(free)
+        else:
+            machine = next_machine
+            next_machine += 1
+        assignment[job_id] = machine
+        heapq.heappush(busy, (slot.end, machine))
+    return assignment
+
+
+class MediumFit:
+    """The MediumFit scheduler of Section 6.1 (non-preemptive, online)."""
+
+    def __init__(self, anchor: Anchor = "middle") -> None:
+        self.anchor: Anchor = anchor
+
+    def schedule(self, instance: Instance) -> Schedule:
+        slots = [(job.id, fixed_slot(job, self.anchor)) for job in instance]
+        assignment = pack_fixed_intervals(slots)
+        segments = [
+            Segment(job_id, machine, *_bounds(slots, job_id))
+            for job_id, machine in assignment.items()
+        ]
+        return Schedule(segments)
+
+    def machines_needed(self, instance: Instance) -> int:
+        """Maximum overlap of the fixed slots (== machines used)."""
+        events: List[Tuple[Fraction, int]] = []
+        for job in instance:
+            slot = fixed_slot(job, self.anchor)
+            events.append((slot.start, 1))
+            events.append((slot.end, -1))
+        events.sort()
+        best = cur = 0
+        for _, delta in events:
+            cur += delta
+            best = max(best, cur)
+        return best
+
+
+def _bounds(slots: List[Tuple[int, Interval]], job_id: int) -> Tuple[Fraction, Fraction]:
+    for jid, slot in slots:
+        if jid == job_id:
+            return slot.start, slot.end
+    raise KeyError(job_id)  # pragma: no cover
+
+
+def lemma8_bound(m: int, alpha: Numeric) -> Fraction:
+    """Lemma 8's machine bound for α-tight agreeable jobs: ``16 m / α``."""
+    return 16 * m / to_fraction(alpha)

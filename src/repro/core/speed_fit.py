@@ -1,0 +1,64 @@
+"""Speed-augmented non-migratory black box (substitute for Theorem 7).
+
+The paper plugs the Chan–Lam–To algorithm [3] — non-migratory, at most
+``⌈(1+1/ε)²⌉ · m`` machines of speed ``(1+ε)²`` — into the reduction of
+Theorem 6 *as a black box*.  Only its interface matters to the reduction:
+
+    given speed-``s`` machines, schedule an arbitrary instance online and
+    non-migratorily on ``f(m)`` machines.
+
+This module provides :class:`SpeedFit`, an equivalently-interfaced scheduler:
+first-fit commitment backed by the exact machine-local EDF admission oracle,
+run at machine speed ``s``.  Machines are provisioned up-front (the engine
+model uses a fixed machine count; :func:`speed_fit_machines` binary-searches
+the minimum count that succeeds, which is how every experiment consumes it).
+
+The substitution is documented in DESIGN.md §5: experiment E-T5 validates
+the end-to-end property the paper needs — an O(1) machine blow-up for
+α-loose instances after the Theorem 6 reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Optional
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..online.engine import OnlineEngine, min_machines, simulate
+from ..online.nonmigratory import FirstFitEDF
+
+
+class SpeedFit(FirstFitEDF):
+    """First-fit EDF on speed-``s`` machines (the engine supplies the speed).
+
+    Identical policy logic to :class:`FirstFitEDF`; the class exists so that
+    experiment output names the black box explicitly.
+    """
+
+
+def clt_machine_budget(m: int, epsilon: Numeric) -> int:
+    """The machine budget of Theorem 7: ``⌈(1+1/ε)²⌉ · m``."""
+    epsilon = to_fraction(epsilon)
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return math.ceil((1 + 1 / epsilon) ** 2) * m
+
+
+def clt_speed(epsilon: Numeric) -> Fraction:
+    """The speed of Theorem 7: ``(1+ε)²``."""
+    epsilon = to_fraction(epsilon)
+    return (1 + epsilon) ** 2
+
+
+def run_speed_fit(
+    instance: Instance, machines: int, speed: Numeric
+) -> OnlineEngine:
+    """Run the black box on a fixed machine budget; returns the engine."""
+    return simulate(SpeedFit(), instance, machines=machines, speed=speed)
+
+
+def speed_fit_machines(instance: Instance, speed: Numeric, lo: int = 1) -> int:
+    """Minimum machine count at which the black box succeeds at ``speed``."""
+    return min_machines(lambda k: SpeedFit(), instance, lo=lo, speed=speed)

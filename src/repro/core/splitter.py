@@ -1,0 +1,103 @@
+"""Instance classification and algorithm dispatch.
+
+Given an arbitrary instance, pick the strongest applicable result from the
+paper and run it:
+
+* every job α-loose for a usefully small α  →  :class:`LooseAlgorithm`
+  (Theorem 5, ``O(m)`` machines),
+* agreeable                                  →  :class:`AgreeableAlgorithm`
+  (Theorem 12, ``32.70·m`` machines, non-preemptive),
+* laminar                                    →  :class:`LaminarAlgorithm`
+  (Theorem 9, ``O(m log m)`` machines),
+* otherwise                                  →  non-migratory first-fit EDF
+  (no worst-case guarantee exists: Theorem 3 rules out any ``f(m)`` bound
+  for general instances; the dispatcher reports this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.schedule import Schedule
+from ..online.engine import min_machines, simulate
+from ..online.nonmigratory import FirstFitEDF
+from .agreeable import AgreeableAlgorithm
+from .laminar import LaminarAlgorithm
+from .loose import LooseAlgorithm
+
+#: Looseness threshold below which the Theorem 5 pipeline is preferred.
+LOOSE_DISPATCH_THRESHOLD = Fraction(2, 5)
+
+
+@dataclass
+class DispatchResult:
+    """What the dispatcher ran and what it produced."""
+
+    schedule: Schedule
+    machines: int
+    algorithm: str
+    instance_class: str
+    guarantee: str
+
+
+def classify(instance: Instance, loose_threshold: Numeric = LOOSE_DISPATCH_THRESHOLD) -> str:
+    """Name the strongest structure the instance possesses."""
+    if len(instance) == 0:
+        return "empty"
+    if instance.max_density <= to_fraction(loose_threshold):
+        return "loose"
+    if instance.is_agreeable():
+        return "agreeable"
+    if instance.is_laminar():
+        return "laminar"
+    return "general"
+
+
+def dispatch(
+    instance: Instance, loose_threshold: Numeric = LOOSE_DISPATCH_THRESHOLD
+) -> DispatchResult:
+    """Classify and schedule with the best matching paper algorithm."""
+    kind = classify(instance, loose_threshold)
+    if kind == "empty":
+        return DispatchResult(Schedule([]), 0, "none", "empty", "trivial")
+    if kind == "loose":
+        alpha = max(instance.max_density, Fraction(1, 100))
+        result = LooseAlgorithm(alpha).run(instance)
+        return DispatchResult(
+            result.schedule,
+            result.machines,
+            "LooseAlgorithm",
+            "loose",
+            "O(m) machines (Theorem 5)",
+        )
+    if kind == "agreeable":
+        result = AgreeableAlgorithm().run(instance)
+        return DispatchResult(
+            result.schedule,
+            result.machines,
+            "AgreeableAlgorithm",
+            "agreeable",
+            "32.70·m machines, non-preemptive (Theorem 12)",
+        )
+    if kind == "laminar":
+        result = LaminarAlgorithm().run(instance)
+        return DispatchResult(
+            result.schedule,
+            result.machines,
+            "LaminarAlgorithm",
+            "laminar",
+            "O(m log m) machines (Theorem 9)",
+        )
+    machines = min_machines(lambda k: FirstFitEDF(), instance)
+    engine = simulate(FirstFitEDF(), instance, machines=machines)
+    return DispatchResult(
+        engine.schedule(),
+        machines,
+        "FirstFitEDF",
+        "general",
+        "no f(m) guarantee exists for general instances (Theorem 3)",
+    )

@@ -1,0 +1,36 @@
+"""Seeded workload generators for every instance class in the paper."""
+
+from .arrival_patterns import (
+    diurnal_instance,
+    heavy_tailed_instance,
+    poisson_instance,
+)
+from .agreeable import (
+    agreeable_instance,
+    agreeable_tight_instance,
+    identical_jobs_batches,
+)
+from .laminar import laminar_chain, laminar_instance, laminar_random
+from .random_instances import bursty_instance, uniform_random_instance, unit_jobs_instance
+from .separation import delta_sweep, edf_trap_instance
+from .tight_loose import loose_instance, mixed_instance, tight_instance
+
+__all__ = [
+    "diurnal_instance",
+    "heavy_tailed_instance",
+    "poisson_instance",
+    "agreeable_instance",
+    "agreeable_tight_instance",
+    "identical_jobs_batches",
+    "laminar_chain",
+    "laminar_instance",
+    "laminar_random",
+    "bursty_instance",
+    "uniform_random_instance",
+    "unit_jobs_instance",
+    "delta_sweep",
+    "edf_trap_instance",
+    "loose_instance",
+    "mixed_instance",
+    "tight_instance",
+]

@@ -1,0 +1,98 @@
+"""Generators for agreeable instances (Section 6).
+
+An instance is agreeable when ``r_j < r_{j'}`` implies ``d_j ≤ d_{j'}``:
+release order and deadline order coincide.  The generators enforce this by
+construction (deadlines are made monotone over release-sorted jobs).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.job import Job
+
+
+def agreeable_instance(
+    n: int,
+    horizon: int = 100,
+    max_processing: int = 8,
+    max_slack: int = 15,
+    seed: int = 0,
+) -> Instance:
+    """Random agreeable instance: deadlines forced monotone in releases."""
+    rng = random.Random(seed)
+    releases = sorted(rng.randint(0, horizon) for _ in range(n))
+    jobs: List[Job] = []
+    prev_deadline = 0
+    for i, release in enumerate(releases):
+        processing = rng.randint(1, max_processing)
+        slack = rng.randint(0, max_slack)
+        deadline = max(release + processing + slack, prev_deadline)
+        # keep deadlines weakly increasing so the instance stays agreeable
+        prev_deadline = deadline
+        jobs.append(Job(release, processing, deadline, id=i))
+    return Instance(jobs)
+
+
+def agreeable_tight_instance(
+    n: int,
+    alpha: Numeric,
+    horizon: int = 100,
+    max_processing: int = 12,
+    seed: int = 0,
+) -> Instance:
+    """Agreeable instance of α-tight jobs (the MediumFit regime, Lemma 8).
+
+    Windows are at most ``p/α`` so every job is α-tight; deadline
+    monotonicity is enforced by shifting release times when needed.
+    """
+    alpha = to_fraction(alpha)
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    prev_release = 0
+    prev_deadline = 0
+    # Releases and deadlines are both made monotone in index, which implies
+    # agreeability for every pair.  Tightness is enforced by shifting the
+    # release *up* towards the deadline, which preserves both monotonicities.
+    step = max(1, horizon // max(n, 1))
+    for i in range(n):
+        processing = rng.randint(2, max_processing)
+        # the largest integer window that is still α-tight for this p
+        w_max = int(processing / alpha)
+        while to_fraction(w_max) * alpha >= processing:
+            w_max -= 1
+        w_max = max(w_max, processing)
+        window = rng.randint(processing, w_max)
+        release = prev_release + rng.randint(0, 2 * step)
+        deadline = max(release + window, prev_deadline)
+        release = max(release, deadline - window)  # shrink window if clamped
+        jobs.append(Job(release, processing, deadline, id=i))
+        prev_release = release
+        prev_deadline = deadline
+    return Instance(jobs)
+
+
+def identical_jobs_batches(
+    batches: int,
+    per_batch: int,
+    period: int = 3,
+    window: int = 4,
+    seed: int = 0,
+) -> Instance:
+    """Identical unit-speed batches (Theorem 15's regime: equal ``p_j``).
+
+    ``per_batch`` unit jobs released every ``period`` with window
+    ``window`` — agreeable by construction.
+    """
+    jobs: List[Job] = []
+    job_id = 0
+    for b in range(batches):
+        release = b * period
+        for _ in range(per_batch):
+            jobs.append(Job(release, 1, release + window, id=job_id))
+            job_id += 1
+    return Instance(jobs)

@@ -1,0 +1,99 @@
+"""Stochastic arrival-pattern generators (Poisson, heavy-tailed, diurnal).
+
+These model the workload shapes a deployed scheduler actually sees and are
+used by the throughput benchmarks and the capacity-planning example.  All
+randomness is discretized to exact rationals on a fixed grid so instances
+stay bit-reproducible and exact-arithmetic friendly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+from typing import List
+
+from ..model.instance import Instance
+from ..model.job import Job
+
+
+def poisson_instance(
+    n: int,
+    rate: float = 1.0,
+    mean_processing: int = 3,
+    slack_factor: int = 4,
+    seed: int = 0,
+) -> Instance:
+    """Poisson arrivals (exponential gaps), geometric processing times.
+
+    Gaps are drawn as ``round(Exp(rate)·8)/8``; slack is proportional to the
+    processing time (``slack_factor·p`` window), so densities stay bounded.
+    """
+    rng = random.Random(seed)
+    grid = 8
+    jobs: List[Job] = []
+    t = Fraction(0)
+    for i in range(n):
+        gap = rng.expovariate(rate)
+        t += Fraction(max(0, round(gap * grid)), grid)
+        p = 1 + _geometric(rng, mean_processing)
+        jobs.append(Job(t, p, t + p * (1 + slack_factor), id=i))
+    return Instance(jobs)
+
+
+def heavy_tailed_instance(
+    n: int,
+    alpha_tail: float = 1.5,
+    max_processing: int = 200,
+    horizon: int = 400,
+    slack: int = 30,
+    seed: int = 0,
+) -> Instance:
+    """Pareto-like processing times (discretized), uniform releases.
+
+    ``P(p ≥ x) ≈ x^{−alpha_tail}`` truncated at ``max_processing`` — the
+    elephant-and-mice mix that separates deadline- from laxity-driven
+    policies (large Δ).
+    """
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    for i in range(n):
+        u = rng.random()
+        p = min(max_processing, max(1, int(u ** (-1.0 / alpha_tail))))
+        release = rng.randint(0, horizon)
+        jobs.append(Job(release, p, release + p + rng.randint(1, slack), id=i))
+    return Instance(jobs)
+
+
+def diurnal_instance(
+    n: int,
+    period: int = 100,
+    peak_share: float = 0.8,
+    max_processing: int = 6,
+    max_slack: int = 10,
+    seed: int = 0,
+) -> Instance:
+    """Day/night load: ``peak_share`` of the jobs land in the first half of
+    each period (the 'day'), the rest spread over the 'night'."""
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    for i in range(n):
+        cycle = rng.randint(0, 3)
+        if rng.random() < peak_share:
+            release = cycle * period + rng.randint(0, period // 2 - 1)
+        else:
+            release = cycle * period + rng.randint(period // 2, period - 1)
+        p = rng.randint(1, max_processing)
+        jobs.append(Job(release, p, release + p + rng.randint(0, max_slack), id=i))
+    return Instance(jobs)
+
+
+def _geometric(rng: random.Random, mean: int) -> int:
+    """Geometric with the given mean (≥ 0)."""
+    if mean <= 0:
+        return 0
+    p = 1.0 / (mean + 1)
+    count = 0
+    while rng.random() > p and count < 50 * mean:
+        count += 1
+    return count

@@ -1,0 +1,126 @@
+"""Generators for laminar instances (Section 5).
+
+Laminar = any two intersecting windows are nested.  The generator builds an
+explicit laminar *tree* of windows — the root spans the horizon, children
+partition (a portion of) their parent — and places one or more jobs in each
+node, so laminarity holds by construction and the nesting depth is a
+controllable parameter (the chain length the budget scheme must handle).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.job import Job
+
+
+def laminar_instance(
+    depth: int,
+    fanout: int = 2,
+    jobs_per_node: int = 1,
+    density: Numeric = Fraction(3, 4),
+    horizon: Optional[int] = None,
+    seed: int = 0,
+) -> Instance:
+    """A full laminar tree of windows with ``jobs_per_node`` jobs per node.
+
+    * ``depth`` — nesting levels (the root is level 0),
+    * ``fanout`` — children per node; each child receives an equal slice of
+      an inner portion of the parent window,
+    * ``density`` — every job's ``p/(d−r)``; densities above 1/2 make the
+      jobs α-tight for α = 1/2, exercising the budget scheme.
+
+    The horizon defaults to ``fanout**depth * 4`` so leaf windows stay on a
+    reasonably coarse rational grid.
+    """
+    density = to_fraction(density)
+    if not (0 < density < 1):
+        raise ValueError("density must lie in (0, 1)")
+    rng = random.Random(seed)
+    if horizon is None:
+        horizon = 4 * fanout**depth
+    jobs: List[Job] = []
+    counter = [0]
+
+    def emit(lo: Fraction, hi: Fraction) -> None:
+        width = hi - lo
+        for _ in range(jobs_per_node):
+            jobs.append(
+                Job(lo, width * density, hi, id=counter[0], label="laminar")
+            )
+            counter[0] += 1
+
+    def build(lo: Fraction, hi: Fraction, level: int) -> None:
+        emit(lo, hi)
+        if level >= depth:
+            return
+        # children partition the middle (1 − margin) of the parent window
+        width = hi - lo
+        margin = width / (4 * fanout)
+        inner_lo, inner_hi = lo + margin, hi - margin
+        slice_width = (inner_hi - inner_lo) / fanout
+        for c in range(fanout):
+            build(inner_lo + c * slice_width, inner_lo + (c + 1) * slice_width, level + 1)
+
+    build(Fraction(0), Fraction(horizon), 0)
+    return Instance(jobs)
+
+
+def laminar_chain(
+    length: int,
+    density: Numeric = Fraction(2, 3),
+    horizon: int = 1024,
+) -> Instance:
+    """A single chain of ``length`` strictly nested windows (worst depth)."""
+    density = to_fraction(density)
+    jobs: List[Job] = []
+    lo, hi = Fraction(0), Fraction(horizon)
+    for i in range(length):
+        jobs.append(Job(lo, (hi - lo) * density, hi, id=i))
+        width = hi - lo
+        lo, hi = lo + width / 4, hi - width / 4
+    return Instance(jobs)
+
+
+def laminar_random(
+    n: int,
+    horizon: int = 256,
+    density_range: Tuple[float, float] = (0.3, 0.9),
+    seed: int = 0,
+) -> Instance:
+    """Random laminar instance via recursive random splitting.
+
+    Starting from the full horizon, intervals are recursively split into two
+    nested halves with probability 1/2; each produced interval yields one
+    job with a random density.
+    """
+    import heapq
+
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    # widest-interval-first subdivision: every emitted interval is split into
+    # two nested, disjoint children, so the window family is laminar
+    heap: List[Tuple[Fraction, int, Fraction, Fraction]] = []
+    heapq.heappush(heap, (-Fraction(horizon), 0, Fraction(0), Fraction(horizon)))
+    tie = 1
+    while len(jobs) < n and heap:
+        _, _, lo, hi = heapq.heappop(heap)
+        density = Fraction(
+            rng.randint(int(density_range[0] * 100), int(density_range[1] * 100)),
+            100,
+        )
+        jobs.append(Job(lo, (hi - lo) * density, hi, id=len(jobs)))
+        width = hi - lo
+        mid = lo + width * Fraction(rng.randint(30, 70), 100)
+        gap = width / 16
+        for child_lo, child_hi in ((lo + gap, mid - gap), (mid + gap, hi - gap)):
+            if child_hi > child_lo:
+                heapq.heappush(
+                    heap, (-(child_hi - child_lo), tie, child_lo, child_hi)
+                )
+                tie += 1
+    return Instance(jobs)

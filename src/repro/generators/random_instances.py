@@ -1,0 +1,74 @@
+"""Seeded random instance generators (integer grid).
+
+All generators emit jobs whose data are integers (exact :class:`Fraction`
+values with denominator 1) so that the exact-arithmetic fast path stays
+cheap, and take an explicit ``seed`` so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional
+
+from ..model.instance import Instance
+from ..model.job import Job
+
+
+def uniform_random_instance(
+    n: int,
+    horizon: int = 100,
+    max_processing: int = 10,
+    min_processing: int = 1,
+    max_slack: int = 10,
+    seed: int = 0,
+) -> Instance:
+    """``n`` jobs with uniform releases, processing times, and window slack.
+
+    ``release ~ U[0, horizon]``, ``p ~ U[min_processing, max_processing]``,
+    ``deadline = release + p + U[0, max_slack]``.
+    """
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    for i in range(n):
+        release = rng.randint(0, horizon)
+        processing = rng.randint(min_processing, max_processing)
+        slack = rng.randint(0, max_slack)
+        jobs.append(Job(release, processing, release + processing + slack, id=i))
+    return Instance(jobs)
+
+
+def bursty_instance(
+    bursts: int,
+    jobs_per_burst: int,
+    burst_gap: int = 20,
+    max_processing: int = 8,
+    max_slack: int = 12,
+    seed: int = 0,
+) -> Instance:
+    """Jobs arriving in synchronized bursts (the hard regime for packing)."""
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    job_id = 0
+    for b in range(bursts):
+        release = b * burst_gap
+        for _ in range(jobs_per_burst):
+            processing = rng.randint(1, max_processing)
+            slack = rng.randint(0, max_slack)
+            jobs.append(
+                Job(release, processing, release + processing + slack, id=job_id)
+            )
+            job_id += 1
+    return Instance(jobs)
+
+
+def unit_jobs_instance(
+    n: int, horizon: int = 50, window: int = 3, seed: int = 0
+) -> Instance:
+    """Unit processing times with fixed window length (Saha's easy case)."""
+    rng = random.Random(seed)
+    jobs = []
+    for i in range(n):
+        release = rng.randint(0, horizon)
+        jobs.append(Job(release, 1, release + window, id=i))
+    return Instance(jobs)

@@ -1,0 +1,51 @@
+"""The EDF-vs-LLF separation family (related work, Section 1).
+
+Phillips et al. proved LLF is ``O(log Δ)``-competitive for machine
+minimization while EDF has an ``Ω(Δ)`` lower bound (``Δ`` = max/min
+processing-time ratio).  :func:`edf_trap_instance` realizes the separation:
+
+* one **anchor** job per group: ``p = Δ``, window ``[0, Δ)`` — zero laxity,
+  so it must run continuously from time 0;
+* ``Δ − 1`` **bait** jobs per group: ``p = 1``, window ``[0, Δ − 1)`` —
+  *earlier* deadline but huge laxity.
+
+EDF prefers the baits (earlier deadline) and starves the anchor, which any
+delay kills; it needs ``Δ`` machines per group.  LLF runs the anchor first
+(zero laxity) and drains the baits on one extra machine: 2 machines per
+group, which equals the optimum.  Experiment E-BL sweeps ``Δ``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from ..model.instance import Instance
+from ..model.job import Job
+
+
+def edf_trap_instance(delta: int, groups: int = 1) -> Instance:
+    """``groups`` concurrent trap groups with processing-time ratio ``Δ``.
+
+    All groups are released at time 0, so the optimum is ``2 · groups``
+    (anchor machine + bait machine per group) while EDF needs about
+    ``Δ · groups`` machines — the ``Ω(Δ)`` separation.
+    """
+    if delta < 3:
+        raise ValueError("delta must be at least 3")
+    jobs: List[Job] = []
+    job_id = 0
+    for g in range(groups):
+        # all groups share time 0: OPT = 2·groups, EDF ≈ Δ·groups
+        anchor = Job(0, delta, delta, id=job_id, label=f"anchor{g}")
+        job_id += 1
+        jobs.append(anchor)
+        for _ in range(delta - 1):
+            jobs.append(Job(0, 1, delta - 1, id=job_id, label=f"bait{g}"))
+            job_id += 1
+    return Instance(jobs)
+
+
+def delta_sweep(deltas, groups: int = 1) -> List[Instance]:
+    """One trap instance per ``Δ`` value."""
+    return [edf_trap_instance(d, groups) for d in deltas]

@@ -1,0 +1,92 @@
+"""Generators for α-loose and α-tight instances (Section 4 / Lemma 8).
+
+A job is α-loose when ``p_j ≤ α (d_j − r_j)`` and α-tight otherwise.  The
+generators here control the density ``p_j / (d_j − r_j)`` exactly using a
+rational grid so classification is never borderline-ambiguous.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.job import Job
+
+
+def loose_instance(
+    n: int,
+    alpha: Numeric,
+    horizon: int = 100,
+    max_processing: int = 10,
+    seed: int = 0,
+) -> Instance:
+    """``n`` jobs, each exactly α'-loose for some random ``α' ≤ α``.
+
+    Window length is ``ceil(p/α')`` with ``α'`` drawn from
+    ``{α/4, α/2, 3α/4, α}``, guaranteeing ``p ≤ α·window`` for every job.
+    """
+    alpha = to_fraction(alpha)
+    if not (0 < alpha < 1):
+        raise ValueError("alpha must lie in (0, 1)")
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    fractions = [alpha * Fraction(k, 4) for k in (1, 2, 3, 4)]
+    for i in range(n):
+        release = rng.randint(0, horizon)
+        processing = rng.randint(1, max_processing)
+        density = rng.choice(fractions)
+        window = processing / density
+        # round the window *up* to the integer grid: only ever looser
+        window_int = -(-window.numerator // window.denominator)
+        jobs.append(Job(release, processing, release + window_int, id=i))
+    return Instance(jobs)
+
+
+def tight_instance(
+    n: int,
+    alpha: Numeric,
+    horizon: int = 100,
+    max_processing: int = 12,
+    seed: int = 0,
+) -> Instance:
+    """``n`` α-tight jobs: density drawn strictly above ``α``.
+
+    The window is ``floor(p/density)`` for a density in ``(α, 1]``, then
+    clamped so that ``p ≤ window`` still holds (density 1 = zero laxity).
+    """
+    alpha = to_fraction(alpha)
+    if not (0 < alpha < 1):
+        raise ValueError("alpha must lie in (0, 1)")
+    rng = random.Random(seed)
+    jobs: List[Job] = []
+    for i in range(n):
+        release = rng.randint(0, horizon)
+        processing = rng.randint(2, max_processing)
+        # density in (alpha, 1]: windows in [p, p/alpha)
+        max_window = (processing / alpha).numerator // (processing / alpha).denominator
+        if to_fraction(max_window) * alpha >= processing:
+            max_window -= 1
+        window = rng.randint(processing, max(processing, max_window))
+        job = Job(release, processing, release + window, id=i)
+        if job.is_loose(alpha):  # grid rounding pushed it over; tighten
+            job = Job(release, processing, release + processing, id=i)
+        jobs.append(job)
+    return Instance(jobs)
+
+
+def mixed_instance(
+    n: int,
+    alpha: Numeric,
+    loose_fraction: float = 0.5,
+    horizon: int = 100,
+    seed: int = 0,
+) -> Instance:
+    """A mix of α-loose and α-tight jobs (for the split-based algorithms)."""
+    n_loose = int(n * loose_fraction)
+    loose = loose_instance(n_loose, alpha, horizon=horizon, seed=seed)
+    tight = tight_instance(n - n_loose, alpha, horizon=horizon, seed=seed + 1)
+    jobs = list(loose) + [j.with_id(j.id + n_loose) for j in tight]
+    return Instance(jobs)

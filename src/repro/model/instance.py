@@ -1,0 +1,218 @@
+"""Instances (job sets) with the classifications used throughout the paper.
+
+The paper's positive results apply to three structured instance classes:
+
+* **α-loose instances** — every job satisfies ``p_j ≤ α (d_j − r_j)``
+  (Section 4),
+* **laminar instances** — intersecting windows are nested (Section 5),
+* **agreeable instances** — ``r_j < r_{j'}`` implies ``d_j ≤ d_{j'}``
+  (Section 6).
+
+An :class:`Instance` is an immutable, canonically ordered sequence of jobs.
+Jobs are ordered by the paper's index convention: release date ascending,
+and for equal release dates deadline *descending* (so a job never dominates
+a lower-indexed job; see Section 5).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .intervals import Interval, IntervalUnion, Numeric, to_fraction
+from .job import Job
+
+
+def paper_order_key(job: Job) -> Tuple[Fraction, Fraction, int]:
+    """Sort key for the paper's index order (Section 5)."""
+    return (job.release, -job.deadline, job.id)
+
+
+def dominates(j: Job, jprime: Job) -> bool:
+    """True iff ``j ▷ j'``: ``I(j') ⊆ I(j)`` and ``j`` precedes ``j'``.
+
+    The paper defines domination relative to index order; with the canonical
+    key, containment plus strictly earlier order is exactly this test.
+    """
+    return (
+        j.release <= jprime.release
+        and jprime.deadline <= j.deadline
+        and paper_order_key(j) < paper_order_key(jprime)
+    )
+
+
+class Instance:
+    """An immutable set of jobs in canonical (paper) order."""
+
+    __slots__ = ("jobs", "_by_id")
+
+    jobs: Tuple[Job, ...]
+
+    def __init__(self, jobs: Iterable[Job]) -> None:
+        ordered = tuple(sorted(jobs, key=paper_order_key))
+        by_id: Dict[int, Job] = {}
+        for job in ordered:
+            if job.id in by_id:
+                raise ValueError(f"duplicate job id {job.id}")
+            by_id[job.id] = job
+        object.__setattr__(self, "jobs", ordered)
+        object.__setattr__(self, "_by_id", by_id)
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Instance is immutable")
+
+    # -- container protocol --------------------------------------------------
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self.jobs[idx]
+
+    def job(self, job_id: int) -> Job:
+        return self._by_id[job_id]
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._by_id
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self.jobs == other.jobs
+
+    def __repr__(self) -> str:
+        return f"Instance(n={len(self.jobs)})"
+
+    # -- global measurements ---------------------------------------------------
+
+    @property
+    def total_work(self) -> Fraction:
+        return sum((j.processing for j in self.jobs), Fraction(0))
+
+    @property
+    def span(self) -> Interval:
+        """Smallest interval containing all windows (empty instance → [0,0))."""
+        if not self.jobs:
+            return Interval(0, 0)
+        lo = min(j.release for j in self.jobs)
+        hi = max(j.deadline for j in self.jobs)
+        return Interval(lo, hi)
+
+    @property
+    def max_deadline(self) -> Fraction:
+        if not self.jobs:
+            raise ValueError("empty instance")
+        return max(j.deadline for j in self.jobs)
+
+    @property
+    def delta_ratio(self) -> Fraction:
+        """``Δ``: the max/min processing-time ratio (1 for empty instances)."""
+        if not self.jobs:
+            return Fraction(1)
+        ps = [j.processing for j in self.jobs]
+        return max(ps) / min(ps)
+
+    def covering(self, t: Numeric) -> List[Job]:
+        """All jobs whose window covers time ``t``."""
+        return [j for j in self.jobs if j.covers(t)]
+
+    def intervals(self) -> IntervalUnion:
+        """``I(S) = ∪_j I(j)``."""
+        return IntervalUnion(j.interval for j in self.jobs)
+
+    # -- classification --------------------------------------------------------
+
+    def is_agreeable(self) -> bool:
+        """True iff ``r_j < r_{j'}`` implies ``d_j ≤ d_{j'}`` for all pairs.
+
+        Equivalently, in canonical order with equal-release ties checked
+        explicitly: deadlines must be monotone in release dates.
+        """
+        by_release = sorted(self.jobs, key=lambda j: (j.release, j.deadline))
+        for prev, nxt in zip(by_release, by_release[1:]):
+            if prev.release < nxt.release and prev.deadline > nxt.deadline:
+                return False
+        return True
+
+    def is_laminar(self) -> bool:
+        """True iff any two intersecting windows are nested."""
+        jobs = sorted(self.jobs, key=lambda j: (j.release, -j.deadline))
+        stack: List[Job] = []
+        for j in jobs:
+            while stack and stack[-1].deadline <= j.release:
+                stack.pop()
+            if stack and j.deadline > stack[-1].deadline:
+                return False  # proper overlap with the enclosing candidate
+            stack.append(j)
+        return True
+
+    def is_loose(self, alpha: Numeric) -> bool:
+        """True iff every job is α-loose."""
+        return all(j.is_loose(alpha) for j in self.jobs)
+
+    @property
+    def max_density(self) -> Fraction:
+        """Smallest α for which the instance is α-loose."""
+        if not self.jobs:
+            return Fraction(0)
+        return max(j.density for j in self.jobs)
+
+    def split_by_looseness(self, alpha: Numeric) -> Tuple["Instance", "Instance"]:
+        """Partition into (α-loose jobs, α-tight jobs)."""
+        loose = [j for j in self.jobs if j.is_loose(alpha)]
+        tight = [j for j in self.jobs if not j.is_loose(alpha)]
+        return Instance(loose), Instance(tight)
+
+    # -- transforms (Sections 3 and 4) ------------------------------------------
+
+    def inflated(self, s: Numeric) -> "Instance":
+        """``J^s``: every processing time multiplied by ``s`` (Lemma 4)."""
+        return Instance(j.inflated(s) for j in self.jobs)
+
+    def trim_left(self, gamma: Numeric) -> "Instance":
+        """``J^γ``: remove a γ-fraction of laxity from the left (Lemma 3)."""
+        return Instance(j.trim_left(gamma) for j in self.jobs)
+
+    def trim_right(self, gamma: Numeric) -> "Instance":
+        """``J^0``: remove a γ-fraction of laxity from the right (Lemma 3)."""
+        return Instance(j.trim_right(gamma) for j in self.jobs)
+
+    def scaled(self, scale: Numeric, shift: Numeric, id_offset: int = 0) -> "Instance":
+        """Affine time transform of every job, optionally re-numbering ids."""
+        return Instance(
+            j.scaled(scale, shift).with_id(j.id + id_offset) for j in self.jobs
+        )
+
+    def renumbered(self, start: int = 0) -> "Instance":
+        """Re-assign contiguous ids in canonical order."""
+        return Instance(j.with_id(start + i) for i, j in enumerate(self.jobs))
+
+    def merged(self, other: "Instance") -> "Instance":
+        return Instance(list(self.jobs) + list(other.jobs))
+
+    # -- simple lower bounds ------------------------------------------------------
+
+    def zero_laxity_concurrency(self) -> int:
+        """Max overlap of windows of *zero-laxity* jobs.
+
+        A zero-laxity job must run during its entire window, so the maximum
+        overlap of such windows is a valid (if weak) lower bound on the
+        optimal machine count.  (Note: a positive-laxity job has no pointwise
+        mandatory part — its laxity may be idled inside any sub-interval —
+        so only ``ℓ_j = 0`` jobs can be counted this way; the sharp bound is
+        the workload characterization of Theorem 1.)
+        """
+        events: List[Tuple[Fraction, int]] = []
+        for j in self.jobs:
+            if j.laxity == 0:
+                events.append((j.release, 1))
+                events.append((j.deadline, -1))
+        events.sort()
+        best = cur = 0
+        for _, delta in events:
+            cur += delta
+            best = max(best, cur)
+        return best

@@ -1,0 +1,118 @@
+"""JSON (de)serialization for instances and schedules.
+
+Exact rationals are stored as ``"num/den"`` strings so round-trips are
+lossless — a requirement for archiving adversarial instances, whose data
+has denominators that no float can represent (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Union
+
+from .instance import Instance
+from .job import Job
+from .schedule import Schedule, Segment
+
+FORMAT_VERSION = 1
+
+
+def _enc(x: Fraction) -> Union[int, str]:
+    if x.denominator == 1:
+        return int(x)
+    return f"{x.numerator}/{x.denominator}"
+
+
+def _dec(x: Union[int, str]) -> Fraction:
+    return Fraction(x)
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    """Lossless dictionary form of an instance."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "instance",
+        "jobs": [
+            {
+                "id": j.id,
+                "release": _enc(j.release),
+                "processing": _enc(j.processing),
+                "deadline": _enc(j.deadline),
+                **({"label": j.label} if j.label else {}),
+            }
+            for j in instance
+        ],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> Instance:
+    if data.get("kind") != "instance":
+        raise ValueError(f"not an instance payload: kind={data.get('kind')!r}")
+    jobs = [
+        Job(
+            _dec(item["release"]),
+            _dec(item["processing"]),
+            _dec(item["deadline"]),
+            id=item["id"],
+            label=item.get("label", ""),
+        )
+        for item in data["jobs"]
+    ]
+    return Instance(jobs)
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Lossless dictionary form of a schedule."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "schedule",
+        "segments": [
+            {
+                "job": s.job_id,
+                "machine": s.machine,
+                "start": _enc(s.start),
+                "end": _enc(s.end),
+            }
+            for s in schedule
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    if data.get("kind") != "schedule":
+        raise ValueError(f"not a schedule payload: kind={data.get('kind')!r}")
+    return Schedule(
+        Segment(item["job"], item["machine"], _dec(item["start"]), _dec(item["end"]))
+        for item in data["segments"]
+    )
+
+
+def dumps(obj: Union[Instance, Schedule], indent: int = None) -> str:
+    """Serialize an instance or schedule to a JSON string."""
+    if isinstance(obj, Instance):
+        return json.dumps(instance_to_dict(obj), indent=indent)
+    if isinstance(obj, Schedule):
+        return json.dumps(schedule_to_dict(obj), indent=indent)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str) -> Union[Instance, Schedule]:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "instance":
+        return instance_from_dict(data)
+    if kind == "schedule":
+        return schedule_from_dict(data)
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+def save(obj: Union[Instance, Schedule], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(obj, indent=2))
+
+
+def load(path: str) -> Union[Instance, Schedule]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())

@@ -1,0 +1,259 @@
+"""Schedule representation and exact feasibility verification.
+
+A :class:`Schedule` is a set of segments ``(job, machine, [start, end))``.
+Feasibility (Section 2 of the paper) requires that
+
+1. every segment lies inside its job's window ``[r_j, d_j)``,
+2. each machine processes at most one job at any time,
+3. no job runs on two machines simultaneously,
+4. every job receives exactly ``p_j`` units of processing
+   (``p_j / speed`` units of machine time on speed-``s`` machines).
+
+The checker also reports *migrations* (a job processed on more than one
+machine — the paper's central dichotomy), *preemptions*, and the number of
+machines actually used, so a single verified artifact backs all experiment
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .intervals import Interval, Numeric, to_fraction
+from .instance import Instance
+from .job import Job
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Processing of ``job_id`` on ``machine`` during ``[start, end)``."""
+
+    job_id: int
+    machine: int
+    start: Fraction
+    end: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "start", to_fraction(self.start))
+        object.__setattr__(self, "end", to_fraction(self.end))
+        if self.end <= self.start:
+            raise ValueError(f"segment for job {self.job_id} has non-positive length")
+        if self.machine < 0:
+            raise ValueError("machine index must be non-negative")
+
+    @property
+    def length(self) -> Fraction:
+        return self.end - self.start
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Outcome of verifying a schedule against an instance."""
+
+    feasible: bool
+    violations: Tuple[str, ...]
+    machines_used: int
+    migratory_jobs: Tuple[int, ...]
+    preemptions: int
+    #: job_id -> shortfall p_j − (work received); zero entries omitted
+    unfinished: Dict[int, Fraction] = field(default_factory=dict)
+
+    @property
+    def migrations(self) -> int:
+        return len(self.migratory_jobs)
+
+    @property
+    def is_non_migratory(self) -> bool:
+        return not self.migratory_jobs
+
+    def require_feasible(self) -> "FeasibilityReport":
+        if not self.feasible:
+            raise AssertionError("infeasible schedule: " + "; ".join(self.violations[:5]))
+        return self
+
+
+class Schedule:
+    """An immutable collection of segments with normalization.
+
+    Adjacent segments of the same job on the same machine are merged so that
+    preemption counts are not inflated by representation artifacts.
+    """
+
+    __slots__ = ("segments",)
+
+    segments: Tuple[Segment, ...]
+
+    def __init__(self, segments: Iterable[Segment]) -> None:
+        object.__setattr__(self, "segments", _merge_adjacent(segments))
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Schedule is immutable")
+
+    def __iter__(self):
+        return iter(self.segments)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    # -- accessors ----------------------------------------------------------
+
+    def machines(self) -> Tuple[int, ...]:
+        return tuple(sorted({s.machine for s in self.segments}))
+
+    @property
+    def machines_used(self) -> int:
+        return len({s.machine for s in self.segments})
+
+    def job_segments(self, job_id: int) -> List[Segment]:
+        return [s for s in self.segments if s.job_id == job_id]
+
+    def machine_segments(self, machine: int) -> List[Segment]:
+        return sorted(
+            (s for s in self.segments if s.machine == machine),
+            key=lambda s: s.start,
+        )
+
+    def work_of(self, job_id: int, speed: Numeric = 1) -> Fraction:
+        speed = to_fraction(speed)
+        return sum((s.length * speed for s in self.segments if s.job_id == job_id), Fraction(0))
+
+    def makespan(self) -> Fraction:
+        if not self.segments:
+            return Fraction(0)
+        return max(s.end for s in self.segments)
+
+    def busy_time(self, machine: Optional[int] = None) -> Fraction:
+        """Total processing time (of one machine, or all machines)."""
+        return sum(
+            (s.length for s in self.segments
+             if machine is None or s.machine == machine),
+            Fraction(0),
+        )
+
+    def machine_utilization(self) -> Dict[int, Fraction]:
+        """Per-machine busy fraction over the schedule's overall span."""
+        if not self.segments:
+            return {}
+        t0 = min(s.start for s in self.segments)
+        t1 = max(s.end for s in self.segments)
+        span = t1 - t0
+        if span == 0:
+            return {m: Fraction(0) for m in self.machines()}
+        return {m: self.busy_time(m) / span for m in self.machines()}
+
+    # -- transforms ----------------------------------------------------------
+
+    def shifted_machines(self, offset: int) -> "Schedule":
+        return Schedule(
+            Segment(s.job_id, s.machine + offset, s.start, s.end) for s in self.segments
+        )
+
+    def merged(self, other: "Schedule") -> "Schedule":
+        return Schedule(list(self.segments) + list(other.segments))
+
+    def restricted_to_jobs(self, job_ids: Iterable[int]) -> "Schedule":
+        keep = set(job_ids)
+        return Schedule(s for s in self.segments if s.job_id in keep)
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, instance: Instance, speed: Numeric = 1) -> FeasibilityReport:
+        """Check the schedule against ``instance`` on speed-``speed`` machines."""
+        speed = to_fraction(speed)
+        violations: List[str] = []
+
+        known = {j.id for j in instance}
+        for seg in self.segments:
+            if seg.job_id not in known:
+                violations.append(f"segment references unknown job {seg.job_id}")
+
+        # (1) window containment
+        for seg in self.segments:
+            if seg.job_id not in known:
+                continue
+            job = instance.job(seg.job_id)
+            if seg.start < job.release or seg.end > job.deadline:
+                violations.append(
+                    f"job {seg.job_id} runs [{seg.start},{seg.end}) outside "
+                    f"window [{job.release},{job.deadline})"
+                )
+
+        # (2) machine exclusivity
+        by_machine: Dict[int, List[Segment]] = {}
+        for seg in self.segments:
+            by_machine.setdefault(seg.machine, []).append(seg)
+        for machine, segs in by_machine.items():
+            segs.sort(key=lambda s: s.start)
+            for a, b in zip(segs, segs[1:]):
+                if b.start < a.end:
+                    violations.append(
+                        f"machine {machine} overlap: job {a.job_id} "
+                        f"[{a.start},{a.end}) vs job {b.job_id} [{b.start},{b.end})"
+                    )
+
+        # (3) no intra-job parallelism, plus migration/preemption counting
+        migratory: List[int] = []
+        preemptions = 0
+        by_job: Dict[int, List[Segment]] = {}
+        for seg in self.segments:
+            by_job.setdefault(seg.job_id, []).append(seg)
+        for job_id, segs in by_job.items():
+            segs.sort(key=lambda s: (s.start, s.end))
+            for a, b in zip(segs, segs[1:]):
+                if b.start < a.end:
+                    violations.append(
+                        f"job {job_id} runs on machines {a.machine} and "
+                        f"{b.machine} simultaneously at {b.start}"
+                    )
+                elif b.start > a.end or b.machine != a.machine:
+                    preemptions += 1
+            if len({s.machine for s in segs}) > 1:
+                migratory.append(job_id)
+
+        # (4) work completion
+        unfinished: Dict[int, Fraction] = {}
+        for job in instance:
+            got = self.work_of(job.id, speed)
+            if got != job.processing:
+                if got < job.processing:
+                    unfinished[job.id] = job.processing - got
+                    violations.append(
+                        f"job {job.id} received {got} < p_j = {job.processing}"
+                    )
+                else:
+                    violations.append(
+                        f"job {job.id} received {got} > p_j = {job.processing}"
+                    )
+
+        return FeasibilityReport(
+            feasible=not violations,
+            violations=tuple(violations),
+            machines_used=self.machines_used,
+            migratory_jobs=tuple(sorted(migratory)),
+            preemptions=preemptions,
+            unfinished=unfinished,
+        )
+
+
+def _merge_adjacent(segments: Iterable[Segment]) -> Tuple[Segment, ...]:
+    """Merge back-to-back segments of the same job on the same machine."""
+    segs = sorted(segments, key=lambda s: (s.machine, s.job_id, s.start))
+    merged: List[Segment] = []
+    for seg in segs:
+        prev = merged[-1] if merged else None
+        if (
+            prev is not None
+            and prev.machine == seg.machine
+            and prev.job_id == seg.job_id
+            and prev.end == seg.start
+        ):
+            merged[-1] = Segment(seg.job_id, seg.machine, prev.start, seg.end)
+        else:
+            merged.append(seg)
+    return tuple(sorted(merged, key=lambda s: (s.start, s.machine, s.job_id)))

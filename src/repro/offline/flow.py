@@ -1,0 +1,184 @@
+"""Exact offline migratory feasibility via maximum flow.
+
+The preemptive migratory machine-minimization problem is solvable offline in
+polynomial time (Horn's classic flow formulation, referenced in Section 1 of
+the paper).  For a candidate machine count ``m``:
+
+* split the time axis at the release/deadline event points into elementary
+  intervals ``E_1, …, E_K``;
+* build the network ``source → job → interval → sink`` with capacities
+  ``p_j``, ``|E_k|`` (a job cannot self-parallelize within an interval) and
+  ``m·|E_k|`` (machine capacity);
+* the instance is feasible on ``m`` unit-speed machines iff the max flow
+  saturates all source arcs, i.e. equals ``Σ_j p_j``.
+
+All rational data is scaled by the common denominator so the flow problem is
+*integral* and the answer is exact.  A feasible flow is turned into an
+explicit migratory :class:`~repro.model.schedule.Schedule` by McNaughton's
+wrap-around rule inside each elementary interval.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.schedule import Schedule, Segment
+
+_SOURCE = "s"
+_SINK = "t"
+
+
+def _event_intervals(instance: Instance) -> List[Tuple[Fraction, Fraction]]:
+    """Elementary intervals between consecutive release/deadline events."""
+    points = sorted({j.release for j in instance} | {j.deadline for j in instance})
+    return [(a, b) for a, b in zip(points, points[1:]) if b > a]
+
+
+def _common_scale(instance: Instance, extra: Sequence[Fraction] = ()) -> int:
+    """LCM of all denominators appearing in the instance (and ``extra``)."""
+    denoms = [j.release.denominator for j in instance]
+    denoms += [j.deadline.denominator for j in instance]
+    denoms += [j.processing.denominator for j in instance]
+    denoms += [x.denominator for x in extra]
+    scale = 1
+    for d in denoms:
+        scale = scale * d // math.gcd(scale, d)
+    return scale
+
+
+def _build_network(
+    instance: Instance,
+    m: int,
+    speed: Fraction,
+    intervals: List[Tuple[Fraction, Fraction]],
+    scale: int,
+) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    for k, (a, b) in enumerate(intervals):
+        cap = int((b - a) * speed * scale)
+        graph.add_edge(("iv", k), _SINK, capacity=m * cap)
+    for job in instance:
+        graph.add_edge(_SOURCE, ("job", job.id), capacity=int(job.processing * scale))
+        for k, (a, b) in enumerate(intervals):
+            if job.release <= a and b <= job.deadline:
+                graph.add_edge(
+                    ("job", job.id), ("iv", k), capacity=int((b - a) * speed * scale)
+                )
+    return graph
+
+
+def max_flow_assignment(
+    instance: Instance, m: int, speed: Numeric = 1
+) -> Tuple[bool, Dict[int, Dict[int, Fraction]], List[Tuple[Fraction, Fraction]]]:
+    """Solve the feasibility flow for ``m`` speed-``speed`` machines.
+
+    Returns ``(feasible, work, intervals)`` where ``work[job_id][k]`` is the
+    amount of *machine time* job ``job_id`` spends in elementary interval
+    ``k`` in a maximum flow (work equals machine time times speed).
+    """
+    if len(instance) == 0:
+        return True, {}, []
+    if m <= 0:
+        return False, {}, []
+    speed = to_fraction(speed)
+    intervals = _event_intervals(instance)
+    # Capacities (b−a)·speed·scale and p_j·scale must be integral: take the
+    # LCM of all data denominators and one extra factor of speed.denominator
+    # (the LCM alone does not guarantee divisibility of the *product* of two
+    # fractional factors).
+    scale = _common_scale(instance, extra=[speed]) * speed.denominator
+    graph = _build_network(instance, m, speed, intervals, scale)
+    total = sum(int(j.processing * scale) for j in instance)
+    flow_value, flow_dict = nx.maximum_flow(
+        graph, _SOURCE, _SINK, flow_func=nx.algorithms.flow.dinitz
+    )
+    feasible = flow_value == total
+    work: Dict[int, Dict[int, Fraction]] = {}
+    for job in instance:
+        row: Dict[int, Fraction] = {}
+        for node, amount in flow_dict.get(("job", job.id), {}).items():
+            if amount > 0 and isinstance(node, tuple) and node[0] == "iv":
+                # amount is work in scaled units; machine time = work / speed
+                row[node[1]] = Fraction(amount, scale) / speed
+        work[job.id] = row
+    return feasible, work, intervals
+
+
+def migratory_feasible(instance: Instance, m: int, speed: Numeric = 1) -> bool:
+    """Exact test: does a feasible migratory schedule on ``m`` machines exist?"""
+    feasible, _, _ = max_flow_assignment(instance, m, speed)
+    return feasible
+
+
+def mcnaughton(
+    pieces: Sequence[Tuple[int, Fraction]],
+    start: Fraction,
+    end: Fraction,
+    m: int,
+    machine_offset: int = 0,
+) -> List[Segment]:
+    """McNaughton's wrap-around rule for one elementary interval.
+
+    ``pieces`` are ``(job_id, machine_time)`` with each piece at most
+    ``end − start`` and total at most ``m (end − start)``.  Pieces are laid
+    out on a virtual timeline of length ``m (end − start)`` and wrapped onto
+    machines; a wrapped piece becomes two non-overlapping segments on two
+    machines (this is where migration enters).
+    """
+    length = end - start
+    if length <= 0:
+        raise ValueError("empty elementary interval")
+    segments: List[Segment] = []
+    machine = 0
+    cursor = start
+    for job_id, amount in pieces:
+        if amount <= 0:
+            continue
+        if amount > length:
+            raise ValueError(f"piece of job {job_id} exceeds interval length")
+        remaining = amount
+        while remaining > 0:
+            if machine >= m:
+                raise ValueError("pieces exceed machine capacity")
+            room = end - cursor
+            take = min(room, remaining)
+            if take > 0:
+                segments.append(
+                    Segment(job_id, machine + machine_offset, cursor, cursor + take)
+                )
+            cursor += take
+            remaining -= take
+            if cursor == end:
+                machine += 1
+                cursor = start
+    return segments
+
+
+def migratory_schedule(
+    instance: Instance, m: int, speed: Numeric = 1
+) -> Optional[Schedule]:
+    """An explicit feasible migratory schedule on ``m`` machines, or ``None``.
+
+    Within each elementary interval, jobs are sorted by decreasing machine
+    time before the wrap-around so that a job split across the wrap boundary
+    never overlaps itself (its piece is at most the interval length).
+    """
+    feasible, work, intervals = max_flow_assignment(instance, m, speed)
+    if not feasible:
+        return None
+    segments: List[Segment] = []
+    per_interval: Dict[int, List[Tuple[int, Fraction]]] = {}
+    for job_id, row in work.items():
+        for k, amount in row.items():
+            per_interval.setdefault(k, []).append((job_id, amount))
+    for k, pieces in per_interval.items():
+        a, b = intervals[k]
+        pieces.sort(key=lambda item: (-item[1], item[0]))
+        segments.extend(mcnaughton(pieces, a, b, m))
+    return Schedule(segments)

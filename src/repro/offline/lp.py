@@ -1,0 +1,97 @@
+"""Independent LP formulation of migratory feasibility (differential oracle).
+
+The flow solver in :mod:`repro.offline.flow` is the primary exact method.
+This module solves the *same* feasibility question as a linear program with
+``scipy.optimize.linprog`` (HiGHS): variables ``x[j,k]`` = machine time job
+``j`` receives in elementary interval ``k``, constraints
+
+* ``Σ_k x[j,k] = p_j``                         (work completion)
+* ``0 ≤ x[j,k] ≤ |E_k|``                       (no self-parallelism)
+* ``Σ_j x[j,k] ≤ m·|E_k|``                     (machine capacity)
+* ``x[j,k] = 0`` when ``E_k ⊄ [r_j, d_j)``     (window)
+
+Being float-based it is *not* used by any experiment; it exists to
+differential-test the flow solver (``tests/test_lp_crosscheck.py``): the two
+independent implementations must agree on feasibility for every random
+instance, up to an explicit tolerance band around the feasibility boundary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from .flow import _event_intervals
+
+
+def lp_feasible(
+    instance: Instance, m: int, speed: Numeric = 1, tol: float = 1e-9
+) -> Optional[bool]:
+    """LP verdict on feasibility; ``None`` if the solver fails.
+
+    Maximizes total scheduled work under the relaxed constraints; feasible
+    iff the optimum reaches ``Σ_j p_j`` (within ``tol`` relative slack).
+    """
+    if len(instance) == 0:
+        return True
+    if m <= 0:
+        return False
+    speed = float(to_fraction(speed))
+    intervals = _event_intervals(instance)
+    jobs = list(instance)
+    n, K = len(jobs), len(intervals)
+    # variable index (j, k) → j*K + k, only for admissible pairs
+    var_of = {}
+    for j_idx, job in enumerate(jobs):
+        for k, (a, b) in enumerate(intervals):
+            if job.release <= a and b <= job.deadline:
+                var_of[(j_idx, k)] = len(var_of)
+    nv = len(var_of)
+    if nv == 0:
+        return False
+    lengths = [float(b - a) for a, b in intervals]
+    # objective: maximize total work == minimize -sum x (work = x * speed)
+    c = -np.ones(nv)
+    # capacity constraints per interval: Σ_j x[j,k] ≤ m·len_k
+    a_ub_rows: List[np.ndarray] = []
+    b_ub: List[float] = []
+    for k in range(K):
+        row = np.zeros(nv)
+        hit = False
+        for j_idx in range(n):
+            idx = var_of.get((j_idx, k))
+            if idx is not None:
+                row[idx] = 1.0
+                hit = True
+        if hit:
+            a_ub_rows.append(row)
+            b_ub.append(m * lengths[k])
+    # per-job work cap: Σ_k x[j,k]·speed ≤ p_j  (maximization drives equality)
+    for j_idx, job in enumerate(jobs):
+        row = np.zeros(nv)
+        for k in range(K):
+            idx = var_of.get((j_idx, k))
+            if idx is not None:
+                row[idx] = speed
+        a_ub_rows.append(row)
+        b_ub.append(float(job.processing))
+    bounds = [None] * nv
+    for (j_idx, k), idx in var_of.items():
+        bounds[idx] = (0.0, lengths[k])
+    result = linprog(
+        c,
+        A_ub=np.vstack(a_ub_rows),
+        b_ub=np.array(b_ub),
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    total_work = -result.fun * speed
+    needed = float(sum(float(j.processing) for j in jobs))
+    return bool(total_work >= needed * (1 - tol) - tol)

@@ -1,0 +1,158 @@
+"""Exact offline *non-preemptive* scheduling (related-work substrate).
+
+Section 1 of the paper contrasts its preemptive non-migratory model with
+the fully non-preemptive one studied by Saha [11], where no ``f(m)``
+competitive bound exists and ``O(log Δ)`` is the answer.  To measure that
+regime honestly we need exact non-preemptive optima:
+
+* :func:`single_machine_np_feasible` — subset DP over earliest completion
+  times: ``ECT(S) = min_{j∈S} max(r_j, ECT(S∖{j})) + p_j`` subject to the
+  deadline, the classic ``O(2ⁿ·n)`` exact oracle for one machine,
+* :func:`single_machine_np_schedule` — an explicit witness sequence,
+* :func:`exact_np_optimum` — branch and bound over machine partitions with
+  the DP as the per-machine oracle (intended for ``n ≲ 12``),
+* :func:`np_first_fit` — the greedy upper bound for larger instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.instance import Instance
+from ..model.job import Job
+from ..model.schedule import Schedule, Segment
+
+_INFEASIBLE = None
+
+
+def _ect_table(jobs: Sequence[Job]) -> List[Optional[Fraction]]:
+    """Earliest completion time for every subset (None = infeasible)."""
+    n = len(jobs)
+    size = 1 << n
+    ect: List[Optional[Fraction]] = [None] * size
+    ect[0] = Fraction(0)  # empty set completes immediately
+    for mask in range(1, size):
+        best: Optional[Fraction] = None
+        for j in range(n):
+            bit = 1 << j
+            if not mask & bit:
+                continue
+            prev = ect[mask ^ bit]
+            if prev is None:
+                continue
+            job = jobs[j]
+            start = max(job.release, prev)
+            finish = start + job.processing
+            if finish > job.deadline:
+                continue
+            if best is None or finish < best:
+                best = finish
+        ect[mask] = best
+    return ect
+
+
+def single_machine_np_feasible(jobs: Sequence[Job]) -> bool:
+    """Exact non-preemptive single-machine feasibility (``n ≲ 18``)."""
+    jobs = list(jobs)
+    if not jobs:
+        return True
+    if len(jobs) > 18:
+        raise ValueError("subset DP limited to 18 jobs per machine")
+    table = _ect_table(jobs)
+    return table[-1] is not None
+
+
+def single_machine_np_schedule(
+    jobs: Sequence[Job], machine: int = 0
+) -> Optional[Schedule]:
+    """An explicit feasible non-preemptive sequence, or ``None``."""
+    jobs = list(jobs)
+    if not jobs:
+        return Schedule([])
+    table = _ect_table(jobs)
+    if table[-1] is None:
+        return None
+    # reconstruct: repeatedly find a job that can go last
+    segments: List[Segment] = []
+    mask = (1 << len(jobs)) - 1
+    while mask:
+        for j in range(len(jobs)):
+            bit = 1 << j
+            if not mask & bit:
+                continue
+            prev = table[mask ^ bit]
+            if prev is None:
+                continue
+            job = jobs[j]
+            start = max(job.release, prev)
+            finish = start + job.processing
+            if finish > job.deadline:
+                continue
+            if finish == table[mask]:
+                segments.append(Segment(job.id, machine, start, finish))
+                mask ^= bit
+                break
+        else:  # pragma: no cover - table consistency guarantees progress
+            raise RuntimeError("DP reconstruction failed")
+    return Schedule(segments)
+
+
+def np_first_fit(instance: Instance) -> Tuple[int, Schedule]:
+    """Greedy non-preemptive first fit (upper bound; any ``n``).
+
+    Jobs in release order; each goes on the first machine where it can
+    start by ``a_j`` after the machine's current last job; machines track
+    only their frontier (no re-sequencing), so this is fast but loose.
+    """
+    frontiers: List[Fraction] = []
+    segments: List[Segment] = []
+    for job in sorted(instance, key=lambda j: (j.release, j.deadline, j.id)):
+        placed = False
+        for idx, free_at in enumerate(frontiers):
+            start = max(job.release, free_at)
+            if start + job.processing <= job.deadline:
+                segments.append(Segment(job.id, idx, start, start + job.processing))
+                frontiers[idx] = start + job.processing
+                placed = True
+                break
+        if not placed:
+            frontiers.append(job.release + job.processing)
+            segments.append(
+                Segment(job.id, len(frontiers) - 1, job.release,
+                        job.release + job.processing)
+            )
+    return len(frontiers), Schedule(segments)
+
+
+def exact_np_optimum(instance: Instance, node_limit: int = 500_000) -> int:
+    """Exact non-preemptive optimum by branch and bound (``n ≲ 12``)."""
+    jobs = sorted(instance, key=lambda j: (j.release, j.deadline, j.id))
+    n = len(jobs)
+    if n == 0:
+        return 0
+    best = np_first_fit(instance)[0]
+    nodes = 0
+
+    def recurse(i: int, machines: List[List[Job]]) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError("node limit exceeded in non-preemptive search")
+        if len(machines) >= best:
+            return
+        if i == n:
+            best = min(best, len(machines))
+            return
+        job = jobs[i]
+        for bucket in machines:
+            bucket.append(job)
+            if single_machine_np_feasible(bucket):
+                recurse(i + 1, machines)
+            bucket.pop()
+        machines.append([job])
+        recurse(i + 1, machines)
+        machines.pop()
+
+    recurse(0, [])
+    return best

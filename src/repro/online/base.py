@@ -1,0 +1,103 @@
+"""Core types for the online scheduling engine.
+
+An online algorithm is a :class:`Policy`.  The engine owns the clock and the
+machine/job bookkeeping; the policy is consulted
+
+* when jobs are released (``on_release``) — this is where non-migratory
+  policies *commit* jobs to machines (Section 2 of the paper: a job must be
+  committed by its latest start time ``a_j``; all policies in this repo
+  commit at release, which only strengthens the lower-bound experiments),
+* at every decision point (``select``) — returning which committed/eligible
+  job each machine should process until the next event,
+* optionally, to request extra wake-ups (``next_wakeup``) — e.g. LLF laxity
+  crossovers or MediumFit start times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..model.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import OnlineEngine
+
+
+class EngineError(RuntimeError):
+    """A policy violated an engine invariant (e.g. migrated a committed job)."""
+
+
+class InfeasibleOnline(RuntimeError):
+    """Raised in ``on_miss='raise'`` mode when a deadline is missed."""
+
+
+@dataclass
+class JobState:
+    """Mutable per-job bookkeeping inside the engine."""
+
+    job: Job
+    remaining: Fraction
+    #: machine the job is committed to (non-migratory), if any
+    committed: Optional[int] = None
+    #: first time the job was ever processed
+    started_at: Optional[Fraction] = None
+    finished_at: Optional[Fraction] = None
+    missed: bool = False
+    #: machines that ever processed the job (for migration accounting)
+    machines: set = field(default_factory=set)
+    #: machine that processed the job most recently
+    last_machine: Optional[int] = None
+    #: number of migrations suffered (changes of processing machine)
+    migration_count: int = 0
+    #: extra work added by migration penalties (engine migration_cost)
+    overhead: Fraction = Fraction(0)
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def active(self) -> bool:
+        """Released, not finished, not (yet) missed."""
+        return not self.finished and not self.missed
+
+    def laxity_at(self, t: Fraction) -> Fraction:
+        return self.job.deadline - t - self.remaining
+
+
+class Policy(ABC):
+    """Base class for online scheduling policies.
+
+    ``migratory`` declares whether the policy is allowed to migrate jobs;
+    the engine enforces non-migration for policies that declare it.
+    """
+
+    #: May a preempted job resume on a different machine?
+    migratory: bool = True
+
+    def on_release(self, engine: "OnlineEngine", jobs: Sequence[JobState]) -> None:
+        """Hook invoked when ``jobs`` become available (same release time).
+
+        Non-migratory policies typically call ``engine.commit(job_id, machine)``
+        here.  Default: no commitment (jobs bind at first processing).
+        """
+
+    @abstractmethod
+    def select(self, engine: "OnlineEngine") -> Dict[int, int]:
+        """Return ``{machine_index: job_id}`` to process until the next event.
+
+        Machines absent from the mapping idle.  Jobs must be active; each job
+        may appear at most once; non-migratory policies may only map a job to
+        its committed machine.
+        """
+
+    def next_wakeup(self, engine: "OnlineEngine") -> Optional[Fraction]:
+        """An extra decision time strictly after ``engine.time``, if needed."""
+        return None
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

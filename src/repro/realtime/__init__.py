@@ -1,0 +1,21 @@
+"""Substrate: the periodic/sporadic real-time task model the paper's
+introduction motivates, bridged to the machine-minimization machinery."""
+
+from .analysis import (
+    ProvisioningReport,
+    machines_for_taskset,
+    online_machines_for_taskset,
+    provisioning_report,
+)
+from .tasks import PeriodicTask, TaskSet, harmonic_taskset, random_taskset
+
+__all__ = [
+    "ProvisioningReport",
+    "machines_for_taskset",
+    "online_machines_for_taskset",
+    "provisioning_report",
+    "PeriodicTask",
+    "TaskSet",
+    "harmonic_taskset",
+    "random_taskset",
+]

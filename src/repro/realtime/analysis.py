@@ -1,0 +1,85 @@
+"""Schedulability analysis for task sets via the paper's machinery.
+
+Bridges the classical real-time view (task sets, utilization) with the
+machine-minimization view (instances, exact optima, online policies):
+
+* :func:`machines_for_taskset` — exact machine requirement of a hyperperiod
+  expansion (flow optimum),
+* :func:`online_machines_for_taskset` — what a given online policy needs,
+* :func:`provisioning_report` — the dispatcher's recommendation plus the
+  utilization lower bound, for capacity-planning style output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..core.splitter import DispatchResult, classify, dispatch
+from ..model.instance import Instance
+from ..model.intervals import Numeric
+from ..offline.optimum import migratory_optimum
+from ..online.base import Policy
+from ..online.engine import min_machines
+from .tasks import TaskSet
+
+
+@dataclass(frozen=True)
+class ProvisioningReport:
+    """Capacity-planning summary for one task set."""
+
+    n_tasks: int
+    n_jobs: int
+    utilization: float
+    utilization_bound: int
+    migratory_opt: int
+    recommended_machines: int
+    algorithm: str
+    instance_class: str
+
+    @property
+    def overhead(self) -> float:
+        if self.migratory_opt == 0:
+            return 0.0
+        return self.recommended_machines / self.migratory_opt
+
+
+def machines_for_taskset(
+    taskset: TaskSet, horizon: Optional[Numeric] = None
+) -> int:
+    """Exact migratory machine requirement over the (default) hyperperiod."""
+    return migratory_optimum(taskset.periodic_instance(horizon))
+
+
+def online_machines_for_taskset(
+    taskset: TaskSet,
+    policy_factory: Callable[[], Policy],
+    horizon: Optional[Numeric] = None,
+) -> int:
+    """Minimum machines at which a policy schedules the expansion."""
+    instance = taskset.periodic_instance(horizon)
+    if len(instance) == 0:
+        return 0
+    return min_machines(lambda k: policy_factory(), instance)
+
+
+def provisioning_report(
+    taskset: TaskSet, horizon: Optional[Numeric] = None
+) -> ProvisioningReport:
+    """Dispatch the expansion and summarize the provisioning decision."""
+    instance = taskset.periodic_instance(horizon)
+    if len(instance) == 0:
+        return ProvisioningReport(0, 0, 0.0, 0, 0, 0, "none", "empty")
+    result = dispatch(instance)
+    result.schedule.verify(instance).require_feasible()
+    return ProvisioningReport(
+        n_tasks=len(taskset),
+        n_jobs=len(instance),
+        utilization=float(taskset.utilization),
+        utilization_bound=taskset.utilization_lower_bound(),
+        migratory_opt=migratory_optimum(instance),
+        recommended_machines=result.machines,
+        algorithm=result.algorithm,
+        instance_class=result.instance_class,
+    )

@@ -1,0 +1,242 @@
+"""Periodic and sporadic real-time task sets.
+
+The paper's opening sentence places the problem in operating real-time
+systems: recurring tasks release jobs with hard deadlines.  This subpackage
+provides the standard task model as a substrate on top of the job/instance
+layer:
+
+* a :class:`PeriodicTask` ``(C, T, D, φ)`` releases a job of processing
+  time ``C`` every ``T`` time units from phase ``φ`` on, each due ``D``
+  after its release (``D ≤ T``: *constrained*; ``D = T``: *implicit*);
+* a :class:`TaskSet` aggregates tasks: utilization ``U = Σ C_i/T_i``,
+  hyperperiod (lcm of periods), density, and expansion into a concrete
+  :class:`~repro.model.instance.Instance` over a horizon;
+* sporadic releases (minimum inter-arrival ``T`` plus random extra delay)
+  via :meth:`TaskSet.sporadic_instance`.
+
+``⌈U⌉`` lower-bounds the machine count of any schedule of a full
+hyperperiod (work density), which the tests check against the exact flow
+optimum.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import ceil, gcd
+from typing import List, Optional, Sequence
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..model.job import Job
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic hard real-time task ``(C, T, D, φ)``."""
+
+    wcet: Fraction  # C: processing time per job
+    period: Fraction  # T: release separation
+    deadline: Optional[Fraction] = None  # D: relative deadline (default T)
+    phase: Fraction = Fraction(0)  # φ: first release
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "wcet", to_fraction(self.wcet))
+        object.__setattr__(self, "period", to_fraction(self.period))
+        object.__setattr__(self, "phase", to_fraction(self.phase))
+        rel = self.period if self.deadline is None else to_fraction(self.deadline)
+        object.__setattr__(self, "deadline", rel)
+        if self.wcet <= 0:
+            raise ValueError("WCET must be positive")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.deadline < self.wcet:
+            raise ValueError("relative deadline shorter than WCET")
+
+    @property
+    def utilization(self) -> Fraction:
+        """``C/T`` — the long-run machine share the task consumes."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> Fraction:
+        """``C/D`` — the per-job looseness parameter (α of the paper)."""
+        return self.wcet / self.deadline
+
+    @property
+    def implicit_deadline(self) -> bool:
+        return self.deadline == self.period
+
+    def jobs_until(self, horizon: Numeric, start_id: int) -> List[Job]:
+        """Concrete jobs with releases in ``[phase, horizon)``."""
+        horizon = to_fraction(horizon)
+        jobs: List[Job] = []
+        release = self.phase
+        job_id = start_id
+        while release < horizon:
+            jobs.append(
+                Job(release, self.wcet, release + self.deadline, id=job_id,
+                    label=self.name or f"task{start_id}")
+            )
+            job_id += 1
+            release += self.period
+        return jobs
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // gcd(a, b)
+
+
+@dataclass
+class TaskSet:
+    """A collection of periodic tasks."""
+
+    tasks: List[PeriodicTask] = field(default_factory=list)
+
+    def add(self, task: PeriodicTask) -> "TaskSet":
+        self.tasks.append(task)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    @property
+    def utilization(self) -> Fraction:
+        return sum((t.utilization for t in self.tasks), Fraction(0))
+
+    @property
+    def max_density(self) -> Fraction:
+        if not self.tasks:
+            return Fraction(0)
+        return max(t.density for t in self.tasks)
+
+    @property
+    def hyperperiod(self) -> Fraction:
+        """LCM of the periods: ``lcm(numerators)/gcd(denominators)`` exactly."""
+        if not self.tasks:
+            return Fraction(0)
+        num = 1
+        den = 0
+        for t in self.tasks:
+            num = _lcm(num, t.period.numerator)
+            den = gcd(den, t.period.denominator)
+        return Fraction(num, den)
+
+    def utilization_lower_bound(self) -> int:
+        """``⌈U⌉`` — machines needed over a full hyperperiod."""
+        u = self.utilization
+        return ceil(u) if u > 0 else 0
+
+    def periodic_instance(self, horizon: Optional[Numeric] = None) -> Instance:
+        """Expand all tasks into jobs over ``[0, horizon)`` (default: one
+        hyperperiod past the largest phase)."""
+        if not self.tasks:
+            return Instance([])
+        if horizon is None:
+            horizon = max(t.phase for t in self.tasks) + self.hyperperiod
+        horizon = to_fraction(horizon)
+        expected = sum(
+            int((horizon - t.phase) / t.period) + 1
+            for t in self.tasks
+            if t.phase < horizon
+        )
+        if expected > 100_000:
+            raise ValueError(
+                f"expansion would create ~{expected} jobs; non-harmonic "
+                "periods can have astronomically large hyperperiods — pass "
+                "an explicit horizon"
+            )
+        jobs: List[Job] = []
+        next_id = 0
+        for t in self.tasks:
+            batch = t.jobs_until(horizon, next_id)
+            jobs.extend(batch)
+            next_id += len(batch) + 1
+        return Instance(jobs)
+
+    def sporadic_instance(
+        self,
+        horizon: Numeric,
+        max_extra_delay: Numeric = 0,
+        seed: int = 0,
+    ) -> Instance:
+        """Sporadic releases: inter-arrival ``T + U[0, max_extra_delay]``.
+
+        The period is a *minimum* separation; extra delays are drawn on an
+        integer grid to keep arithmetic exact.
+        """
+        horizon = to_fraction(horizon)
+        max_extra = to_fraction(max_extra_delay)
+        rng = random.Random(seed)
+        grid = 8  # extra delays in eighths keeps denominators tame
+        jobs: List[Job] = []
+        next_id = 0
+        for t in self.tasks:
+            release = t.phase
+            while release < horizon:
+                jobs.append(
+                    Job(release, t.wcet, release + t.deadline, id=next_id,
+                        label=t.name)
+                )
+                next_id += 1
+                extra = (
+                    Fraction(rng.randint(0, int(max_extra * grid)), grid)
+                    if max_extra > 0
+                    else Fraction(0)
+                )
+                release += t.period + extra
+        return Instance(jobs)
+
+
+def harmonic_taskset(
+    levels: int, base_period: int = 4, utilization_per_task: Numeric = Fraction(1, 4)
+) -> TaskSet:
+    """Harmonic periods ``base, 2·base, 4·base, …`` (easy to schedule)."""
+    u = to_fraction(utilization_per_task)
+    ts = TaskSet()
+    for i in range(levels):
+        period = Fraction(base_period * 2**i)
+        ts.add(PeriodicTask(wcet=u * period, period=period, name=f"h{i}"))
+    return ts
+
+
+def random_taskset(
+    n: int,
+    target_utilization: Numeric,
+    seed: int = 0,
+    min_period: int = 4,
+    max_period: int = 24,
+) -> TaskSet:
+    """``n`` tasks whose utilizations sum to ``target_utilization``.
+
+    Uses the UUniFast-style stick-breaking split (discretized to exact
+    rationals) over uniformly drawn integer periods.
+    """
+    target = to_fraction(target_utilization)
+    rng = random.Random(seed)
+    # stick-breaking: draw cut points on a fine integer grid
+    grid = 1000
+    cuts = sorted(rng.randint(0, grid) for _ in range(n - 1))
+    shares = []
+    prev = 0
+    for c in cuts + [grid]:
+        shares.append(Fraction(c - prev, grid))
+        prev = c
+    ts = TaskSet()
+    for i, share in enumerate(shares):
+        u_i = share * target
+        period = Fraction(rng.randint(min_period, max_period))
+        wcet = u_i * period
+        if wcet <= 0:
+            wcet = Fraction(1, 8)  # keep degenerate shares schedulable
+        if wcet > period:
+            wcet = period
+        ts.add(PeriodicTask(wcet=wcet, period=period, phase=rng.randint(0, 4),
+                            name=f"t{i}"))
+    return ts

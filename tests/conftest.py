@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Instance, Job
+
+
+@pytest.fixture
+def mcnaughton_instance() -> Instance:
+    """3 jobs, p=2, window [0,3): migratory OPT 2, non-migratory OPT 3."""
+    return Instance([Job(0, 2, 3, id=i) for i in range(3)])
+
+
+@pytest.fixture
+def parallel_units() -> Instance:
+    """3 zero-laxity unit jobs: OPT 3 in every model."""
+    return Instance([Job(0, 1, 1, id=i) for i in range(3)])

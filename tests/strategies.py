@@ -1,0 +1,43 @@
+"""Shared hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+from repro.model import Instance, Job
+
+
+def fractions_st(min_value: int = 0, max_value: int = 60, denominator: int = 4):
+    """Exact rationals on a small grid (keeps flow/engine tests fast)."""
+    return st.integers(min_value * denominator, max_value * denominator).map(
+        lambda k: Fraction(k, denominator)
+    )
+
+
+@st.composite
+def jobs_st(draw, max_release: int = 30, max_processing: int = 8, max_slack: int = 10):
+    release = draw(st.integers(0, max_release))
+    processing = draw(st.integers(1, max_processing))
+    slack = draw(st.integers(0, max_slack))
+    return Job(release, processing, release + processing + slack)
+
+
+@st.composite
+def instances_st(draw, min_size: int = 1, max_size: int = 8):
+    n = draw(st.integers(min_size, max_size))
+    jobs = []
+    for i in range(n):
+        release = draw(st.integers(0, 20))
+        processing = draw(st.integers(1, 6))
+        slack = draw(st.integers(0, 8))
+        jobs.append(Job(release, processing, release + processing + slack, id=i))
+    return Instance(jobs)
+
+
+@st.composite
+def interval_pairs_st(draw, span: int = 40):
+    a = draw(st.integers(0, span - 1))
+    b = draw(st.integers(a + 1, span))
+    return (Fraction(a), Fraction(b))

@@ -1,0 +1,121 @@
+"""Robustness of the Lemma 2 adversary across arbitrary policies.
+
+Theorem 3 quantifies over *every* deterministic non-migratory algorithm.
+We cannot test all of them, but we can probe far beyond the greedy family:
+seeded-random commitment policies are deterministic once seeded, and the
+adversary must force k machines (or an outright miss) out of each one.
+"""
+
+import pytest
+
+from repro.core.adversary.migration_gap import (
+    AdversaryOutcome,
+    MigrationGapAdversary,
+)
+from repro.online.nonmigratory import SeededRandomFit
+
+
+class TestRandomPolicies:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_forces_k_machines_or_miss(self, seed):
+        k = 5
+        adv = MigrationGapAdversary(SeededRandomFit(seed), machines=k + 3)
+        try:
+            res = adv.run(k)
+        except AdversaryOutcome:
+            return  # the policy missed a deadline: the adversary wins outright
+        assert res.machines_forced == k
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_witness_still_three_machines(self, seed):
+        adv = MigrationGapAdversary(SeededRandomFit(seed), machines=8)
+        try:
+            res = adv.run(4)
+        except AdversaryOutcome:
+            return
+        rep = res.offline_witness().verify(res.instance)
+        assert rep.feasible and rep.machines_used <= 3
+
+    def test_random_policy_is_deterministic_per_seed(self):
+        runs = []
+        for _ in range(2):
+            adv = MigrationGapAdversary(SeededRandomFit(7), machines=8)
+            res = adv.run(4)
+            runs.append((res.n_jobs, res.critical_machines))
+        assert runs[0] == runs[1]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deeper_recursion(self, seed):
+        k = 7
+        adv = MigrationGapAdversary(SeededRandomFit(seed), machines=k + 4)
+        try:
+            res = adv.run(k)
+        except AdversaryOutcome:
+            return
+        assert res.machines_forced == k
+        assert res.n_jobs <= 2**k * 4
+
+
+class TestDeferredCommitment:
+    """The paper's a_j argument: even a policy that binds jobs only at
+    their latest start time cannot escape the adversary."""
+
+    def test_deferred_policy_schedules_normal_instances(self):
+        from repro.generators import uniform_random_instance
+        from repro.online.engine import min_machines, simulate
+        from repro.online.nonmigratory import DeferredEDF
+
+        inst = uniform_random_instance(20, seed=1)
+        k = min_machines(lambda n: DeferredEDF(), inst)
+        eng = simulate(DeferredEDF(), inst, machines=k)
+        rep = eng.schedule().verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_adversary_beats_deferred_policy(self, k):
+        from repro.online.nonmigratory import DeferredEDF
+
+        adv = MigrationGapAdversary(DeferredEDF(), machines=k + 3)
+        try:
+            res = adv.run(k)
+        except AdversaryOutcome:
+            return  # outright failure: the adversary wins even harder
+        assert res.machines_forced == k
+        assert res.offline_witness().verify(res.instance).feasible
+
+    def test_poll_selection_binds_without_advancing(self):
+        from fractions import Fraction
+
+        from repro.model import Instance, Job
+        from repro.online.engine import OnlineEngine
+        from repro.online.nonmigratory import DeferredEDF
+
+        eng = OnlineEngine(DeferredEDF(), machines=2)
+        eng.release([Job(0, 1, 2, id=0)])  # a_j = 1
+        eng.run_until(1)
+        before = eng.time
+        eng.poll_selection()
+        assert eng.time == before
+        assert eng.committed_machine(0) is not None
+
+
+class TestDoublingWrapperTarget:
+    """Theorem 3 applies even to policies that open machines adaptively:
+    the guess-and-double wrapper is still forced to k distinct machines."""
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_adversary_beats_doubling(self, k):
+        from repro.online.doubling import DoublingPolicy
+
+        adv = MigrationGapAdversary(DoublingPolicy(), machines=1)
+        res = adv.run(k)
+        assert res.machines_forced == k
+        assert res.offline_witness().verify(res.instance).feasible
+
+    def test_doubling_opens_few_machines_on_adversary(self):
+        """The wrapper's phase total stays geometric even under attack."""
+        from repro.online.doubling import DoublingPolicy
+
+        adv = MigrationGapAdversary(DoublingPolicy(), machines=1)
+        res = adv.run(6)
+        assert adv.policy.total_machines_opened <= 2 ** 6

@@ -1,0 +1,109 @@
+"""Tests for the Theorem 12 agreeable algorithm and its constants."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.agreeable import AgreeableAlgorithm, combined_bound, optimal_alpha
+from repro.generators import (
+    agreeable_instance,
+    agreeable_tight_instance,
+    identical_jobs_batches,
+)
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+
+
+class TestConstants:
+    def test_combined_bound_formula(self):
+        assert combined_bound(Fraction(1, 2)) == 4 + 32
+
+    def test_combined_bound_domain(self):
+        with pytest.raises(ValueError):
+            combined_bound(0)
+        with pytest.raises(ValueError):
+            combined_bound(1)
+
+    def test_optimal_alpha_reproduces_paper_constant(self):
+        """The paper: minimum ≈ 32.70 at α ≈ 0.63."""
+        alpha, bound = optimal_alpha(resolution=5000)
+        assert abs(float(bound) - 32.70) < 0.01
+        assert abs(float(alpha) - 0.63) < 0.01
+
+    def test_theorem12_bound_helper(self):
+        algo = AgreeableAlgorithm(Fraction(63, 100))
+        assert algo.theorem12_bound(2) == combined_bound(Fraction(63, 100)) * 2
+
+
+class TestAlgorithm:
+    def test_rejects_non_agreeable(self):
+        inst = Instance([Job(0, 1, 10, id=0), Job(1, 1, 4, id=1)])
+        algo = AgreeableAlgorithm()
+        with pytest.raises(ValueError):
+            algo.run(inst)
+        with pytest.raises(ValueError):
+            algo.run_with_budget(inst, 5)
+
+    def test_alpha_domain(self):
+        with pytest.raises(ValueError):
+            AgreeableAlgorithm(Fraction(3, 2))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_feasible_nonpreemptive_nonmigratory(self, seed):
+        inst = agreeable_instance(35, seed=seed)
+        result = AgreeableAlgorithm().run(inst)
+        rep = result.schedule.verify(inst)
+        assert rep.feasible
+        assert rep.preemptions == 0
+        assert rep.is_non_migratory
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_theorem12_machine_bound(self, seed):
+        inst = agreeable_instance(40, seed=seed)
+        m = migratory_optimum(inst)
+        algo = AgreeableAlgorithm()
+        result = algo.run(inst)
+        assert result.machines <= algo.theorem12_bound(m)
+
+    def test_machine_pools_disjoint(self):
+        inst = agreeable_instance(30, seed=9)
+        result = AgreeableAlgorithm().run(inst)
+        loose, tight = inst.split_by_looseness(result.alpha)
+        loose_machines = {
+            s.machine for s in result.schedule if s.job_id in {j.id for j in loose}
+        }
+        tight_machines = {
+            s.machine for s in result.schedule if s.job_id in {j.id for j in tight}
+        }
+        assert not (loose_machines & tight_machines)
+
+    def test_all_tight_instance(self):
+        inst = agreeable_tight_instance(25, Fraction(63, 100), seed=3)
+        result = AgreeableAlgorithm().run(inst)
+        assert result.loose_machines == 0
+        assert result.schedule.verify(inst).feasible
+
+    def test_all_loose_instance(self):
+        # unit jobs with huge windows are loose at α*=0.63
+        jobs = [Job(i, 1, i + 10, id=i) for i in range(20)]
+        inst = Instance(jobs)
+        result = AgreeableAlgorithm().run(inst)
+        assert result.tight_machines == 0
+        assert result.schedule.verify(inst).feasible
+
+    def test_identical_jobs_batches(self):
+        inst = identical_jobs_batches(batches=6, per_batch=4)
+        assert inst.is_agreeable()
+        result = AgreeableAlgorithm().run(inst)
+        assert result.schedule.verify(inst).feasible
+
+    def test_run_with_budget_insufficient_returns_none(self):
+        # many concurrent loose jobs, loose budget 1 → EDF must miss
+        jobs = [Job(0, 2, 20, id=i) for i in range(12)]
+        inst = Instance(jobs)
+        algo = AgreeableAlgorithm(Fraction(1, 2))
+        assert algo.run_with_budget(inst, 1) is None
+
+    def test_empty_instance(self):
+        result = AgreeableAlgorithm().run(Instance([]))
+        assert result.machines == 0

@@ -1,0 +1,124 @@
+"""Tests for the Lemma 9 / Theorem 15 agreeable adversary."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.adversary.agreeable_lb import (
+    DEFAULT_ALPHA,
+    THEOREM15_THRESHOLD,
+    AgreeableAdversary,
+    capacity_sweep,
+)
+from repro.offline.optimum import migratory_optimum
+from repro.online.edf import EDF
+from repro.online.llf import LLF
+
+
+class TestSetup:
+    def test_threshold_constant(self):
+        assert abs(THEOREM15_THRESHOLD - 1.1010) < 1e-3
+
+    def test_alpha_near_paper_optimum(self):
+        assert abs(float(DEFAULT_ALPHA) - 0.2247) < 0.01
+
+    def test_m_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            AgreeableAdversary(EDF(), m=30, machines=30)  # 30·9/40 ∉ ℤ
+
+    def test_alpha_domain(self):
+        with pytest.raises(ValueError):
+            AgreeableAdversary(EDF(), m=40, machines=40, alpha=Fraction(3, 4))
+
+
+class TestInstanceProperties:
+    def test_agreeable_and_unit_jobs(self):
+        adv = AgreeableAdversary(EDF(), m=40, machines=40)
+        res = adv.run(max_rounds=3)
+        assert res.instance.is_agreeable()
+        assert all(j.processing == 1 for j in res.instance)
+
+    def test_migratory_opt_is_m(self):
+        """The behind-by invariant requires feasibility on m machines."""
+        adv = AgreeableAdversary(EDF(), m=40, machines=40)
+        res = adv.run(max_rounds=3)
+        assert migratory_optimum(res.instance) == 40
+
+    def test_opt_is_m_even_with_tights(self):
+        adv = AgreeableAdversary(EDF(), m=40, machines=44)
+        res = adv.run(max_rounds=8)
+        # this capacity dies and releases the terminal tight batch
+        assert any(r.released_tights for r in res.rounds) or not res.missed
+        assert migratory_optimum(res.instance) == 40
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("policy_cls", [EDF, LLF])
+    def test_dies_at_capacity_one(self, policy_cls):
+        adv = AgreeableAdversary(policy_cls(), m=40, machines=40)
+        res = adv.run(max_rounds=10)
+        assert res.missed
+        assert res.rounds_played <= 4
+
+    @pytest.mark.parametrize("policy_cls", [EDF, LLF])
+    def test_survives_with_generous_capacity(self, policy_cls):
+        adv = AgreeableAdversary(policy_cls(), m=40, machines=60)
+        res = adv.run(max_rounds=10)
+        assert not res.missed
+
+    def test_debt_grows_below_threshold(self):
+        """Lemma 9: the debt w increases by δ > 0 each surviving round."""
+        adv = AgreeableAdversary(EDF(), m=40, machines=43)  # c = 1.075
+        res = adv.run(max_rounds=10)
+        debts = res.debts
+        assert len(debts) >= 2
+        assert debts[1] > debts[0]
+
+    def test_edf_threshold_bracket(self):
+        """EDF's empirical breaking point sits at the paper's ≈1.10·m."""
+        dead = AgreeableAdversary(EDF(), m=40, machines=44).run(12)  # 1.10
+        alive = AgreeableAdversary(EDF(), m=40, machines=46).run(12)  # 1.15
+        assert dead.missed
+        assert not alive.missed
+
+    def test_capacity_sweep_helper(self):
+        results = capacity_sweep(
+            lambda: EDF(), m=40, ratios=[1, Fraction(3, 2)], max_rounds=6
+        )
+        assert len(results) == 2
+        assert results[0].missed and not results[1].missed
+        assert results[0].capacity_ratio == 1.0
+
+
+class TestRoundRecords:
+    def test_records_complete(self):
+        adv = AgreeableAdversary(EDF(), m=40, machines=42)
+        res = adv.run(max_rounds=6)
+        for i, record in enumerate(res.rounds):
+            assert record.index == i
+            assert record.debt_at_start >= 0
+        assert res.policy_name == "EDF"
+
+    def test_kill_flag_on_terminal_round(self):
+        adv = AgreeableAdversary(EDF(), m=40, machines=40)
+        res = adv.run(max_rounds=6)
+        if res.missed and res.rounds:
+            assert res.rounds[-1].released_tights or res.rounds[-1].type1_leftover == 0
+
+
+class TestLongRunFeasibility:
+    """Soundness linchpin: the released instance must stay feasible on m
+    machines for arbitrarily many rounds (else a forced miss would prove
+    nothing).  Type-1 laxity allows OPT to pipeline rounds with zero idle."""
+
+    def test_twelve_rounds_opt_still_m(self):
+        adv = AgreeableAdversary(LLF(), m=4, machines=8, alpha=Fraction(1, 4))
+        res = adv.run(max_rounds=12)
+        assert res.rounds_played == 12 and not res.missed
+        assert migratory_optimum(res.instance) == 4
+
+    def test_terminal_tights_keep_opt_m(self):
+        adv = AgreeableAdversary(EDF(), m=4, machines=4, alpha=Fraction(1, 4))
+        res = adv.run(max_rounds=12)
+        assert res.missed  # capacity 1.0 always dies
+        assert migratory_optimum(res.instance) == 4

@@ -1,0 +1,170 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.model.io import load
+from repro.model import Instance, Schedule
+
+
+@pytest.fixture
+def loose_file(tmp_path):
+    path = tmp_path / "inst.json"
+    assert main(["generate", "loose", "-n", "15", "--alpha", "1/3",
+                 "--seed", "7", "-o", str(path)]) == 0
+    return str(path)
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["uniform", "loose", "tight", "agreeable", "laminar"])
+    def test_all_kinds(self, tmp_path, kind, capsys):
+        path = tmp_path / f"{kind}.json"
+        assert main(["generate", kind, "-n", "10", "-o", str(path)]) == 0
+        inst = load(str(path))
+        assert isinstance(inst, Instance) and len(inst) == 10
+
+    def test_seed_determinism(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["generate", "uniform", "-n", "8", "--seed", "5", "-o", str(a)])
+        main(["generate", "uniform", "-n", "8", "--seed", "5", "-o", str(b)])
+        assert load(str(a)) == load(str(b))
+
+
+class TestInspect:
+    def test_classify(self, loose_file, capsys):
+        assert main(["classify", loose_file]) == 0
+        out = capsys.readouterr().out
+        assert "class = loose" in out
+
+    def test_opt(self, loose_file, capsys):
+        assert main(["opt", loose_file, "--nonmigratory"]) == 0
+        out = capsys.readouterr().out
+        assert "migratory optimum:" in out
+        assert "non-migratory optimum" in out
+
+
+class TestSolveSimulate:
+    def test_solve_auto_writes_schedule(self, loose_file, tmp_path, capsys):
+        out_path = tmp_path / "sched.json"
+        assert main(["solve", loose_file, "-o", str(out_path)]) == 0
+        sched = load(str(out_path))
+        assert isinstance(sched, Schedule)
+        inst = load(loose_file)
+        assert sched.verify(inst).feasible
+
+    def test_solve_named_algorithm(self, loose_file, capsys):
+        assert main(["solve", loose_file, "--algorithm", "loose"]) == 0
+        assert "LooseAlgorithm" in capsys.readouterr().out
+
+    def test_simulate_search_mode(self, loose_file, capsys):
+        assert main(["simulate", loose_file, "--policy", "llf"]) == 0
+        assert "minimum machines" in capsys.readouterr().out
+
+    def test_simulate_fixed_machines(self, loose_file, capsys):
+        code = main(["simulate", loose_file, "--policy", "edf",
+                     "--machines", "15", "--gantt", "--width", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "missed = none" in out
+        assert "M0" in out
+
+    def test_simulate_failure_exit_code(self, tmp_path, capsys):
+        # 3 zero-laxity parallel unit jobs on 1 machine must fail
+        path = tmp_path / "hard.json"
+        path.write_text(json.dumps({
+            "format": 1, "kind": "instance",
+            "jobs": [{"id": i, "release": 0, "processing": 1, "deadline": 1}
+                     for i in range(3)],
+        }))
+        assert main(["simulate", str(path), "--policy", "edf",
+                     "--machines", "1"]) == 1
+
+    def test_gantt_command(self, loose_file, tmp_path, capsys):
+        out_path = tmp_path / "sched.json"
+        main(["solve", loose_file, "-o", str(out_path)])
+        capsys.readouterr()
+        assert main(["gantt", str(out_path), "--width", "30"]) == 0
+        assert "M0" in capsys.readouterr().out
+
+
+class TestAdversaryCommands:
+    def test_migration_gap(self, tmp_path, capsys):
+        out_path = tmp_path / "adv.json"
+        assert main(["adversary", "migration-gap", "--k", "3",
+                     "--policy", "firstfit", "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "forced 3 machines" in out
+        inst = load(str(out_path))
+        assert isinstance(inst, Instance)
+
+    def test_agreeable(self, capsys):
+        assert main(["adversary", "agreeable", "--m", "40",
+                     "--machines", "40", "--policy", "edf",
+                     "--rounds", "5"]) == 0
+        assert "MISSED" in capsys.readouterr().out
+
+    def test_agreeable_survival(self, capsys):
+        assert main(["adversary", "agreeable", "--m", "40",
+                     "--machines", "60", "--policy", "llf",
+                     "--rounds", "5"]) == 0
+        assert "survived" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_svg_command(self, loose_file, tmp_path, capsys):
+        sched_path = tmp_path / "s.json"
+        main(["solve", loose_file, "-o", str(sched_path)])
+        capsys.readouterr()
+        out_path = tmp_path / "s.svg"
+        assert main(["svg", str(sched_path), "-o", str(out_path),
+                     "--title", "T"]) == 0
+        assert out_path.read_text().startswith("<svg")
+
+    def test_profile_command(self, loose_file, capsys):
+        assert main(["profile", loose_file, "--samples", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "lower bound on m" in out
+
+    def test_realtime_command(self, tmp_path, capsys):
+        spec = tmp_path / "ts.json"
+        spec.write_text(
+            '{"tasks": [{"wcet": 1, "period": 4}, '
+            '{"wcet": 2, "period": 8, "deadline": 6, "name": "x"}]}'
+        )
+        assert main(["realtime", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "migratory optimum" in out
+        assert "recommended" in out
+
+    def test_realtime_with_horizon(self, tmp_path, capsys):
+        spec = tmp_path / "ts.json"
+        spec.write_text('{"tasks": [{"wcet": 1, "period": 7}, {"wcet": 1, "period": 11}]}')
+        assert main(["realtime", str(spec), "--horizon", "40"]) == 0
+
+
+class TestErrorPaths:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises((SystemExit, FileNotFoundError)):
+            main(["classify", str(tmp_path / "nope.json")])
+
+    def test_wrong_payload_kind_for_instance(self, tmp_path):
+        path = tmp_path / "sched.json"
+        path.write_text('{"format": 1, "kind": "schedule", "segments": []}')
+        with pytest.raises(SystemExit):
+            main(["classify", str(path)])
+
+    def test_wrong_payload_kind_for_schedule(self, loose_file):
+        with pytest.raises(SystemExit):
+            main(["gantt", loose_file])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(Exception):
+            main(["classify", str(path)])

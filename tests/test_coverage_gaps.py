@@ -1,0 +1,100 @@
+"""Targeted tests for corners not exercised elsewhere."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.adversary.nonpreemptive import ClassBasedNonPreemptive
+from repro.core.speed_fit import run_speed_fit
+from repro.model import Instance, Job
+from repro.model.intervals import Interval, IntervalUnion
+from repro.online.base import EngineError
+from repro.online.edf import stable_machine_assignment
+from repro.online.engine import OnlineEngine, simulate
+from repro.online.nonmigratory import FirstFitEDF
+
+
+class TestModelCorners:
+    def test_max_deadline(self):
+        inst = Instance([Job(0, 1, 5, id=0), Job(1, 1, 9, id=1)])
+        assert inst.max_deadline == 9
+
+    def test_max_deadline_empty_raises(self):
+        with pytest.raises(ValueError):
+            Instance([]).max_deadline
+
+    def test_intersect_interval(self):
+        u = IntervalUnion.from_pairs([(0, 2), (4, 6)])
+        assert u.intersect_interval(Interval(1, 5)).length == 2
+
+    def test_delta_ratio_empty(self):
+        assert Instance([]).delta_ratio == 1
+
+
+class TestEngineCorners:
+    def test_machine_jobs_includes_finished(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(3, 1, 5, id=1)])
+        eng = simulate(FirstFitEDF(), inst, machines=1)
+        assert len(eng.machine_jobs(0)) == 2  # both, including finished
+
+    def test_event_budget_exhaustion(self):
+        from repro.online.base import Policy
+
+        class Thrasher(Policy):
+            migratory = True
+
+            def select(self, engine):
+                return {}
+
+            def next_wakeup(self, engine):
+                # pathological: wake up in vanishing increments forever
+                return engine.time + Fraction(1, 10**6)
+
+        eng = OnlineEngine(Thrasher(), machines=1)
+        eng.release([Job(0, 1, 10**9, id=0)])
+        with pytest.raises(EngineError, match="budget"):
+            eng.run_to_completion()
+
+    def test_used_machines_with_migration(self):
+        from repro.online.llf import LLF
+
+        inst = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+        eng = simulate(LLF(), inst, machines=2)
+        assert eng.used_machines == {0, 1}
+
+    def test_stable_assignment_keeps_running_job(self):
+        inst = Instance([Job(0, 4, 10, id=0), Job(1, 1, 3, id=1)])
+        from repro.online.edf import EDF
+
+        eng = simulate(EDF(), inst, machines=2)
+        # job 0 ran from t=0; it must never have hopped machines
+        assert len({s.machine for s in eng.schedule().job_segments(0)}) == 1
+
+    def test_run_speed_fit_wrapper(self, parallel_units):
+        engine = run_speed_fit(parallel_units, machines=1, speed=3)
+        assert not engine.missed_jobs
+
+
+class TestClassBaselineCorners:
+    def test_job_class_boundaries(self):
+        assert ClassBasedNonPreemptive.job_class(Job(0, 1, 9)) == 0
+        assert ClassBasedNonPreemptive.job_class(Job(0, 2, 9)) == 1
+        assert ClassBasedNonPreemptive.job_class(Job(0, 3, 9)) == 1
+        assert ClassBasedNonPreemptive.job_class(Job(0, 4, 9)) == 2
+
+    def test_fractional_processing_class(self):
+        assert ClassBasedNonPreemptive.job_class(Job(0, Fraction(1, 2), 9)) == -1
+
+
+class TestFallbackPaths:
+    def test_commit_fallback_least_loaded(self):
+        # both machines infeasible for the newcomer: least-loaded wins
+        inst = Instance(
+            [Job(0, 4, 4, id=0), Job(0, 2, 2, id=1), Job(0, 4, 4, id=2)]
+        )
+        eng = simulate(FirstFitEDF(), inst, machines=2)
+        # batch order is (deadline, id): job 1 → machine 0, job 0 → machine 1;
+        # job 2 fits nowhere and falls back to the least-loaded machine,
+        # which is machine 0 (remaining work 2 vs 4)
+        assert eng.committed_machine(2) == 0
+        assert eng.missed_jobs  # the overload is recorded honestly

@@ -1,0 +1,66 @@
+"""Determinism: every policy, adversary, and generator must replay
+identically — experiments are only reproducible if runs are."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.adversary.agreeable_lb import AgreeableAdversary
+from repro.core.adversary.migration_gap import MigrationGapAdversary
+from repro.generators import uniform_random_instance
+from repro.online.edf import EDF, NonPreemptiveEDF
+from repro.online.engine import simulate
+from repro.online.llf import LLF
+from repro.online.nonmigratory import (
+    BestFitEDF,
+    DeferredEDF,
+    EmptiestFitEDF,
+    FirstFitEDF,
+    SeededRandomFit,
+)
+
+POLICIES = [
+    lambda: EDF(),
+    lambda: LLF(),
+    lambda: NonPreemptiveEDF(),
+    lambda: FirstFitEDF(),
+    lambda: BestFitEDF(),
+    lambda: EmptiestFitEDF(),
+    lambda: DeferredEDF(),
+    lambda: SeededRandomFit(3),
+]
+
+
+@pytest.mark.parametrize("factory", POLICIES)
+def test_policy_replay_identical(factory):
+    inst = uniform_random_instance(25, seed=9)
+    runs = []
+    for _ in range(2):
+        engine = simulate(factory(), inst, machines=8)
+        runs.append(
+            (
+                tuple((s.job_id, s.machine, s.start, s.end)
+                      for s in engine.schedule()),
+                tuple(engine.missed_jobs),
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_migration_gap_adversary_replay():
+    results = []
+    for _ in range(2):
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=8)
+        res = adv.run(5)
+        results.append((res.n_jobs, res.critical_machines,
+                        res.node.critical_time))
+    assert results[0] == results[1]
+
+
+def test_agreeable_adversary_replay():
+    results = []
+    for _ in range(2):
+        adv = AgreeableAdversary(EDF(), m=40, machines=42)
+        res = adv.run(max_rounds=8)
+        results.append((res.missed, res.rounds_played, tuple(res.debts)))
+    assert results[0] == results[1]

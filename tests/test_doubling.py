@@ -1,0 +1,101 @@
+"""Tests for the guess-and-double wrapper (unknown optimum m)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.generators import laminar_random, loose_instance, uniform_random_instance
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+from repro.online.doubling import (
+    DoublingPolicy,
+    FirstFitAssigner,
+    LaminarAssigner,
+    run_doubling,
+)
+from repro.online.engine import min_machines
+from repro.online.nonmigratory import FirstFitEDF
+
+from tests.strategies import instances_st
+
+
+class TestMechanics:
+    def test_single_job_one_phase(self):
+        inst = Instance([Job(0, 1, 2, id=0)])
+        engine, policy = run_doubling(inst)
+        assert not engine.missed_jobs
+        assert len(policy.phases) == 1
+        assert policy.current_guess == 1
+
+    def test_phases_double(self):
+        inst = Instance([Job(0, 1, 1, id=i) for i in range(5)])  # needs 5 machines
+        engine, policy = run_doubling(inst)
+        assert not engine.missed_jobs
+        guesses = [p.guess for p in policy.phases]
+        assert guesses == [2**i for i in range(len(guesses))]
+        assert policy.current_guess >= 4
+
+    def test_machine_ranges_disjoint(self):
+        inst = uniform_random_instance(25, seed=3)
+        engine, policy = run_doubling(inst)
+        seen = set()
+        for phase in policy.phases:
+            assert not (set(phase.machines) & seen)
+            seen.update(phase.machines)
+
+    def test_nonmigratory_result(self):
+        inst = uniform_random_instance(30, seed=4)
+        engine, policy = run_doubling(inst)
+        assert not engine.missed_jobs
+        rep = engine.schedule().verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+
+class TestConstantFactorLoss:
+    """The paper's claim: guessing m costs only a constant factor."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_vs_known_m_first_fit(self, seed):
+        inst = uniform_random_instance(30, seed=seed)
+        known = min_machines(lambda k: FirstFitEDF(), inst)
+        engine, policy = run_doubling(inst)
+        assert not engine.missed_jobs
+        # geometric phase sum: at most ~4x the known-m requirement
+        assert policy.total_machines_opened <= 4 * known + 2
+
+    @given(instances_st(max_size=7))
+    @settings(max_examples=20, deadline=None)
+    def test_never_misses(self, inst):
+        engine, _ = run_doubling(inst)
+        assert not engine.missed_jobs
+
+    def test_budget_function_respected(self):
+        inst = uniform_random_instance(15, seed=9)
+        engine, policy = run_doubling(inst, budget_fn=lambda mu: 2 * mu)
+        for phase in policy.phases:
+            assert phase.size == 2 * phase.guess
+
+
+class TestLaminarDoubling:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_laminar_assigner(self, seed):
+        inst = laminar_random(25, seed=seed)
+        engine, policy = run_doubling(
+            inst, assigner_factory=lambda mu: LaminarAssigner()
+        )
+        assert not engine.missed_jobs
+        rep = engine.schedule().verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+    def test_laminar_doubling_vs_known(self):
+        from repro.core.laminar import LaminarAlgorithm
+
+        inst = laminar_random(25, density_range=(0.6, 0.9), seed=5)
+        known = LaminarAlgorithm().min_tight_machines(inst)
+        engine, policy = run_doubling(
+            inst, assigner_factory=lambda mu: LaminarAssigner()
+        )
+        assert not engine.missed_jobs
+        assert policy.total_machines_opened <= 4 * known + 4

@@ -1,0 +1,117 @@
+"""Stateful hypothesis testing of the online engine.
+
+A state machine drives the engine the way an adaptive adversary would —
+interleaving releases, horizon advances, and inspections — and checks the
+global invariants after every action:
+
+* the clock never runs backwards,
+* work is conserved (segments + remaining == processing for every job),
+* active jobs are exactly the released-unfinished-unmissed ones,
+* commitments are stable,
+* at the end, the executed schedule verifies against the released jobs
+  minus the missed ones.
+"""
+
+from fractions import Fraction
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.model import Instance, Job, Schedule
+from repro.online.engine import OnlineEngine
+from repro.online.nonmigratory import FirstFitEDF
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize(machines=st.integers(1, 4))
+    def setup(self, machines):
+        self.engine = OnlineEngine(FirstFitEDF(), machines=machines)
+        self.released = {}
+        self.next_id = 0
+        self.commitments = {}
+
+    @rule(
+        delay=st.integers(0, 5),
+        processing=st.integers(1, 4),
+        slack=st.integers(0, 6),
+    )
+    def release_job(self, delay, processing, slack):
+        r = self.engine.time + delay
+        job = Job(r, processing, r + processing + slack, id=self.next_id)
+        self.next_id += 1
+        self.released[job.id] = job
+        self.engine.release([job])
+
+    @rule(advance=st.integers(1, 8))
+    def run_forward(self, advance):
+        self.engine.run_until(self.engine.time + Fraction(advance, 2))
+
+    @rule()
+    def record_commitments(self):
+        for job_id in self.released:
+            machine = self.engine.committed_machine(job_id)
+            if machine is not None:
+                previous = self.commitments.setdefault(job_id, machine)
+                assert previous == machine, "commitment changed"
+
+    @invariant()
+    def work_conserved(self):
+        if not hasattr(self, "engine"):
+            return
+        schedule = self.engine.schedule()
+        for job_id, job in self.released.items():
+            state = self.engine.state_of(job_id)
+            done = schedule.work_of(job_id)
+            assert done + state.remaining == job.processing
+
+    @invariant()
+    def active_set_consistent(self):
+        if not hasattr(self, "engine"):
+            return
+        active_ids = {s.job.id for s in self.engine.active_jobs()}
+        for job_id, job in self.released.items():
+            state = self.engine.state_of(job_id)
+            should_be_active = (
+                job.release <= self.engine.time
+                and not state.finished
+                and not state.missed
+            )
+            assert (job_id in active_ids) == should_be_active
+
+    @invariant()
+    def no_unreported_misses(self):
+        if not hasattr(self, "engine"):
+            return
+        for job_id, job in self.released.items():
+            state = self.engine.state_of(job_id)
+            if job.deadline < self.engine.time and state.remaining > 0:
+                assert state.missed
+
+    def teardown(self):
+        if not hasattr(self, "engine"):
+            return
+        self.engine.run_to_completion()
+        survivors = [
+            job
+            for job_id, job in self.released.items()
+            if not self.engine.state_of(job_id).missed
+        ]
+        if survivors:
+            schedule = self.engine.schedule().restricted_to_jobs(
+                j.id for j in survivors
+            )
+            report = schedule.verify(Instance(survivors))
+            assert report.feasible, report.violations[:3]
+            assert report.is_non_migratory
+
+
+EngineMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestEngineStateful = EngineMachine.TestCase

@@ -1,0 +1,144 @@
+"""Tests for the flow-based migratory optimum and schedule extraction."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.model import Instance, Job, Schedule
+from repro.offline.flow import (
+    max_flow_assignment,
+    mcnaughton,
+    migratory_feasible,
+    migratory_schedule,
+)
+from repro.offline.optimum import (
+    migratory_optimum,
+    optimal_migratory_schedule,
+    window_concurrency,
+)
+from repro.offline.workload import trivial_lower_bounds
+
+from tests.strategies import instances_st
+
+
+class TestFeasibility:
+    def test_empty_instance(self):
+        assert migratory_feasible(Instance([]), 0)
+
+    def test_zero_machines_infeasible(self):
+        assert not migratory_feasible(Instance([Job(0, 1, 1, id=0)]), 0)
+
+    def test_single_job(self):
+        inst = Instance([Job(0, 1, 1, id=0)])
+        assert migratory_feasible(inst, 1)
+
+    def test_parallel_units(self, parallel_units):
+        assert not migratory_feasible(parallel_units, 2)
+        assert migratory_feasible(parallel_units, 3)
+
+    def test_mcnaughton_case(self, mcnaughton_instance):
+        assert not migratory_feasible(mcnaughton_instance, 1)
+        assert migratory_feasible(mcnaughton_instance, 2)
+
+    def test_speed_augmentation_helps(self, parallel_units):
+        # 3 unit jobs in [0,1) fit on 2 speed-(3/2) machines
+        assert migratory_feasible(parallel_units, 2, speed=Fraction(3, 2))
+
+    def test_fractional_data(self):
+        inst = Instance(
+            [Job(Fraction(1, 3), Fraction(1, 2), Fraction(7, 6), id=0),
+             Job(Fraction(1, 3), Fraction(1, 2), Fraction(7, 6), id=1)]
+        )
+        assert migratory_feasible(inst, 2)
+        assert not migratory_feasible(inst, 1)
+
+
+class TestAssignment:
+    def test_work_conserved(self, mcnaughton_instance):
+        feasible, work, intervals = max_flow_assignment(mcnaughton_instance, 2)
+        assert feasible
+        for job in mcnaughton_instance:
+            assert sum(work[job.id].values()) == job.processing
+
+    def test_interval_capacity_respected(self, mcnaughton_instance):
+        _, work, intervals = max_flow_assignment(mcnaughton_instance, 2)
+        for k, (a, b) in enumerate(intervals):
+            total = sum(row.get(k, 0) for row in work.values())
+            assert total <= 2 * (b - a)
+            for row in work.values():
+                assert row.get(k, 0) <= b - a
+
+
+class TestMcNaughton:
+    def test_simple_wrap(self):
+        segs = mcnaughton([(0, Fraction(2)), (1, Fraction(2)), (2, Fraction(2))],
+                          Fraction(0), Fraction(3), 2)
+        sched = Schedule(segs)
+        # one job must migrate (wraps around the boundary)
+        by_job = {j: {s.machine for s in sched.job_segments(j)} for j in (0, 1, 2)}
+        assert any(len(ms) == 2 for ms in by_job.values())
+
+    def test_piece_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            mcnaughton([(0, Fraction(4))], Fraction(0), Fraction(3), 2)
+
+    def test_capacity_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            mcnaughton([(0, Fraction(3)), (1, Fraction(3)), (2, Fraction(1))],
+                       Fraction(0), Fraction(3), 2)
+
+    def test_machine_offset(self):
+        segs = mcnaughton([(0, Fraction(1))], Fraction(0), Fraction(1), 1,
+                          machine_offset=5)
+        assert segs[0].machine == 5
+
+
+class TestOptimum:
+    def test_empty(self):
+        assert migratory_optimum(Instance([])) == 0
+
+    def test_known_values(self, parallel_units, mcnaughton_instance):
+        assert migratory_optimum(parallel_units) == 3
+        assert migratory_optimum(mcnaughton_instance) == 2
+
+    def test_window_concurrency_upper_bound(self, mcnaughton_instance):
+        assert window_concurrency(mcnaughton_instance) == 3
+
+    def test_schedule_matches_optimum(self, mcnaughton_instance):
+        m, sched = optimal_migratory_schedule(mcnaughton_instance)
+        rep = sched.verify(mcnaughton_instance)
+        assert rep.feasible
+        assert rep.machines_used <= m == 2
+
+    @given(instances_st(max_size=7))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_properties(self, inst):
+        m = migratory_optimum(inst)
+        assert trivial_lower_bounds(inst) <= m <= window_concurrency(inst)
+        assert migratory_feasible(inst, m)
+        if m > 1:
+            assert not migratory_feasible(inst, m - 1)
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_extracted_schedule_verifies(self, inst):
+        m, sched = optimal_migratory_schedule(inst)
+        assert sched is not None
+        rep = sched.verify(inst)
+        assert rep.feasible
+        assert rep.machines_used <= m
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_monotone_under_job_removal(self, inst):
+        m = migratory_optimum(inst)
+        sub = Instance(list(inst)[:-1])
+        assert migratory_optimum(sub) <= m
+
+    @given(instances_st(max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_speed_monotone(self, inst):
+        m1 = migratory_optimum(inst)
+        m2 = migratory_optimum(inst, speed=2)
+        assert m2 <= m1

@@ -1,0 +1,183 @@
+"""Property tests for all workload generators."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    agreeable_instance,
+    agreeable_tight_instance,
+    bursty_instance,
+    delta_sweep,
+    edf_trap_instance,
+    identical_jobs_batches,
+    laminar_chain,
+    laminar_instance,
+    laminar_random,
+    loose_instance,
+    mixed_instance,
+    tight_instance,
+    uniform_random_instance,
+    unit_jobs_instance,
+)
+
+SEEDS = st.integers(0, 1000)
+
+
+class TestUniform:
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_size_and_integrality(self, seed):
+        inst = uniform_random_instance(25, seed=seed)
+        assert len(inst) == 25
+        assert all(j.release.denominator == 1 for j in inst)
+        assert all(j.processing.denominator == 1 for j in inst)
+
+    def test_deterministic_by_seed(self):
+        assert uniform_random_instance(10, seed=3) == uniform_random_instance(10, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert uniform_random_instance(10, seed=3) != uniform_random_instance(10, seed=4)
+
+    def test_bursty_releases(self):
+        inst = bursty_instance(bursts=3, jobs_per_burst=4, burst_gap=10)
+        releases = {j.release for j in inst}
+        assert releases == {0, 10, 20}
+
+    def test_unit_jobs(self):
+        inst = unit_jobs_instance(15, seed=1)
+        assert all(j.processing == 1 for j in inst)
+        assert all(j.window == 3 for j in inst)
+
+
+class TestTightLoose:
+    @given(SEEDS, st.sampled_from([Fraction(1, 4), Fraction(1, 3), Fraction(1, 2)]))
+    @settings(max_examples=25, deadline=None)
+    def test_loose_instances_loose(self, seed, alpha):
+        assert loose_instance(20, alpha, seed=seed).is_loose(alpha)
+
+    @given(SEEDS, st.sampled_from([Fraction(1, 3), Fraction(1, 2), Fraction(2, 3)]))
+    @settings(max_examples=25, deadline=None)
+    def test_tight_instances_tight(self, seed, alpha):
+        inst = tight_instance(20, alpha, seed=seed)
+        assert all(j.is_tight(alpha) for j in inst)
+
+    def test_alpha_domain(self):
+        with pytest.raises(ValueError):
+            loose_instance(5, 0)
+        with pytest.raises(ValueError):
+            tight_instance(5, 1)
+
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_mixed_split(self, seed):
+        alpha = Fraction(1, 2)
+        inst = mixed_instance(20, alpha, loose_fraction=0.5, seed=seed)
+        loose, tight = inst.split_by_looseness(alpha)
+        assert len(loose) >= 10  # declared loose jobs, plus any borderline tight draws
+        assert len(inst) == 20
+
+
+class TestAgreeable:
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_agreeable_property(self, seed):
+        assert agreeable_instance(30, seed=seed).is_agreeable()
+
+    @given(SEEDS)
+    @settings(max_examples=25, deadline=None)
+    def test_agreeable_tight_property(self, seed):
+        alpha = Fraction(1, 2)
+        inst = agreeable_tight_instance(30, alpha, seed=seed)
+        assert inst.is_agreeable()
+        assert all(j.is_tight(alpha) for j in inst)
+
+    def test_identical_batches(self):
+        inst = identical_jobs_batches(4, 3, period=2, window=5)
+        assert inst.is_agreeable()
+        assert len(inst) == 12
+        assert len({j.processing for j in inst}) == 1
+
+
+class TestLaminar:
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_tree_laminar(self, seed):
+        inst = laminar_instance(depth=3, fanout=2, jobs_per_node=2, seed=seed)
+        assert inst.is_laminar()
+        assert len(inst) == 2 * (2**4 - 1)
+
+    @given(SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_random_laminar(self, seed):
+        inst = laminar_random(40, seed=seed)
+        assert inst.is_laminar()
+        assert len(inst) == 40
+
+    def test_chain_nesting(self):
+        inst = laminar_chain(6)
+        assert inst.is_laminar()
+        jobs = sorted(inst, key=lambda j: j.window, reverse=True)
+        for outer, inner in zip(jobs, jobs[1:]):
+            assert outer.release < inner.release
+            assert inner.deadline < outer.deadline
+
+    def test_density_domain(self):
+        with pytest.raises(ValueError):
+            laminar_instance(depth=2, density=Fraction(3, 2))
+
+
+class TestSeparation:
+    def test_trap_contents(self):
+        inst = edf_trap_instance(6)
+        anchors = [j for j in inst if j.laxity == 0]
+        baits = [j for j in inst if j.laxity > 0]
+        assert len(anchors) == 1 and len(baits) == 5
+        assert inst.delta_ratio == 6
+
+    def test_delta_sweep(self):
+        sweeps = delta_sweep([3, 5, 7])
+        assert [i.delta_ratio for i in sweeps] == [3, 5, 7]
+
+
+class TestArrivalPatterns:
+    def test_poisson_basic(self):
+        from repro.generators import poisson_instance
+
+        inst = poisson_instance(30, seed=1)
+        assert len(inst) == 30
+        releases = [j.release for j in inst]
+        assert releases == sorted(releases)
+        assert poisson_instance(30, seed=1) == poisson_instance(30, seed=1)
+
+    def test_poisson_bounded_density(self):
+        from repro.generators import poisson_instance
+
+        inst = poisson_instance(25, slack_factor=4, seed=2)
+        assert inst.max_density <= Fraction(1, 5)
+
+    def test_heavy_tailed_delta(self):
+        from repro.generators import heavy_tailed_instance
+
+        inst = heavy_tailed_instance(200, seed=3)
+        assert inst.delta_ratio > 5  # elephants and mice present
+
+    def test_heavy_tailed_truncation(self):
+        from repro.generators import heavy_tailed_instance
+
+        inst = heavy_tailed_instance(100, max_processing=50, seed=4)
+        assert max(j.processing for j in inst) <= 50
+
+    def test_diurnal_concentration(self):
+        from repro.generators import diurnal_instance
+
+        inst = diurnal_instance(200, period=100, peak_share=0.9, seed=5)
+        day = sum(1 for j in inst if (j.release % 100) < 50)
+        assert day > 150  # strongly day-weighted
+
+    def test_diurnal_deterministic(self):
+        from repro.generators import diurnal_instance
+
+        assert diurnal_instance(20, seed=6) == diurnal_instance(20, seed=6)

@@ -1,0 +1,185 @@
+"""Unit and property tests for instances and their classifications."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.model import Instance, Job, dominates, paper_order_key
+
+from tests.strategies import instances_st
+
+
+class TestOrderAndContainer:
+    def test_canonical_order(self):
+        a = Job(0, 1, 10, id=0)
+        b = Job(0, 1, 5, id=1)
+        c = Job(2, 1, 4, id=2)
+        inst = Instance([c, b, a])
+        assert [j.id for j in inst] == [0, 1, 2]  # release asc, deadline desc
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Instance([Job(0, 1, 2, id=1), Job(0, 1, 3, id=1)])
+
+    def test_lookup(self):
+        inst = Instance([Job(0, 1, 2, id=5)])
+        assert inst.job(5).id == 5
+        assert 5 in inst and 6 not in inst
+
+    def test_len_getitem(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(1, 1, 3, id=1)])
+        assert len(inst) == 2
+        assert inst[0].id == 0
+
+    def test_immutable(self):
+        inst = Instance([])
+        with pytest.raises(AttributeError):
+            inst.jobs = ()
+
+    def test_equality(self):
+        a = Instance([Job(0, 1, 2, id=0)])
+        b = Instance([Job(0, 1, 2, id=0)])
+        assert a == b
+
+
+class TestDomination:
+    def test_strict_containment(self):
+        big = Job(0, 1, 10, id=0)
+        small = Job(2, 1, 5, id=1)
+        assert dominates(big, small)
+        assert not dominates(small, big)
+
+    def test_equal_windows_by_index(self):
+        a = Job(0, 1, 5, id=0)
+        b = Job(0, 1, 5, id=1)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_no_self_domination(self):
+        j = Job(0, 1, 5, id=0)
+        assert not dominates(j, j)
+
+
+class TestMeasurements:
+    def test_total_work(self):
+        inst = Instance([Job(0, 2, 4, id=0), Job(1, 3, 7, id=1)])
+        assert inst.total_work == 5
+
+    def test_span(self):
+        inst = Instance([Job(1, 1, 4, id=0), Job(3, 1, 9, id=1)])
+        assert inst.span.start == 1 and inst.span.end == 9
+
+    def test_span_empty(self):
+        assert Instance([]).span.is_empty()
+
+    def test_delta_ratio(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(0, 8, 10, id=1)])
+        assert inst.delta_ratio == 8
+
+    def test_covering(self):
+        inst = Instance([Job(0, 1, 4, id=0), Job(2, 1, 6, id=1)])
+        assert [j.id for j in inst.covering(3)] == [0, 1]
+        assert [j.id for j in inst.covering(5)] == [1]
+
+    def test_intervals_union(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(5, 1, 7, id=1)])
+        assert inst.intervals().length == 4
+
+    def test_max_density(self):
+        inst = Instance([Job(0, 1, 4, id=0), Job(0, 3, 4, id=1)])
+        assert inst.max_density == Fraction(3, 4)
+
+    def test_zero_laxity_concurrency(self):
+        inst = Instance([Job(0, 2, 2, id=0), Job(1, 2, 3, id=1), Job(0, 1, 9, id=2)])
+        assert inst.zero_laxity_concurrency() == 2
+
+
+class TestClassification:
+    def test_agreeable_positive(self):
+        inst = Instance([Job(0, 1, 3, id=0), Job(1, 1, 4, id=1), Job(2, 1, 4, id=2)])
+        assert inst.is_agreeable()
+
+    def test_agreeable_negative(self):
+        inst = Instance([Job(0, 1, 10, id=0), Job(1, 1, 4, id=1)])
+        assert not inst.is_agreeable()
+
+    def test_agreeable_equal_releases_any_deadlines(self):
+        inst = Instance([Job(0, 1, 10, id=0), Job(0, 1, 4, id=1)])
+        assert inst.is_agreeable()
+
+    def test_laminar_positive_nested(self):
+        inst = Instance([Job(0, 1, 10, id=0), Job(2, 1, 5, id=1), Job(6, 1, 9, id=2)])
+        assert inst.is_laminar()
+
+    def test_laminar_negative_proper_overlap(self):
+        inst = Instance([Job(0, 1, 5, id=0), Job(3, 1, 8, id=1)])
+        assert not inst.is_laminar()
+
+    def test_laminar_disjoint_ok(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(3, 1, 5, id=1)])
+        assert inst.is_laminar()
+
+    def test_laminar_deep_nesting(self):
+        jobs = [Job(i, 1, 20 - i, id=i) for i in range(8)]
+        assert Instance(jobs).is_laminar()
+
+    def test_laminar_sibling_overlap_detected(self):
+        # two children of a big window that improperly overlap each other
+        inst = Instance(
+            [Job(0, 1, 20, id=0), Job(2, 1, 10, id=1), Job(8, 1, 15, id=2)]
+        )
+        assert not inst.is_laminar()
+
+    def test_is_loose(self):
+        inst = Instance([Job(0, 1, 4, id=0), Job(0, 2, 8, id=1)])
+        assert inst.is_loose(Fraction(1, 4))
+        assert not inst.is_loose(Fraction(1, 5))
+
+    def test_split_by_looseness(self):
+        loosej = Job(0, 1, 4, id=0)
+        tightj = Job(0, 3, 4, id=1)
+        loose, tight = Instance([loosej, tightj]).split_by_looseness(Fraction(1, 2))
+        assert [j.id for j in loose] == [0]
+        assert [j.id for j in tight] == [1]
+
+    @given(instances_st())
+    @settings(max_examples=60)
+    def test_split_partitions(self, inst):
+        loose, tight = inst.split_by_looseness(Fraction(1, 2))
+        assert len(loose) + len(tight) == len(inst)
+        assert all(j.is_loose(Fraction(1, 2)) for j in loose)
+        assert all(j.is_tight(Fraction(1, 2)) for j in tight)
+
+
+class TestTransforms:
+    def test_inflated(self):
+        inst = Instance([Job(0, 2, 8, id=0)]).inflated(2)
+        assert inst[0].processing == 4
+
+    def test_trims(self):
+        inst = Instance([Job(0, 2, 6, id=0)])
+        assert inst.trim_left(Fraction(1, 2))[0].release == 2
+        assert inst.trim_right(Fraction(1, 2))[0].deadline == 4
+
+    def test_scaled_with_offset(self):
+        inst = Instance([Job(0, 1, 2, id=0)]).scaled(2, 3, id_offset=10)
+        assert inst[0].id == 10
+        assert inst[0].release == 3 and inst[0].deadline == 7
+
+    def test_renumbered(self):
+        inst = Instance([Job(0, 1, 2, id=42), Job(1, 1, 3, id=7)]).renumbered()
+        assert [j.id for j in inst] == [0, 1]
+
+    def test_merged(self):
+        a = Instance([Job(0, 1, 2, id=0)])
+        b = Instance([Job(1, 1, 3, id=1)])
+        assert len(a.merged(b)) == 2
+
+    @given(instances_st())
+    @settings(max_examples=40)
+    def test_classifications_invariant_under_scaling(self, inst):
+        scaled = inst.scaled(3, 7)
+        assert scaled.is_agreeable() == inst.is_agreeable()
+        assert scaled.is_laminar() == inst.is_laminar()
+        assert scaled.max_density == inst.max_density

@@ -1,0 +1,253 @@
+"""Unit and property tests for exact interval-union arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.intervals import Interval, IntervalUnion, event_points, to_fraction
+
+
+# -- strategies ---------------------------------------------------------------
+
+def _union_st(max_components: int = 5, span: int = 40):
+    @st.composite
+    def build(draw):
+        k = draw(st.integers(0, max_components))
+        pairs = []
+        for _ in range(k):
+            a = draw(st.integers(0, span - 1))
+            b = draw(st.integers(a + 1, span))
+            pairs.append((Fraction(a, 2), Fraction(b, 2)))
+        return IntervalUnion.from_pairs(pairs)
+
+    return build()
+
+
+# -- to_fraction ---------------------------------------------------------------
+
+class TestToFraction:
+    def test_int(self):
+        assert to_fraction(3) == Fraction(3)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(7, 3)
+        assert to_fraction(f) is f
+
+    def test_float(self):
+        assert to_fraction(0.5) == Fraction(1, 2)
+
+    def test_string(self):
+        assert to_fraction("3/4") == Fraction(3, 4)
+
+
+# -- Interval -------------------------------------------------------------------
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1, 4).length == 3
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_empty(self):
+        assert Interval(2, 2).is_empty()
+        assert not Interval(2, 3).is_empty()
+
+    def test_contains_half_open(self):
+        iv = Interval(1, 3)
+        assert iv.contains(1)
+        assert iv.contains(Fraction(5, 2))
+        assert not iv.contains(3)
+        assert not iv.contains(0)
+
+    def test_intersects(self):
+        assert Interval(0, 2).intersects(Interval(1, 3))
+        assert not Interval(0, 2).intersects(Interval(2, 3))  # touching is empty
+
+    def test_intersection(self):
+        assert Interval(0, 4).intersection(Interval(2, 6)) == Interval(2, 4)
+
+    def test_disjoint_intersection_empty(self):
+        assert Interval(0, 1).intersection(Interval(3, 4)).is_empty()
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+        assert Interval(0, 1).contains_interval(Interval(5, 5))  # empty ⊆ all
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(Fraction(1), Fraction(2))
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+
+
+# -- normalization -----------------------------------------------------------------
+
+class TestNormalization:
+    def test_merges_overlap(self):
+        u = IntervalUnion.from_pairs([(0, 2), (1, 3)])
+        assert u.components == (Interval(0, 3),)
+
+    def test_merges_touching(self):
+        u = IntervalUnion.from_pairs([(0, 1), (1, 2)])
+        assert u.components == (Interval(0, 2),)
+
+    def test_keeps_gap(self):
+        u = IntervalUnion.from_pairs([(0, 1), (2, 3)])
+        assert len(u) == 2
+
+    def test_drops_empty(self):
+        u = IntervalUnion([Interval(1, 1), Interval(2, 3)])
+        assert u.components == (Interval(2, 3),)
+
+    def test_sorts(self):
+        u = IntervalUnion.from_pairs([(5, 6), (0, 1)])
+        assert u.components == (Interval(0, 1), Interval(5, 6))
+
+    @given(_union_st())
+    def test_idempotent(self, u):
+        assert IntervalUnion(u.components) == u
+
+    @given(_union_st())
+    def test_components_disjoint_sorted(self, u):
+        for a, b in zip(u.components, u.components[1:]):
+            assert a.end < b.start
+
+
+# -- measurements ---------------------------------------------------------------
+
+class TestMeasure:
+    def test_length_sum(self):
+        u = IntervalUnion.from_pairs([(0, 1), (2, 4)])
+        assert u.length == 3
+
+    def test_empty_length(self):
+        assert IntervalUnion.empty().length == 0
+
+    def test_inf_sup(self):
+        u = IntervalUnion.from_pairs([(1, 2), (5, 9)])
+        assert u.infimum == 1
+        assert u.supremum == 9
+
+    def test_inf_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalUnion.empty().infimum
+
+    def test_contains(self):
+        u = IntervalUnion.from_pairs([(0, 1), (2, 3)])
+        assert u.contains(0) and u.contains(2)
+        assert not u.contains(1) and not u.contains(3)
+
+
+# -- set algebra -----------------------------------------------------------------
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = IntervalUnion.single(0, 2)
+        b = IntervalUnion.single(1, 3)
+        assert a.union(b) == IntervalUnion.single(0, 3)
+
+    def test_intersection(self):
+        a = IntervalUnion.from_pairs([(0, 2), (4, 6)])
+        b = IntervalUnion.from_pairs([(1, 5)])
+        assert a.intersection(b) == IntervalUnion.from_pairs([(1, 2), (4, 5)])
+
+    def test_difference(self):
+        a = IntervalUnion.single(0, 10)
+        b = IntervalUnion.from_pairs([(2, 3), (5, 7)])
+        assert a.difference(b) == IntervalUnion.from_pairs([(0, 2), (3, 5), (7, 10)])
+
+    def test_difference_total(self):
+        a = IntervalUnion.single(0, 5)
+        assert a.difference(IntervalUnion.single(0, 5)).is_empty()
+
+    def test_contains_union(self):
+        big = IntervalUnion.single(0, 10)
+        small = IntervalUnion.from_pairs([(1, 2), (8, 9)])
+        assert big.contains_union(small)
+        assert not small.contains_union(big)
+
+    @given(_union_st(), _union_st())
+    @settings(max_examples=60)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(_union_st(), _union_st())
+    @settings(max_examples=60)
+    def test_intersection_commutative(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(_union_st(), _union_st())
+    @settings(max_examples=60)
+    def test_inclusion_exclusion_length(self, a, b):
+        assert a.union(b).length == a.length + b.length - a.intersection(b).length
+
+    @given(_union_st(), _union_st())
+    @settings(max_examples=60)
+    def test_difference_partitions(self, a, b):
+        # |a| = |a\b| + |a∩b|
+        assert a.length == a.difference(b).length + a.intersection(b).length
+
+    @given(_union_st(), _union_st())
+    @settings(max_examples=60)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        assert a.difference(b).intersection(b).is_empty()
+
+
+# -- transforms -------------------------------------------------------------------
+
+class TestTransforms:
+    def test_scale_shift(self):
+        u = IntervalUnion.single(1, 3).scale_shift(2, 5)
+        assert u == IntervalUnion.single(7, 11)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntervalUnion.single(0, 1).scale_shift(0, 0)
+
+    def test_expand_left_single(self):
+        u = IntervalUnion.single(4, 6).expand_left(Fraction(1, 2))
+        # length doubles to the left: [2, 6)
+        assert u == IntervalUnion.single(2, 6)
+
+    def test_expand_left_carries_overflow(self):
+        u = IntervalUnion.from_pairs([(0, 1), (Fraction(3, 2), Fraction(5, 2))])
+        ex = u.expand_left(Fraction(1, 2))
+        # total must be |I|/(1-γ) = 4 and the right expansion is blocked at 1
+        assert ex.length == 4
+        assert ex.contains_union(u)
+
+    @given(_union_st(max_components=4), st.integers(1, 9))
+    @settings(max_examples=80)
+    def test_expand_left_measure_exact(self, u, g):
+        gamma = Fraction(g, 10)
+        if u.is_empty():
+            assert u.expand_left(gamma).is_empty()
+        else:
+            ex = u.expand_left(gamma)
+            assert ex.length == u.length / (1 - gamma)
+            assert ex.contains_union(u)
+
+    def test_expand_left_gamma_validation(self):
+        with pytest.raises(ValueError):
+            IntervalUnion.single(0, 1).expand_left(0)
+        with pytest.raises(ValueError):
+            IntervalUnion.single(0, 1).expand_left(1)
+
+
+# -- misc -----------------------------------------------------------------------
+
+class TestMisc:
+    def test_event_points(self):
+        pts = event_points([Interval(0, 3), Interval(1, 3)])
+        assert pts == (0, 1, 3)
+
+    def test_immutability(self):
+        u = IntervalUnion.single(0, 1)
+        with pytest.raises(AttributeError):
+            u.components = ()
+
+    def test_repr_roundtrip_smoke(self):
+        assert "IntervalUnion" in repr(IntervalUnion.single(0, 1))

@@ -1,0 +1,92 @@
+"""Round-trip tests for JSON serialization."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.model import Instance, Job, Schedule, Segment
+from repro.model.io import (
+    dumps,
+    instance_from_dict,
+    instance_to_dict,
+    load,
+    loads,
+    save,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+from tests.strategies import instances_st
+
+
+class TestInstanceRoundTrip:
+    def test_simple(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(1, 2, 5, id=1, label="x")])
+        again = loads(dumps(inst))
+        assert again == inst
+        assert again.job(1).label == "x"
+
+    def test_fractional_data_lossless(self):
+        inst = Instance([Job(Fraction(1, 3), Fraction(10, 7), Fraction(22, 7), id=0)])
+        again = loads(dumps(inst))
+        assert again[0].release == Fraction(1, 3)
+        assert again[0].processing == Fraction(10, 7)
+
+    @given(instances_st())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, inst):
+        assert loads(dumps(inst)) == inst
+
+    def test_adversarial_denominators(self):
+        """The Lemma 2 instances have huge denominators; must survive."""
+        from repro.core.adversary.migration_gap import MigrationGapAdversary
+        from repro.online.nonmigratory import FirstFitEDF
+
+        res = MigrationGapAdversary(FirstFitEDF(), machines=8).run(5)
+        inst = res.instance
+        assert loads(dumps(inst)) == inst
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            instance_from_dict({"kind": "schedule", "segments": []})
+
+
+class TestScheduleRoundTrip:
+    def test_simple(self):
+        sched = Schedule([Segment(0, 0, 0, 1), Segment(1, 2, Fraction(1, 2), 3)])
+        again = loads(dumps(sched))
+        assert list(again) == list(sched)
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            schedule_from_dict({"kind": "instance", "jobs": []})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            loads('{"kind": "mystery"}')
+
+    def test_dumps_type_checked(self):
+        with pytest.raises(TypeError):
+            dumps(42)
+
+
+class TestFileIO:
+    def test_save_load(self, tmp_path):
+        inst = Instance([Job(0, 1, 3, id=0)])
+        path = tmp_path / "inst.json"
+        save(inst, str(path))
+        assert load(str(path)) == inst
+
+    def test_save_load_schedule(self, tmp_path):
+        sched = Schedule([Segment(0, 1, 0, 2)])
+        path = tmp_path / "sched.json"
+        save(sched, str(path))
+        loaded = load(str(path))
+        assert isinstance(loaded, Schedule)
+        assert loaded.machines_used == 1
+
+    def test_integer_encoding_compact(self):
+        inst = Instance([Job(0, 1, 2, id=0)])
+        text = dumps(inst)
+        assert '"release": 0' in text  # ints stay ints, not "0/1"

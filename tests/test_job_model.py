@@ -1,0 +1,147 @@
+"""Unit and property tests for the job model."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Job
+
+from tests.strategies import jobs_st
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        j = Job(1, 2, 5, id=7)
+        assert (j.release, j.processing, j.deadline, j.id) == (1, 2, 5, 7)
+
+    def test_rationals_coerced(self):
+        j = Job("1/2", "1/4", 1)
+        assert j.release == Fraction(1, 2)
+        assert j.processing == Fraction(1, 4)
+
+    def test_zero_processing_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0, 0, 1)
+
+    def test_window_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0, 3, 2)
+
+    def test_zero_laxity_allowed(self):
+        assert Job(0, 2, 2).laxity == 0
+
+    def test_auto_ids_distinct(self):
+        assert Job(0, 1, 2).id != Job(0, 1, 2).id
+
+
+class TestDerived:
+    def test_window(self):
+        assert Job(1, 2, 6).window == 5
+
+    def test_laxity(self):
+        assert Job(1, 2, 6).laxity == 3
+
+    def test_interval(self):
+        j = Job(1, 2, 6)
+        assert j.interval.start == 1 and j.interval.end == 6
+
+    def test_latest_start(self):
+        assert Job(1, 2, 6).latest_start == 4  # r + ℓ
+
+    def test_earliest_finish(self):
+        assert Job(1, 2, 6).earliest_finish == 3  # d − ℓ
+
+    def test_density(self):
+        assert Job(0, 2, 8).density == Fraction(1, 4)
+
+    def test_covers(self):
+        j = Job(1, 1, 3)
+        assert j.covers(1) and j.covers(2) and not j.covers(3)
+
+    @given(jobs_st())
+    @settings(max_examples=80)
+    def test_identities(self, j):
+        assert j.laxity == j.window - j.processing
+        assert j.latest_start == j.release + j.laxity
+        assert j.earliest_finish == j.deadline - j.laxity
+        assert j.latest_start + j.processing == j.deadline
+        assert j.release + j.processing == j.earliest_finish
+
+
+class TestClassification:
+    def test_loose_boundary_inclusive(self):
+        j = Job(0, 2, 4)  # density exactly 1/2
+        assert j.is_loose(Fraction(1, 2))
+        assert not j.is_tight(Fraction(1, 2))
+
+    def test_tight(self):
+        j = Job(0, 3, 4)
+        assert j.is_tight(Fraction(1, 2))
+
+    @given(jobs_st())
+    @settings(max_examples=60)
+    def test_loose_iff_density(self, j):
+        assert j.is_loose(j.density)
+        assert j.is_tight(j.density - Fraction(1, 1000)) or j.density <= Fraction(1, 1000)
+
+
+class TestTimeDependent:
+    def test_laxity_at_default_remaining(self):
+        j = Job(0, 2, 6)
+        assert j.laxity_at(0) == 4
+        assert j.laxity_at(3) == 1
+
+    def test_laxity_at_with_remaining(self):
+        j = Job(0, 2, 6)
+        assert j.laxity_at(3, remaining=1) == 2
+
+
+class TestTransforms:
+    def test_inflated(self):
+        j = Job(0, 2, 8).inflated(2)
+        assert j.processing == 4
+        assert j.release == 0 and j.deadline == 8
+
+    def test_inflated_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0, 2, 3).inflated(2)
+
+    def test_trim_left(self):
+        j = Job(0, 2, 6).trim_left(Fraction(1, 2))
+        assert j.release == 2 and j.deadline == 6 and j.processing == 2
+
+    def test_trim_right(self):
+        j = Job(0, 2, 6).trim_right(Fraction(1, 2))
+        assert j.release == 0 and j.deadline == 4
+
+    @given(jobs_st(), st.integers(1, 9))
+    @settings(max_examples=60)
+    def test_trims_preserve_processing(self, j, g):
+        gamma = Fraction(g, 10)
+        assert j.trim_left(gamma).processing == j.processing
+        assert j.trim_right(gamma).processing == j.processing
+        # trimmed windows remain feasible (γ < 1)
+        assert j.trim_left(gamma).laxity == (1 - gamma) * j.laxity
+        assert j.trim_right(gamma).laxity == (1 - gamma) * j.laxity
+
+    def test_scaled(self):
+        j = Job(1, 2, 5).scaled(2, 10)
+        assert (j.release, j.processing, j.deadline) == (12, 4, 20)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Job(0, 1, 2).scaled(-1, 0)
+
+    @given(jobs_st(), st.integers(1, 4), st.integers(0, 20))
+    @settings(max_examples=60)
+    def test_scaled_preserves_density(self, j, s, h):
+        assert j.scaled(s, h).density == j.density
+
+    def test_with_id_and_label(self):
+        j = Job(0, 1, 2, id=1).with_id(9).with_label("x")
+        assert j.id == 9 and j.label == "x"
+
+    def test_repr_contains_fields(self):
+        assert "r=0" in repr(Job(0, 1, 2))

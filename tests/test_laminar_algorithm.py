@@ -1,0 +1,148 @@
+"""Tests for the Theorem 9 laminar budget-assignment algorithm."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.laminar import (
+    LaminarAlgorithm,
+    LaminarAssignmentError,
+    LaminarBudgetPolicy,
+    _chain_key,
+    _min_by_domination,
+)
+from repro.generators import laminar_chain, laminar_instance, laminar_random
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+from repro.online.engine import simulate
+
+
+class TestChainOrder:
+    def test_smaller_window_is_minimal(self):
+        big = Job(0, 1, 10, id=0)
+        small = Job(2, 1, 5, id=1)
+        assert _min_by_domination([big, small]) is small
+
+    def test_equal_windows_later_index_minimal(self):
+        a = Job(0, 1, 5, id=0)
+        b = Job(0, 1, 5, id=1)
+        assert _min_by_domination([a, b]) is b
+
+    def test_chain_key_orders_nested(self):
+        jobs = [Job(i, 1, 20 - i, id=i) for i in range(5)]
+        ordered = sorted(jobs, key=_chain_key)
+        assert [j.id for j in ordered] == [4, 3, 2, 1, 0]
+
+
+class TestBudgetPolicy:
+    def test_empty_machine_taken_first(self):
+        inst = Instance([Job(0, 2, 4, id=0), Job(5, 2, 9, id=1)])
+        eng = simulate(LaminarBudgetPolicy(), inst, machines=3)
+        # disjoint windows: both jobs can share machine 0? No — assignment
+        # checks *intersecting* jobs only, so job 1 reuses machine 0.
+        assert eng.committed_machine(1) == 0
+
+    def test_assignment_failure_raises(self):
+        # nested zero-budget chain on one machine must fail quickly
+        inst = laminar_chain(6, density=Fraction(9, 10))
+        with pytest.raises(LaminarAssignmentError):
+            eng = simulate(LaminarBudgetPolicy(), inst, machines=1, on_miss="raise")
+
+    def test_succeeds_with_enough_machines(self):
+        inst = laminar_chain(6, density=Fraction(9, 10))
+        algo = LaminarAlgorithm()
+        m_prime = algo.min_tight_machines(inst)
+        sched = algo.run_tight_with_budget(inst, m_prime)
+        assert sched is not None
+        rep = sched.verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+    def test_machine_local_edf(self):
+        # two nested jobs forced on one machine: inner (earlier deadline) first
+        outer = Job(0, 2, 10, id=0)
+        inner = Job(1, 2, 5, id=1)
+        inst = Instance([outer, inner])
+        eng = simulate(LaminarBudgetPolicy(), inst, machines=2)
+        assert not eng.missed_jobs
+
+
+class TestLaminarAlgorithm:
+    def test_rejects_non_laminar(self):
+        inst = Instance([Job(0, 1, 5, id=0), Job(3, 1, 8, id=1)])
+        with pytest.raises(ValueError):
+            LaminarAlgorithm().run(inst)
+
+    def test_alpha_domain(self):
+        with pytest.raises(ValueError):
+            LaminarAlgorithm(2)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_feasible_nonmigratory_on_random_laminar(self, seed):
+        inst = laminar_random(30, seed=seed)
+        result = LaminarAlgorithm().run(inst)
+        rep = result.schedule.verify(inst)
+        assert rep.feasible
+        assert rep.is_non_migratory
+
+    def test_tree_instances(self):
+        inst = laminar_instance(depth=3, fanout=2, jobs_per_node=2, seed=1)
+        result = LaminarAlgorithm().run(inst)
+        assert result.schedule.verify(inst).feasible
+
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_theorem9_bound(self, depth):
+        """Theorem 9: O(m log m) machines; assert c·m·(log₂ m + 1) + O(m)."""
+        inst = laminar_instance(depth=depth, fanout=2, jobs_per_node=2, seed=2)
+        m = migratory_optimum(inst)
+        result = LaminarAlgorithm().run(inst)
+        bound = 8 * m * (math.log2(m) + 1) + 8
+        assert result.machines <= bound
+
+    def test_empty_instance(self):
+        result = LaminarAlgorithm().run(Instance([]))
+        assert result.machines == 0
+
+    def test_pure_tight_instance_no_loose_pool(self):
+        inst = laminar_chain(5, density=Fraction(4, 5))
+        result = LaminarAlgorithm(alpha=Fraction(1, 2)).run(inst)
+        assert result.loose_machines == 0
+        assert result.tight_machines >= 1
+
+    def test_chain_budget_scaling(self):
+        """Deeper chains should not blow up machine counts (the budget
+        scheme charges each level's |I| to a distinct candidate budget)."""
+        shallow = laminar_chain(4, density=Fraction(2, 3))
+        deep = laminar_chain(10, density=Fraction(2, 3))
+        algo = LaminarAlgorithm()
+        m_shallow = algo.min_tight_machines(shallow)
+        m_deep = algo.min_tight_machines(deep)
+        assert m_deep <= m_shallow + 6
+
+
+class TestLemma5Properties:
+    """Lemma 5(ii): on each machine, no two *unfinished* assigned jobs ever
+    share a deadline (given the assignment succeeded)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_unique_unfinished_deadlines_per_machine(self, seed):
+        from repro.generators import laminar_random
+        from repro.online.engine import OnlineEngine
+
+        inst = laminar_random(30, density_range=(0.6, 0.9), seed=seed)
+        algo = LaminarAlgorithm()
+        m_prime = algo.min_tight_machines(inst)
+        engine = OnlineEngine(LaminarBudgetPolicy(), machines=m_prime)
+        engine.release(inst)
+        events = sorted({j.release for j in inst} | {j.deadline for j in inst})
+        for t in events:
+            engine.run_until(t)
+            for machine in range(m_prime):
+                deadlines = [
+                    s.job.deadline for s in engine.machine_active_jobs(machine)
+                ]
+                assert len(deadlines) == len(set(deadlines)), (
+                    f"duplicate unfinished deadlines on machine {machine} at {t}"
+                )
+        engine.run_to_completion()
+        assert not engine.missed_jobs

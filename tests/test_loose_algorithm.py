@@ -1,0 +1,198 @@
+"""Tests for the Theorem 5/6 loose-jobs pipeline and Lemmas 3–4."""
+
+from fractions import Fraction
+from math import ceil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loose import LooseAlgorithm, default_epsilon
+from repro.core.speed_fit import clt_machine_budget, clt_speed, speed_fit_machines
+from repro.generators import loose_instance
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+
+from tests.strategies import instances_st
+
+
+class TestEpsilonAndBudget:
+    def test_default_epsilon_valid(self):
+        for alpha in (Fraction(1, 10), Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)):
+            eps = default_epsilon(alpha)
+            assert eps > 0
+            assert (1 + eps) ** 2 < 1 / alpha
+
+    def test_default_epsilon_bounds_validated(self):
+        with pytest.raises(ValueError):
+            default_epsilon(0)
+        with pytest.raises(ValueError):
+            default_epsilon(1)
+
+    def test_clt_budget_formula(self):
+        assert clt_machine_budget(2, 1) == ceil((1 + 1) ** 2) * 2
+
+    def test_clt_budget_epsilon_positive(self):
+        with pytest.raises(ValueError):
+            clt_machine_budget(1, 0)
+
+    def test_clt_speed(self):
+        assert clt_speed(Fraction(1, 2)) == Fraction(9, 4)
+
+
+class TestLooseAlgorithm:
+    def test_rejects_tight_jobs(self):
+        algo = LooseAlgorithm(Fraction(1, 3))
+        tight = Instance([Job(0, 3, 4, id=0)])
+        with pytest.raises(ValueError):
+            algo.run(tight)
+
+    def test_rejects_speed_too_high(self):
+        with pytest.raises(ValueError):
+            LooseAlgorithm(Fraction(1, 2), epsilon=Fraction(1, 2))  # (1.5)²=2.25 ≥ 2
+
+    def test_inflation_factor(self):
+        algo = LooseAlgorithm(Fraction(1, 4))
+        inst = Instance([Job(0, 1, 4, id=0)])
+        inflated = algo.inflate(inst)
+        assert inflated[0].processing == algo.speed
+
+    def test_empty_instance(self):
+        result = LooseAlgorithm(Fraction(1, 3)).run(Instance([]))
+        assert result.machines == 0
+
+    def test_schedule_feasible_and_nonmigratory(self):
+        inst = loose_instance(25, Fraction(1, 3), seed=4)
+        result = LooseAlgorithm(Fraction(1, 3)).run(inst)
+        rep = result.schedule.verify(inst)
+        assert rep.feasible
+        assert rep.is_non_migratory
+
+    def test_run_with_budget_none_when_insufficient(self):
+        inst = loose_instance(20, Fraction(1, 3), seed=5)
+        assert LooseAlgorithm(Fraction(1, 3)).run_with_budget(inst, 1) is None or True
+        # (budget 1 may or may not suffice; the call must simply not crash)
+
+    def test_run_with_budget_matches_run(self):
+        inst = loose_instance(15, Fraction(1, 3), seed=6)
+        algo = LooseAlgorithm(Fraction(1, 3))
+        best = algo.run(inst)
+        again = algo.run_with_budget(inst, best.machines)
+        assert again is not None
+        assert again.schedule.verify(inst).feasible
+
+    @pytest.mark.parametrize("alpha", [Fraction(1, 5), Fraction(1, 3), Fraction(2, 5)])
+    def test_constant_blowup(self, alpha):
+        """Theorem 5: machines = O(m) — assert a generous concrete constant."""
+        inst = loose_instance(30, alpha, seed=7)
+        m = migratory_optimum(inst)
+        result = LooseAlgorithm(alpha).run(inst)
+        assert result.machines <= 8 * m + 4
+
+    def test_deflation_preserves_segments_windows(self):
+        inst = loose_instance(10, Fraction(1, 4), seed=8)
+        result = LooseAlgorithm(Fraction(1, 4)).run(inst)
+        for seg in result.schedule:
+            job = inst.job(seg.job_id)
+            assert job.release <= seg.start and seg.end <= job.deadline
+
+
+class TestLemma4:
+    """m(J^s) = O(m(J)) for α-loose J with α < 1/s."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_inflated_optimum_bounded(self, seed):
+        alpha = Fraction(1, 3)
+        s = Fraction(5, 2)  # α < 1/s = 2/5
+        inst = loose_instance(15, alpha, seed=seed)
+        m = migratory_optimum(inst)
+        m_inflated = migratory_optimum(inst.inflated(s))
+        # Lemma 4's constant is ~⌈s⌉·(blowup of Lemma 3)²; assert generously
+        assert m_inflated <= 12 * m + 6
+
+    def test_inflated_at_least_original(self):
+        inst = loose_instance(12, Fraction(1, 3), seed=9)
+        assert migratory_optimum(inst.inflated(2)) >= migratory_optimum(inst)
+
+
+class TestLemma3:
+    """m(J^0), m(J^γ) ≤ m(J)/(1−γ) + 1."""
+
+    @given(instances_st(max_size=6), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_trim_left_bound(self, inst, g):
+        gamma = Fraction(g, 10)
+        m = migratory_optimum(inst)
+        m_trim = migratory_optimum(inst.trim_left(gamma))
+        assert m_trim <= m / (1 - gamma) + 1
+
+    @given(instances_st(max_size=6), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_trim_right_bound(self, inst, g):
+        gamma = Fraction(g, 10)
+        m = migratory_optimum(inst)
+        m_trim = migratory_optimum(inst.trim_right(gamma))
+        assert m_trim <= m / (1 - gamma) + 1
+
+    def test_trimming_cannot_help(self):
+        inst = loose_instance(10, Fraction(1, 2), seed=10)
+        m = migratory_optimum(inst)
+        assert migratory_optimum(inst.trim_left(Fraction(1, 2))) >= m
+
+
+class TestSpeedFit:
+    def test_speed_lowers_machine_need(self, parallel_units):
+        slow = speed_fit_machines(parallel_units, speed=1)
+        fast = speed_fit_machines(parallel_units, speed=3)
+        assert fast <= slow
+        assert slow == 3 and fast == 1
+
+
+class TestBlackBoxPluggability:
+    """Theorem 6's reduction is agnostic to the black box."""
+
+    def test_best_fit_blackbox(self):
+        from repro.online.nonmigratory import BestFitEDF
+
+        inst = loose_instance(20, Fraction(1, 3), seed=11)
+        algo = LooseAlgorithm(Fraction(1, 3), blackbox_factory=lambda: BestFitEDF())
+        result = algo.run(inst)
+        rep = result.schedule.verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+    def test_emptiest_fit_blackbox(self):
+        from repro.online.nonmigratory import EmptiestFitEDF
+
+        inst = loose_instance(20, Fraction(1, 3), seed=12)
+        algo = LooseAlgorithm(Fraction(1, 3), blackbox_factory=lambda: EmptiestFitEDF())
+        result = algo.run(inst)
+        assert result.schedule.verify(inst).feasible
+
+    def test_migratory_blackbox_rejected(self):
+        from repro.online.edf import EDF
+
+        with pytest.raises(ValueError):
+            LooseAlgorithm(Fraction(1, 3), blackbox_factory=lambda: EDF())
+
+
+class TestEpsilonProperty:
+    @given(st.integers(2, 98))
+    @settings(max_examples=50, deadline=None)
+    def test_default_epsilon_always_valid(self, pct):
+        """For any α ∈ (0, 1), the derived ε satisfies (1+ε)² < 1/α."""
+        alpha = Fraction(pct, 100)
+        eps = default_epsilon(alpha)
+        assert eps > 0
+        assert (1 + eps) ** 2 < 1 / alpha
+
+
+class TestPipelinePropertyBased:
+    @given(st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_pipeline_on_random_seeds(self, seed):
+        alpha = Fraction(1, 3)
+        inst = loose_instance(12, alpha, seed=seed)
+        result = LooseAlgorithm(alpha).run(inst)
+        rep = result.schedule.verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+        assert result.machines <= 8 * migratory_optimum(inst) + 4

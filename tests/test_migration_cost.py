@@ -1,0 +1,105 @@
+"""Tests for the migration-cost model (the paper's practical motivation)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import Instance, Job
+from repro.online.base import Policy
+from repro.online.edf import EDF
+from repro.online.engine import OnlineEngine, min_machines, simulate
+from repro.online.llf import LLF
+from repro.online.nonmigratory import FirstFitEDF
+
+
+class PingPong(Policy):
+    """Alternates one job between two machines at every wake-up."""
+
+    migratory = True
+
+    def __init__(self):
+        self.side = 0
+
+    def select(self, engine):
+        active = engine.active_jobs()
+        if not active:
+            return {}
+        return {self.side: active[0].job.id}
+
+    def next_wakeup(self, engine):
+        self.side = 1 - self.side
+        return engine.time + 1
+
+
+class TestMechanics:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineEngine(EDF(), machines=1, migration_cost=-1)
+
+    def test_no_migration_no_overhead(self):
+        inst = Instance([Job(0, 3, 6, id=0)])
+        eng = simulate(EDF(), inst, machines=1)
+        eng2 = OnlineEngine(EDF(), machines=1, migration_cost=Fraction(1, 2))
+        eng2.release(inst)
+        eng2.run_to_completion()
+        assert eng2.state_of(0).overhead == 0
+        assert eng2.state_of(0).finished_at == eng.state_of(0).finished_at
+
+    def test_migration_counted_and_charged(self):
+        inst = Instance([Job(0, 4, 20, id=0)])
+        eng = OnlineEngine(PingPong(), machines=2, migration_cost=Fraction(1, 2))
+        eng.release(inst)
+        eng.run_to_completion()
+        state = eng.state_of(0)
+        assert state.migration_count >= 1
+        assert state.overhead == state.migration_count * Fraction(1, 2)
+        # total machine time = p + overhead
+        assert eng.schedule().work_of(0) == 4 + state.overhead
+
+    def test_zero_cost_still_counts_migrations(self):
+        inst = Instance([Job(0, 4, 20, id=0)])
+        eng = OnlineEngine(PingPong(), machines=2)
+        eng.release(inst)
+        eng.run_to_completion()
+        state = eng.state_of(0)
+        assert state.migration_count >= 1
+        assert state.overhead == 0
+        assert state.finished_at == 4
+
+    def test_cost_can_cause_miss(self):
+        # tight job that only survives without ping-pong overhead
+        inst = Instance([Job(0, 4, 5, id=0)])
+        eng = OnlineEngine(PingPong(), machines=2, migration_cost=Fraction(1))
+        eng.release(inst)
+        eng.run_to_completion()
+        assert eng.missed_jobs == [0]
+
+    def test_nonmigratory_policy_immune(self, mcnaughton_instance):
+        for cost in (0, Fraction(1, 2), 2):
+            k = min_machines(
+                lambda n: FirstFitEDF(), mcnaughton_instance
+            )
+            eng = OnlineEngine(FirstFitEDF(), machines=k, migration_cost=cost)
+            eng.release(mcnaughton_instance)
+            eng.run_to_completion()
+            assert not eng.missed_jobs
+            assert all(s.overhead == 0 for s in eng.jobs.values())
+
+
+class TestCostShiftsTheComparison:
+    def test_llf_degrades_with_cost(self, mcnaughton_instance):
+        """LLF wins McNaughton at cost 0 (2 machines) but the wrap-around
+        migration becomes unaffordable as the penalty grows."""
+
+        def llf_machines(cost):
+            k = 2
+            while True:
+                eng = OnlineEngine(LLF(), machines=k, migration_cost=cost)
+                eng.release(mcnaughton_instance)
+                eng.run_to_completion()
+                if not eng.missed_jobs:
+                    return k
+                k += 1
+
+        assert llf_machines(Fraction(0)) == 2
+        assert llf_machines(Fraction(2)) == 3  # migration gain wiped out

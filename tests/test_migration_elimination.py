@@ -1,0 +1,85 @@
+"""Tests for the constructive migration-elimination converter."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.metrics import theorem2_bound
+from repro.generators import uniform_random_instance
+from repro.model import Instance, Job, Schedule, Segment
+from repro.offline.migration_elimination import (
+    eliminate_migration,
+    majority_machine,
+    theorem2_blowup,
+)
+from repro.offline.optimum import optimal_migratory_schedule
+
+from tests.strategies import instances_st
+
+
+class TestMajorityMachine:
+    def test_single_segment(self):
+        sched = Schedule([Segment(0, 3, 0, 2)])
+        assert majority_machine(sched, 0) == 3
+
+    def test_majority_wins(self):
+        sched = Schedule([Segment(0, 1, 0, 3), Segment(0, 2, 3, 4)])
+        assert majority_machine(sched, 0) == 1
+
+    def test_tie_breaks_to_lower_machine(self):
+        sched = Schedule([Segment(0, 2, 0, 1), Segment(0, 1, 1, 2)])
+        assert majority_machine(sched, 0) == 1
+
+    def test_missing_job(self):
+        with pytest.raises(ValueError):
+            majority_machine(Schedule([]), 7)
+
+
+class TestEliminateMigration:
+    def test_mcnaughton(self, mcnaughton_instance):
+        m, migratory = optimal_migratory_schedule(mcnaughton_instance)
+        assert m == 2
+        machines, nonmig = eliminate_migration(mcnaughton_instance, migratory)
+        rep = nonmig.verify(mcnaughton_instance)
+        assert rep.feasible
+        assert rep.is_non_migratory
+        assert machines == 3  # the exact non-migratory optimum here
+
+    def test_rejects_infeasible_input(self, mcnaughton_instance):
+        with pytest.raises(ValueError):
+            eliminate_migration(mcnaughton_instance, Schedule([]))
+
+    def test_already_nonmigratory_unchanged_count(self):
+        inst = Instance([Job(0, 1, 2, id=0), Job(0, 1, 2, id=1)])
+        sched = Schedule([Segment(0, 0, 0, 1), Segment(1, 1, 0, 1)])
+        machines, out = eliminate_migration(inst, sched)
+        assert machines == 2
+        assert out.verify(inst).is_non_migratory
+
+    @given(instances_st(max_size=7))
+    @settings(max_examples=25, deadline=None)
+    def test_output_always_feasible_nonmigratory(self, inst):
+        m, migratory = optimal_migratory_schedule(inst)
+        machines, nonmig = eliminate_migration(inst, migratory)
+        rep = nonmig.verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+    @given(instances_st(max_size=7))
+    @settings(max_examples=25, deadline=None)
+    def test_blowup_within_theorem2(self, inst):
+        """The heuristic's blow-up sits inside the 6m−5 guarantee on every
+        random instance tested (the theorem bounds the optimum, which lower
+        bounds nothing about a heuristic — so this is a measured property,
+        asserted because it robustly holds on this family)."""
+        m, migratory = optimal_migratory_schedule(inst)
+        m_in, m_out, _ = theorem2_blowup(inst, migratory)
+        assert m_out <= theorem2_bound(m_in)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        inst = uniform_random_instance(20, seed=seed)
+        m, migratory = optimal_migratory_schedule(inst)
+        machines, nonmig = eliminate_migration(inst, migratory)
+        assert nonmig.verify(inst).feasible
+        assert machines <= theorem2_bound(m)

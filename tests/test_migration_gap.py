@@ -1,0 +1,206 @@
+"""Tests for the Lemma 2 / Theorem 3 adversary — the paper's main result."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.adversary.migration_gap import (
+    AdversaryOutcome,
+    MigrationGapAdversary,
+    offline_witness,
+)
+from repro.offline.optimum import migratory_optimum
+from repro.online.edf import EDF
+from repro.online.nonmigratory import BestFitEDF, EmptiestFitEDF, FirstFitEDF
+
+POLICIES = [FirstFitEDF, BestFitEDF, EmptiestFitEDF]
+
+
+class TestConstruction:
+    def test_rejects_migratory_policy(self):
+        with pytest.raises(ValueError):
+            MigrationGapAdversary(EDF(), machines=5)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MigrationGapAdversary(FirstFitEDF(), machines=5, alpha=Fraction(1, 3))
+        with pytest.raises(ValueError):
+            MigrationGapAdversary(FirstFitEDF(), machines=5, beta=Fraction(3, 4))
+        with pytest.raises(ValueError):
+            # violates Equation (1): floor((2α−1)/β)·αβ ≤ 1−α
+            MigrationGapAdversary(
+                FirstFitEDF(), machines=5,
+                alpha=Fraction(51, 100), beta=Fraction(1, 100),
+            )
+
+    def test_rejects_k_below_two(self):
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=5)
+        with pytest.raises(ValueError):
+            adv.run(1)
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+class TestLowerBound:
+    def test_base_case_forces_two_machines(self, policy_cls):
+        adv = MigrationGapAdversary(policy_cls(), machines=5)
+        res = adv.run(2)
+        assert res.machines_forced == 2
+        assert res.node.case == "base"
+        # critical jobs unfinished at the critical time
+        for job in res.node.critical:
+            assert res.engine.remaining(job.id) > 0
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_forces_k_machines(self, policy_cls, k):
+        adv = MigrationGapAdversary(policy_cls(), machines=k + 3)
+        res = adv.run(k)
+        assert res.machines_forced == k
+        assert len(res.critical_machines) == k
+
+    def test_job_count_exponential_bound(self, policy_cls):
+        """Lemma 2: I_k has O(2^k) jobs."""
+        adv = MigrationGapAdversary(policy_cls(), machines=9)
+        res = adv.run(6)
+        assert res.n_jobs <= 2**6 * 4
+
+    def test_no_misses_against_sane_policies(self, policy_cls):
+        adv = MigrationGapAdversary(policy_cls(), machines=8)
+        res = adv.run(5)
+        assert not res.engine.missed_jobs
+
+
+class TestOfflineWitness:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    def test_witness_three_machines_feasible(self, k):
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=k + 3)
+        res = adv.run(k)
+        witness = res.offline_witness()
+        rep = witness.verify(res.instance)
+        assert rep.feasible
+        assert rep.machines_used <= 3
+
+    def test_witness_idle_property(self):
+        """Lemma 2 (ii): machines 0–1 idle in [t0, t0+ε], machine 2 after t0."""
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=8)
+        res = adv.run(5)
+        node = res.node
+        witness = res.offline_witness()
+        t0, eps = node.critical_time, node.idle_eps
+        assert eps > 0
+        for seg in witness:
+            if seg.machine in (0, 1):
+                assert seg.end <= t0 or seg.start >= t0 + eps
+            else:
+                assert seg.start >= t0 or seg.end <= t0
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_flow_opt_at_most_three(self, k):
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=k + 3)
+        res = adv.run(k)
+        assert migratory_optimum(res.instance) <= 3
+
+    def test_migration_in_witness_for_case2(self):
+        """Figure 1: the conflict job j* migrates in the witness schedule."""
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=8)
+        res = adv.run(5)
+
+        def find_case2(node):
+            if node.case == "case2":
+                return node
+            for child in (node.main, node.sub):
+                if child is not None:
+                    found = find_case2(child)
+                    if found:
+                        return found
+            return None
+
+        case2 = find_case2(res.node)
+        if case2 is not None:  # first-fit reuses machines → case 2 occurs
+            witness = offline_witness(res.node)
+            machines = {s.machine for s in witness.job_segments(case2.conflict_job.id)}
+            assert len(machines) == 2
+
+
+class TestInteractiveProperties:
+    def test_instance_grows_with_k(self):
+        sizes = []
+        for k in (2, 3, 4):
+            adv = MigrationGapAdversary(FirstFitEDF(), machines=k + 3)
+            sizes.append(adv.run(k).n_jobs)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_log_n_machines_relationship(self):
+        """Theorem 3: machines forced = Ω(log n)."""
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=10)
+        res = adv.run(7)
+        import math
+
+        assert res.machines_forced >= math.log2(res.n_jobs) - 1
+
+    def test_critical_jobs_on_distinct_machines(self):
+        adv = MigrationGapAdversary(EmptiestFitEDF(), machines=9)
+        res = adv.run(6)
+        machines = res.critical_machines
+        assert len(set(machines)) == len(machines) == 6
+
+    def test_nested_structure_recorded(self):
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=7)
+        res = adv.run(4)
+        node = res.node
+        assert node.k == 4
+        assert node.main is not None and node.main.k == 3
+        assert node.sub is not None and node.sub.k == 3
+        # the scaled copy lives inside [t0, t0+ε'/2] of the outer instance
+        assert node.sub.start == node.main.critical_time
+
+
+class TestCaseDichotomy:
+    """Both branches of the Lemma 2 case analysis occur in practice."""
+
+    @staticmethod
+    def _cases(node, found):
+        if node.case in ("case1", "case2"):
+            found.add(node.case)
+        for child in (node.main, node.sub):
+            if child is not None:
+                TestCaseDichotomy._cases(child, found)
+        return found
+
+    def test_first_fit_triggers_case2(self):
+        """First fit reuses machines, so the copy lands on the same set and
+        the conflict job j* must be released."""
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=9)
+        res = adv.run(6)
+        cases = self._cases(res.node, set())
+        assert "case2" in cases
+
+    def test_emptiest_fit_triggers_case1(self):
+        """A spreading policy puts copy-critical jobs on fresh machines."""
+        adv = MigrationGapAdversary(EmptiestFitEDF(), machines=9)
+        res = adv.run(6)
+        cases = self._cases(res.node, set())
+        assert "case1" in cases
+
+    def test_conflict_job_parameters(self):
+        """Case 2's j*: positive laxity, unfinishable by the critical time,
+        unable to share a machine with any copy-critical job."""
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=8)
+        res = adv.run(5)
+
+        def check(node):
+            if node.case == "case2":
+                j = node.conflict_job
+                assert j.laxity > 0
+                assert j.earliest_finish > node.critical_time
+            for child in (node.main, node.sub):
+                if child is not None:
+                    check(child)
+
+        check(res.node)
+
+
+def test_adversary_single_use_guard():
+    adv = MigrationGapAdversary(FirstFitEDF(), machines=6)
+    adv.run(3)
+    with pytest.raises(RuntimeError, match="already ran"):
+        adv.run(3)

@@ -1,0 +1,120 @@
+"""Tests for non-migratory commit-at-release policies and their oracle."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Instance, Job
+from repro.offline.nonmigratory import single_machine_feasible
+from repro.online.engine import min_machines, simulate, succeeds
+from repro.online.nonmigratory import (
+    BestFitEDF,
+    EmptiestFitEDF,
+    FirstFitEDF,
+    local_edf_feasible,
+)
+
+from tests.strategies import instances_st
+
+POLICIES = [FirstFitEDF, BestFitEDF, EmptiestFitEDF]
+
+
+class TestLocalOracle:
+    def test_empty_feasible(self):
+        assert local_edf_feasible(Fraction(0), [], Fraction(1))
+
+    def test_single_deadline(self):
+        assert local_edf_feasible(Fraction(0), [(Fraction(2), Fraction(2))], Fraction(1))
+        assert not local_edf_feasible(Fraction(0), [(Fraction(2), Fraction(3))], Fraction(1))
+
+    def test_cumulative_constraint(self):
+        workload = [(Fraction(1), Fraction(1)), (Fraction(2), Fraction(1)),
+                    (Fraction(3), Fraction(2))]
+        assert not local_edf_feasible(Fraction(0), workload, Fraction(1))
+
+    def test_speed_scales_capacity(self):
+        workload = [(Fraction(2), Fraction(3))]
+        assert local_edf_feasible(Fraction(0), workload, Fraction(2))
+
+    @given(st.lists(st.tuples(st.integers(1, 10), st.integers(1, 5)), max_size=6))
+    @settings(max_examples=60)
+    def test_oracle_matches_edf_simulation(self, raw):
+        """For released jobs the oracle must agree with an actual EDF run."""
+        jobs = []
+        workload = []
+        for i, (d, p) in enumerate(raw):
+            deadline = Fraction(max(d, p))
+            jobs.append(Job(0, p, deadline, id=i))
+            workload.append((deadline, Fraction(p)))
+        assert local_edf_feasible(Fraction(0), workload, Fraction(1)) == (
+            single_machine_feasible(jobs)
+        )
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+class TestCommitPolicies:
+    def test_produces_nonmigratory_schedule(self, policy_cls):
+        inst = Instance([Job(0, 2, 4, id=0), Job(0, 2, 4, id=1), Job(1, 1, 3, id=2)])
+        k = min_machines(lambda k: policy_cls(), inst)
+        eng = simulate(policy_cls(), inst, machines=k)
+        rep = eng.schedule().verify(inst)
+        assert rep.feasible
+        assert rep.is_non_migratory
+
+    def test_commits_at_release(self, policy_cls):
+        inst = Instance([Job(0, 2, 8, id=0)])
+        eng = simulate(policy_cls(), inst, machines=2)
+        assert eng.committed_machine(0) is not None
+
+    def test_mcnaughton_needs_three(self, policy_cls, mcnaughton_instance):
+        assert min_machines(lambda k: policy_cls(), mcnaughton_instance) == 3
+
+    @given(inst=instances_st(max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_enough_machines_always_succeed(self, policy_cls, inst):
+        assert succeeds(policy_cls(), inst, len(inst))
+
+    @given(inst=instances_st(max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_schedule_verifies_at_min_machines(self, policy_cls, inst):
+        k = min_machines(lambda k: policy_cls(), inst)
+        eng = simulate(policy_cls(), inst, machines=k)
+        rep = eng.schedule().verify(inst)
+        assert rep.feasible and rep.is_non_migratory
+
+
+class TestPolicyDifferences:
+    def test_first_fit_packs_left(self):
+        inst = Instance([Job(0, 1, 4, id=0), Job(0, 1, 4, id=1)])
+        eng = simulate(FirstFitEDF(), inst, machines=3)
+        assert eng.committed_machine(0) == 0
+        assert eng.committed_machine(1) == 0
+
+    def test_emptiest_fit_spreads(self):
+        inst = Instance([Job(0, 1, 4, id=0), Job(0, 1, 4, id=1)])
+        eng = simulate(EmptiestFitEDF(), inst, machines=3)
+        assert eng.committed_machine(0) != eng.committed_machine(1)
+
+    def test_best_fit_prefers_loaded_machine(self):
+        # first two jobs land on machine 0 (first-fit order inside the batch);
+        # the third (released later) must choose the fullest feasible machine
+        inst = Instance(
+            [Job(0, 2, 10, id=0), Job(1, 1, 20, id=1)]
+        )
+        eng = simulate(BestFitEDF(), inst, machines=2)
+        assert eng.committed_machine(1) == eng.committed_machine(0)
+
+    def test_fallback_when_no_machine_admits(self):
+        # two zero-laxity jobs, one machine: second commitment must fall back
+        inst = Instance([Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)])
+        eng = simulate(FirstFitEDF(), inst, machines=1)
+        assert eng.committed_machine(1) == 0
+        assert eng.missed_jobs  # and the miss is recorded honestly
+
+    def test_speed_parameter_respected(self):
+        # 2 zero-laxity jobs on one speed-2 machine is feasible
+        inst = Instance([Job(0, 1, 1, id=0), Job(0, 1, 1, id=1)])
+        assert not succeeds(FirstFitEDF(), inst, 1)
+        assert succeeds(FirstFitEDF(), inst, 1, speed=2)

@@ -1,0 +1,168 @@
+"""Tests for the exact non-preemptive solver and the nesting-trap adversary."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.adversary.np_trap import NonPreemptiveTrapAdversary
+from repro.model import Instance, Job
+from repro.offline.nonmigratory import exact_nonmigratory_optimum
+from repro.offline.nonpreemptive import (
+    exact_np_optimum,
+    np_first_fit,
+    single_machine_np_feasible,
+    single_machine_np_schedule,
+)
+from repro.online.edf import NonPreemptiveEDF
+
+from tests.strategies import instances_st
+
+
+class TestSingleMachineDP:
+    def test_empty(self):
+        assert single_machine_np_feasible([])
+
+    def test_single(self):
+        assert single_machine_np_feasible([Job(0, 2, 2, id=0)])
+
+    def test_sequence(self):
+        jobs = [Job(0, 1, 3, id=i) for i in range(3)]
+        assert single_machine_np_feasible(jobs)
+
+    def test_overload(self):
+        assert not single_machine_np_feasible(
+            [Job(0, 2, 2, id=0), Job(0, 2, 3, id=1)]
+        )
+
+    def test_order_matters_case(self):
+        # preemptively feasible but non-preemptively infeasible:
+        # long job [0,4] p=3; unit job released 1 due 2 — preemptive EDF
+        # interleaves; non-preemptive cannot
+        long = Job(0, 3, 4, id=0)
+        unit = Job(1, 1, 2, id=1)
+        from repro.offline.nonmigratory import single_machine_feasible
+
+        assert single_machine_feasible([long, unit])
+        assert not single_machine_np_feasible([long, unit])
+
+    def test_idle_waiting_handled(self):
+        jobs = [Job(0, 1, 2, id=0), Job(5, 1, 6, id=1)]
+        assert single_machine_np_feasible(jobs)
+
+    def test_schedule_reconstruction(self):
+        jobs = [Job(0, 2, 6, id=0), Job(1, 1, 3, id=1), Job(0, 1, 6, id=2)]
+        sched = single_machine_np_schedule(jobs)
+        assert sched is not None
+        rep = sched.verify(Instance(jobs))
+        assert rep.feasible
+        assert rep.preemptions == 0
+        assert rep.machines_used == 1
+
+    def test_schedule_none_when_infeasible(self):
+        assert single_machine_np_schedule(
+            [Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)]
+        ) is None
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            single_machine_np_feasible([Job(0, 1, 40, id=i) for i in range(19)])
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_np_implies_preemptive_feasible(self, inst):
+        """Non-preemptive feasibility is strictly stronger."""
+        from repro.offline.nonmigratory import single_machine_feasible
+
+        if single_machine_np_feasible(list(inst)):
+            assert single_machine_feasible(list(inst))
+
+
+class TestExactNpOptimum:
+    def test_empty(self):
+        assert exact_np_optimum(Instance([])) == 0
+
+    def test_parallel_units(self, parallel_units):
+        assert exact_np_optimum(parallel_units) == 3
+
+    def test_at_least_preemptive_nonmigratory(self):
+        # the McNaughton jobs: preemption does not help here, both are 3
+        inst = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+        assert exact_np_optimum(inst) == 3
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_ordering_vs_preemptive(self, inst):
+        assert exact_np_optimum(inst) >= exact_nonmigratory_optimum(inst)
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_first_fit_upper_bound(self, inst):
+        machines, sched = np_first_fit(inst)
+        rep = sched.verify(inst)
+        assert rep.feasible and rep.preemptions == 0
+        assert exact_np_optimum(inst) <= machines
+
+
+class TestTrapAdversary:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_forces_k_machines(self, k):
+        adv = NonPreemptiveTrapAdversary(NonPreemptiveEDF(), machines=k + 2)
+        res = adv.run(k)
+        assert res.levels == k
+        assert res.machines_forced == k
+        assert not res.missed
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_np_optimum_stays_small(self, k):
+        adv = NonPreemptiveTrapAdversary(NonPreemptiveEDF(), machines=k + 2)
+        res = adv.run(k)
+        assert exact_np_optimum(res.instance) <= 3
+
+    def test_delta_matches_levels(self):
+        adv = NonPreemptiveTrapAdversary(NonPreemptiveEDF(), machines=8)
+        res = adv.run(5)
+        assert res.delta == 16
+        assert res.instance.delta_ratio == 16
+
+    def test_nesting_structure(self):
+        adv = NonPreemptiveTrapAdversary(NonPreemptiveEDF(), machines=8)
+        res = adv.run(4)
+        jobs = list(res.instance)
+        for parent, child, start in zip(jobs, jobs[1:], res.starts):
+            # the child's window sits inside the parent's locked run
+            assert child.release >= start
+            assert child.deadline <= start + parent.processing
+
+
+class TestDPDifferential:
+    """The subset DP must agree with permutation brute force (n ≤ 6)."""
+
+    @staticmethod
+    def _brute_force(jobs):
+        from itertools import permutations
+
+        for order in permutations(jobs):
+            t = Fraction(0)
+            ok = True
+            for job in order:
+                start = max(job.release, t)
+                if start + job.processing > job.deadline:
+                    ok = False
+                    break
+                t = start + job.processing
+            if ok:
+                return True
+        return False
+
+    @given(instances_st(max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_dp_equals_bruteforce(self, inst):
+        jobs = list(inst)
+        assert single_machine_np_feasible(jobs) == self._brute_force(jobs)
+
+    def test_known_tricky_order(self):
+        # greedy EDF-order fails; another order succeeds
+        jobs = [Job(0, 3, 9, id=0), Job(0, 2, 2, id=1), Job(5, 1, 6, id=2)]
+        assert self._brute_force(jobs)
+        assert single_machine_np_feasible(jobs)

@@ -1,0 +1,136 @@
+"""Tests for the offline non-migratory machinery and the Theorem 2 statement."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.metrics import theorem2_bound
+from repro.model import Instance, Job
+from repro.offline.nonmigratory import (
+    edf_single_machine_schedule,
+    exact_nonmigratory_optimum,
+    first_fit_assignment,
+    first_fit_nonmigratory,
+    nonmigratory_optimum_bounds,
+    schedule_from_assignment,
+    single_machine_feasible,
+)
+from repro.offline.optimum import migratory_optimum
+
+from tests.strategies import instances_st
+
+
+class TestSingleMachineEDF:
+    def test_empty(self):
+        assert single_machine_feasible([])
+
+    def test_single_job(self):
+        assert single_machine_feasible([Job(0, 2, 2, id=0)])
+
+    def test_two_sequential(self):
+        assert single_machine_feasible([Job(0, 1, 2, id=0), Job(0, 1, 2, id=1)])
+
+    def test_overload_detected(self):
+        assert not single_machine_feasible([Job(0, 2, 2, id=0), Job(0, 2, 3, id=1)])
+
+    def test_preemption_needed(self):
+        # long loose job preempted by a tight one released mid-way
+        jobs = [Job(0, 3, 6, id=0), Job(1, 1, 2, id=1)]
+        assert single_machine_feasible(jobs)
+        sched = edf_single_machine_schedule(jobs)
+        rep = sched.verify(Instance(jobs))
+        assert rep.feasible and rep.preemptions >= 1
+
+    def test_speed_helps(self):
+        jobs = [Job(0, 2, 2, id=0), Job(0, 2, 3, id=1)]
+        assert not single_machine_feasible(jobs)
+        assert single_machine_feasible(jobs, speed=2)
+
+    def test_schedule_none_when_infeasible(self):
+        assert edf_single_machine_schedule([Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)]) is None
+
+    def test_gap_between_jobs(self):
+        jobs = [Job(0, 1, 1, id=0), Job(5, 1, 6, id=1)]
+        sched = edf_single_machine_schedule(jobs)
+        assert sched.verify(Instance(jobs)).feasible
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_oracle_matches_flow_on_one_machine(self, inst):
+        from repro.offline.flow import migratory_feasible
+
+        # preemptive EDF is optimal on a single machine, so the oracle must
+        # agree exactly with the flow feasibility test for m = 1
+        assert single_machine_feasible(list(inst)) == migratory_feasible(inst, 1)
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_verifies_when_feasible(self, inst):
+        sched = edf_single_machine_schedule(list(inst))
+        if sched is not None:
+            assert sched.verify(inst).feasible
+
+
+class TestFirstFit:
+    def test_assignment_covers_all_jobs(self, mcnaughton_instance):
+        assignment = first_fit_assignment(mcnaughton_instance)
+        assert set(assignment) == {0, 1, 2}
+
+    def test_machines_and_schedule(self, mcnaughton_instance):
+        machines, sched = first_fit_nonmigratory(mcnaughton_instance)
+        assert machines == 3  # non-migratory cannot do McNaughton on 2
+        rep = sched.verify(mcnaughton_instance)
+        assert rep.feasible and rep.is_non_migratory
+
+    def test_schedule_from_assignment_infeasible_raises(self):
+        inst = Instance([Job(0, 2, 2, id=0), Job(0, 2, 2, id=1)])
+        with pytest.raises(ValueError):
+            schedule_from_assignment(inst, {0: 0, 1: 0})
+
+    @given(instances_st(max_size=7))
+    @settings(max_examples=30, deadline=None)
+    def test_first_fit_always_feasible_nonmigratory(self, inst):
+        machines, sched = first_fit_nonmigratory(inst)
+        rep = sched.verify(inst)
+        assert rep.feasible
+        assert rep.is_non_migratory
+        assert rep.machines_used <= machines
+
+
+class TestExactOptimum:
+    def test_empty(self):
+        assert exact_nonmigratory_optimum(Instance([])) == 0
+
+    def test_mcnaughton_gap(self, mcnaughton_instance):
+        assert exact_nonmigratory_optimum(mcnaughton_instance) == 3
+        assert migratory_optimum(mcnaughton_instance) == 2
+
+    def test_no_gap_for_units(self, parallel_units):
+        assert exact_nonmigratory_optimum(parallel_units) == 3
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_sandwiched_by_bounds(self, inst):
+        exact = exact_nonmigratory_optimum(inst)
+        assert migratory_optimum(inst) <= exact
+        assert exact <= first_fit_nonmigratory(inst)[0]
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem2_statement(self, inst):
+        """Theorem 2 [7]: non-migratory OPT ≤ 6m − 5."""
+        m = migratory_optimum(inst)
+        exact = exact_nonmigratory_optimum(inst)
+        assert exact <= theorem2_bound(m)
+
+    def test_bounds_helper_exact_regime(self, mcnaughton_instance):
+        lo, hi = nonmigratory_optimum_bounds(mcnaughton_instance)
+        assert lo == hi == 3
+
+    def test_bounds_helper_large_regime(self):
+        jobs = [Job(i, 1, i + 3, id=i) for i in range(30)]
+        inst = Instance(jobs)
+        lo, hi = nonmigratory_optimum_bounds(inst, exact_threshold=5)
+        assert lo <= hi
+        assert lo == migratory_optimum(inst)

@@ -1,0 +1,77 @@
+"""Tests for the vectorized workload profiling helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.profile import approx_lower_bound, load_profile, window_density_grid
+from repro.generators import uniform_random_instance
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+from repro.offline.workload import single_interval_lower_bound
+
+from tests.strategies import instances_st
+
+
+class TestLoadProfile:
+    def test_empty(self):
+        times, dens = load_profile(Instance([]))
+        assert times.size == 0 and dens.size == 0
+
+    def test_shape(self):
+        inst = uniform_random_instance(20, seed=1)
+        times, dens = load_profile(inst, samples=128)
+        assert times.shape == dens.shape == (128,)
+        assert (dens >= 0).all()
+
+    def test_zero_laxity_block_shows_full_density(self):
+        inst = Instance([Job(0, 10, 10, id=0), Job(0, 10, 10, id=1)])
+        _, dens = load_profile(inst, samples=10)
+        assert dens.max() == pytest.approx(2.0)
+
+    def test_idle_region_zero(self):
+        inst = Instance([Job(0, 1, 1, id=0), Job(100, 1, 101, id=1)])
+        times, dens = load_profile(inst, samples=100)
+        mid = (times > 10) & (times < 90)
+        assert dens[mid].max() == pytest.approx(0.0)
+
+
+class TestDensityGrid:
+    def test_shapes(self):
+        inst = uniform_random_instance(15, seed=2)
+        a, w, d = window_density_grid(inst, starts=16, widths=8)
+        assert d.shape == (16, 8)
+        assert (d >= 0).all()
+
+    def test_matches_bruteforce_cell(self):
+        inst = Instance([Job(0, 4, 4, id=0)])
+        a, w, d = window_density_grid(inst, starts=4, widths=4)
+        # full-span window [0,4): density = 4/4 = 1
+        assert d[0, -1] == pytest.approx(1.0)
+
+
+class TestApproxBound:
+    def test_empty(self):
+        assert approx_lower_bound(Instance([])) == 0
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_sound_lower_bound(self, inst):
+        assert approx_lower_bound(inst) <= migratory_optimum(inst)
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_at_most_exact_single_interval(self, inst):
+        # the grid samples a subset of windows, so it cannot beat the exact
+        # single-interval search
+        assert approx_lower_bound(inst, starts=96, widths=48) <= max(
+            single_interval_lower_bound(inst), 0
+        ) + 1  # +1: grid windows are not restricted to candidate endpoints
+
+    def test_finds_obvious_peak(self, parallel_units):
+        assert approx_lower_bound(parallel_units, starts=64, widths=64) == 3
+
+    def test_scales_to_thousands(self):
+        inst = uniform_random_instance(2000, horizon=2000, seed=3)
+        bound = approx_lower_bound(inst)
+        assert bound >= 1

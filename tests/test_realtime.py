@@ -1,0 +1,184 @@
+"""Tests for the real-time task model substrate."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offline.optimum import migratory_optimum
+from repro.online.llf import LLF
+from repro.realtime import (
+    PeriodicTask,
+    TaskSet,
+    harmonic_taskset,
+    machines_for_taskset,
+    online_machines_for_taskset,
+    provisioning_report,
+    random_taskset,
+)
+
+
+class TestPeriodicTask:
+    def test_basic_fields(self):
+        t = PeriodicTask(wcet=2, period=8, deadline=6, phase=1, name="x")
+        assert t.utilization == Fraction(1, 4)
+        assert t.density == Fraction(1, 3)
+        assert not t.implicit_deadline
+
+    def test_implicit_deadline_default(self):
+        t = PeriodicTask(wcet=2, period=8)
+        assert t.deadline == 8
+        assert t.implicit_deadline
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(wcet=0, period=5)
+        with pytest.raises(ValueError):
+            PeriodicTask(wcet=2, period=0)
+        with pytest.raises(ValueError):
+            PeriodicTask(wcet=3, period=5, deadline=2)
+
+    def test_job_expansion(self):
+        t = PeriodicTask(wcet=1, period=4, deadline=3, phase=2)
+        jobs = t.jobs_until(12, start_id=0)
+        assert [j.release for j in jobs] == [2, 6, 10]
+        assert all(j.deadline == j.release + 3 for j in jobs)
+        assert all(j.processing == 1 for j in jobs)
+
+    def test_expansion_respects_horizon(self):
+        t = PeriodicTask(wcet=1, period=4)
+        assert len(t.jobs_until(4, 0)) == 1  # release 0 only; 4 ∉ [0, 4)
+
+
+class TestTaskSet:
+    def test_utilization_sums(self):
+        ts = TaskSet().add(PeriodicTask(1, 4)).add(PeriodicTask(2, 8))
+        assert ts.utilization == Fraction(1, 2)
+
+    def test_hyperperiod_integers(self):
+        ts = TaskSet().add(PeriodicTask(1, 4)).add(PeriodicTask(1, 6))
+        assert ts.hyperperiod == 12
+
+    def test_hyperperiod_fractions(self):
+        ts = TaskSet().add(PeriodicTask(Fraction(1, 4), Fraction(3, 2)))
+        ts.add(PeriodicTask(Fraction(1, 4), Fraction(5, 2)))
+        # lcm(3/2, 5/2) = 15/2
+        assert ts.hyperperiod == Fraction(15, 2)
+
+    def test_periodic_instance_counts(self):
+        ts = TaskSet().add(PeriodicTask(1, 4)).add(PeriodicTask(1, 8))
+        inst = ts.periodic_instance()  # hyperperiod 8 → 2 + 1 jobs
+        assert len(inst) == 3
+
+    def test_unique_ids(self):
+        ts = harmonic_taskset(4)
+        inst = ts.periodic_instance()
+        assert len({j.id for j in inst}) == len(inst)
+
+    def test_empty(self):
+        ts = TaskSet()
+        assert ts.hyperperiod == 0
+        assert len(ts.periodic_instance()) == 0
+        assert ts.utilization_lower_bound() == 0
+
+    def test_sporadic_min_separation(self):
+        ts = TaskSet().add(PeriodicTask(1, 5, name="s"))
+        inst = ts.sporadic_instance(horizon=60, max_extra_delay=3, seed=4)
+        releases = sorted(j.release for j in inst)
+        for a, b in zip(releases, releases[1:]):
+            assert b - a >= 5
+
+    def test_sporadic_deterministic(self):
+        ts = TaskSet().add(PeriodicTask(1, 5))
+        a = ts.sporadic_instance(40, max_extra_delay=2, seed=9)
+        b = ts.sporadic_instance(40, max_extra_delay=2, seed=9)
+        assert a == b
+
+
+class TestGenerators:
+    def test_harmonic(self):
+        ts = harmonic_taskset(3, base_period=4, utilization_per_task=Fraction(1, 4))
+        assert ts.utilization == Fraction(3, 4)
+        assert ts.hyperperiod == 16
+
+    @given(st.integers(2, 6), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_random_taskset_hits_target(self, n, seed):
+        target = Fraction(3, 2)
+        ts = random_taskset(n, target, seed=seed)
+        assert len(ts) == n
+        # stick-breaking may clamp degenerate shares; stay near the target
+        assert ts.utilization <= target + n * Fraction(1, 4)
+        assert all(t.wcet <= t.period for t in ts)
+
+
+class TestBridging:
+    def test_utilization_lower_bounds_opt(self):
+        # fixed horizon: random hyperperiods (lcm of periods up to 24) can
+        # be astronomically large, so never expand a full hyperperiod here
+        for seed in range(4):
+            ts = random_taskset(4, Fraction(2), seed=seed)
+            inst = ts.periodic_instance(horizon=60)
+            if len(inst) == 0:
+                continue
+            opt = migratory_optimum(inst)
+            assert opt >= 1
+            span = inst.span.length
+            assert opt >= inst.total_work / span - 1
+
+    def test_machines_for_taskset(self):
+        ts = harmonic_taskset(3)
+        assert machines_for_taskset(ts) == 1
+
+    def test_online_machines(self):
+        ts = harmonic_taskset(4)
+        k = online_machines_for_taskset(ts, lambda: LLF())
+        assert k >= machines_for_taskset(ts)
+
+    def test_provisioning_report(self):
+        ts = harmonic_taskset(3)
+        rep = provisioning_report(ts)
+        assert rep.n_tasks == 3
+        assert rep.recommended_machines >= rep.migratory_opt
+        assert rep.overhead >= 1.0
+
+    def test_provisioning_report_empty(self):
+        rep = provisioning_report(TaskSet())
+        assert rep.algorithm == "none"
+
+
+class TestExpansionGuard:
+    def test_huge_hyperperiod_guarded(self):
+        ts = TaskSet()
+        for p in (7, 11, 13, 17, 19, 23):
+            ts.add(PeriodicTask(1, p * 1000))
+        with pytest.raises(ValueError, match="horizon"):
+            ts.periodic_instance()  # hyperperiod ≈ 7·10^23: must refuse
+
+    def test_explicit_horizon_fine(self):
+        ts = TaskSet().add(PeriodicTask(1, 7)).add(PeriodicTask(1, 11))
+        inst = ts.periodic_instance(horizon=50)
+        assert len(inst) == 8 + 5
+
+
+class TestExpansionFormula:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(1, 6), st.integers(2, 12), st.integers(0, 5),
+           st.integers(10, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_job_count_formula(self, wcet, period, phase, horizon):
+        if wcet > period:
+            wcet = period
+        task = PeriodicTask(wcet=wcet, period=period, phase=phase)
+        jobs = task.jobs_until(horizon, 0)
+        if phase >= horizon:
+            assert jobs == []
+        else:
+            expected = (horizon - phase + period - 1) // period
+            assert len(jobs) == expected
+            assert all(
+                (j.release - phase) % period == 0 for j in jobs
+            )

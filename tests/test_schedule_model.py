@@ -1,0 +1,166 @@
+"""Unit tests for schedules and the feasibility checker."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.model import Instance, Job, Schedule, Segment
+
+
+def _inst(*jobs):
+    return Instance(jobs)
+
+
+class TestSegment:
+    def test_fields(self):
+        s = Segment(1, 0, 0, 2)
+        assert s.length == 2
+        assert s.interval.end == 2
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(1, 0, 2, 2)
+
+    def test_negative_machine_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(1, -1, 0, 1)
+
+
+class TestNormalization:
+    def test_adjacent_same_machine_merged(self):
+        s = Schedule([Segment(0, 0, 0, 1), Segment(0, 0, 1, 2)])
+        assert len(s) == 1
+        assert s.segments[0].length == 2
+
+    def test_gap_not_merged(self):
+        s = Schedule([Segment(0, 0, 0, 1), Segment(0, 0, 2, 3)])
+        assert len(s) == 2
+
+    def test_different_machines_not_merged(self):
+        s = Schedule([Segment(0, 0, 0, 1), Segment(0, 1, 1, 2)])
+        assert len(s) == 2
+
+
+class TestAccessors:
+    def test_machines_used(self):
+        s = Schedule([Segment(0, 0, 0, 1), Segment(1, 3, 0, 1)])
+        assert s.machines_used == 2
+        assert s.machines() == (0, 3)
+
+    def test_job_and_machine_segments(self):
+        s = Schedule([Segment(0, 0, 0, 1), Segment(1, 0, 1, 2), Segment(0, 1, 2, 3)])
+        assert len(s.job_segments(0)) == 2
+        assert [seg.job_id for seg in s.machine_segments(0)] == [0, 1]
+
+    def test_work_of_with_speed(self):
+        s = Schedule([Segment(0, 0, 0, 2)])
+        assert s.work_of(0) == 2
+        assert s.work_of(0, speed=Fraction(3, 2)) == 3
+
+    def test_makespan(self):
+        assert Schedule([]).makespan() == 0
+        assert Schedule([Segment(0, 0, 1, 5)]).makespan() == 5
+
+    def test_shift_and_merge(self):
+        a = Schedule([Segment(0, 0, 0, 1)])
+        b = Schedule([Segment(1, 0, 0, 1)]).shifted_machines(1)
+        merged = a.merged(b)
+        assert merged.machines() == (0, 1)
+
+    def test_restricted_to_jobs(self):
+        s = Schedule([Segment(0, 0, 0, 1), Segment(1, 1, 0, 1)])
+        assert len(s.restricted_to_jobs([0])) == 1
+
+
+class TestVerify:
+    def test_happy_path(self):
+        inst = _inst(Job(0, 2, 3, id=0))
+        s = Schedule([Segment(0, 0, 0, 2)])
+        rep = s.verify(inst)
+        assert rep.feasible
+        assert rep.machines_used == 1
+        assert rep.is_non_migratory
+
+    def test_window_violation_left(self):
+        inst = _inst(Job(1, 1, 3, id=0))
+        rep = Schedule([Segment(0, 0, 0, 1)]).verify(inst)
+        assert not rep.feasible
+        assert any("outside" in v for v in rep.violations)
+
+    def test_window_violation_right(self):
+        inst = _inst(Job(0, 1, 2, id=0))
+        rep = Schedule([Segment(0, 0, Fraction(3, 2), Fraction(5, 2))]).verify(inst)
+        assert not rep.feasible
+
+    def test_machine_overlap_detected(self):
+        inst = _inst(Job(0, 2, 4, id=0), Job(0, 2, 4, id=1))
+        rep = Schedule(
+            [Segment(0, 0, 0, 2), Segment(1, 0, 1, 3)]
+        ).verify(inst)
+        assert not rep.feasible
+        assert any("overlap" in v for v in rep.violations)
+
+    def test_intra_job_parallelism_detected(self):
+        inst = _inst(Job(0, 4, 4, id=0))
+        rep = Schedule(
+            [Segment(0, 0, 0, 2), Segment(0, 1, 1, 3)]
+        ).verify(inst)
+        assert not rep.feasible
+        assert any("simultaneously" in v for v in rep.violations)
+
+    def test_underwork_detected(self):
+        inst = _inst(Job(0, 3, 4, id=0))
+        rep = Schedule([Segment(0, 0, 0, 2)]).verify(inst)
+        assert not rep.feasible
+        assert rep.unfinished[0] == 1
+
+    def test_overwork_detected(self):
+        inst = _inst(Job(0, 1, 4, id=0))
+        rep = Schedule([Segment(0, 0, 0, 2)]).verify(inst)
+        assert not rep.feasible
+
+    def test_unknown_job_detected(self):
+        inst = _inst(Job(0, 1, 4, id=0))
+        rep = Schedule([Segment(0, 0, 0, 1), Segment(9, 0, 2, 3)]).verify(inst)
+        assert any("unknown" in v for v in rep.violations)
+
+    def test_migration_counted(self):
+        inst = _inst(Job(0, 2, 4, id=0))
+        rep = Schedule(
+            [Segment(0, 0, 0, 1), Segment(0, 1, 1, 2)]
+        ).verify(inst)
+        assert rep.feasible
+        assert rep.migratory_jobs == (0,)
+        assert rep.migrations == 1
+        assert not rep.is_non_migratory
+
+    def test_preemptions_counted(self):
+        inst = _inst(Job(0, 2, 6, id=0))
+        rep = Schedule(
+            [Segment(0, 0, 0, 1), Segment(0, 0, 3, 4)]
+        ).verify(inst)
+        assert rep.preemptions == 1
+
+    def test_contiguous_machine_switch_counts_once(self):
+        inst = _inst(Job(0, 2, 4, id=0))
+        rep = Schedule(
+            [Segment(0, 0, 0, 1), Segment(0, 1, 1, 2)]
+        ).verify(inst)
+        assert rep.preemptions == 1
+
+    def test_speed_scaling(self):
+        inst = _inst(Job(0, 3, 4, id=0))
+        # at speed 3/2, 2 time units deliver 3 work units
+        rep = Schedule([Segment(0, 0, 0, 2)]).verify(inst, speed=Fraction(3, 2))
+        assert rep.feasible
+
+    def test_require_feasible_raises(self):
+        inst = _inst(Job(0, 2, 3, id=0))
+        rep = Schedule([]).verify(inst)
+        with pytest.raises(AssertionError):
+            rep.require_feasible()
+
+    def test_require_feasible_passthrough(self):
+        inst = _inst(Job(0, 2, 3, id=0))
+        rep = Schedule([Segment(0, 0, 0, 2)]).verify(inst)
+        assert rep.require_feasible() is rep

@@ -1,0 +1,61 @@
+"""Tests for the counterexample-search driver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.search import find_bad_instance
+from repro.generators import edf_trap_instance, loose_instance, uniform_random_instance
+from repro.online.edf import EDF
+from repro.online.llf import LLF
+
+
+class TestSearch:
+    def test_finds_edf_trap(self):
+        """Searching trap instances must immediately certify EDF's Ω(Δ)."""
+        report = find_bad_instance(
+            lambda: EDF(),
+            lambda seed: edf_trap_instance(6),
+            ratio_target=2.0,
+            max_trials=3,
+        )
+        assert report.found is not None
+        bad = report.found
+        assert bad.ratio == 3  # 6 machines vs OPT 2
+        assert bad.optimum == 2 and bad.policy_machines == 6
+
+    def test_no_counterexample_on_easy_family(self):
+        """LLF on loose instances: no ratio above 2 should exist."""
+        report = find_bad_instance(
+            lambda: LLF(),
+            lambda seed: loose_instance(12, Fraction(1, 3), seed=seed),
+            ratio_target=2.0,
+            max_trials=15,
+        )
+        assert report.found is None
+        assert report.trials == 15
+        assert report.worst_ratio <= 2.0
+
+    def test_opt_filter(self):
+        report = find_bad_instance(
+            lambda: EDF(),
+            lambda seed: uniform_random_instance(10, seed=seed),
+            ratio_target=100.0,  # never reached
+            max_trials=12,
+            opt_filter=lambda m: m == 2,
+        )
+        assert report.found is None
+        assert report.trials <= 12  # only OPT == 2 seeds counted
+
+    def test_deterministic(self):
+        args = dict(
+            policy_factory=lambda: EDF(),
+            instance_maker=lambda seed: uniform_random_instance(10, seed=seed),
+            ratio_target=10.0,
+            max_trials=8,
+        )
+        a = find_bad_instance(**args)
+        b = find_bad_instance(**args)
+        assert (a.worst_ratio, a.worst_seed, a.trials) == (
+            b.worst_ratio, b.worst_seed, b.trials
+        )

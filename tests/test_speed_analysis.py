@@ -1,0 +1,71 @@
+"""Tests for speed-requirement measurement (related-work machinery)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.speed import min_speed, speed_machines_tradeoff
+from repro.generators import uniform_random_instance
+from repro.model import Instance, Job
+from repro.offline.optimum import migratory_optimum
+from repro.online.edf import EDF
+from repro.online.nonmigratory import FirstFitEDF
+
+
+class TestMinSpeed:
+    def test_trivially_feasible_speed_one(self):
+        inst = Instance([Job(0, 1, 3, id=0)])
+        assert min_speed(lambda: EDF(), inst, 1) == 1
+
+    def test_exact_speed_for_parallel_units(self, parallel_units):
+        # EDF serializes the third unit job after the first two finish, so
+        # it needs speed 2 on 2 machines (an optimal migratory schedule
+        # would need only 3/2 — EDF pays for its rigidity here)
+        s = min_speed(lambda: EDF(), parallel_units, 2)
+        assert s == 2
+
+    def test_single_machine_speed_three(self, parallel_units):
+        assert min_speed(lambda: EDF(), parallel_units, 1) == 3
+
+    def test_hi_cap_returns_none(self, parallel_units):
+        assert min_speed(lambda: EDF(), parallel_units, 1, hi=2) is None
+
+    def test_empty_instance(self):
+        assert min_speed(lambda: EDF(), Instance([]), 1) == 1
+
+    def test_monotone_in_machines(self):
+        inst = uniform_random_instance(20, seed=2)
+        m = migratory_optimum(inst)
+        s_low = min_speed(lambda: FirstFitEDF(), inst, m)
+        s_high = min_speed(lambda: FirstFitEDF(), inst, m + 2)
+        assert s_high <= s_low
+
+    def test_precision_grid(self, parallel_units):
+        s = min_speed(lambda: EDF(), parallel_units, 2, precision=Fraction(1, 4))
+        assert s == 2  # representable on the coarser grid too
+
+
+class TestTradeoff:
+    def test_curve_monotone(self):
+        inst = uniform_random_instance(20, seed=5)
+        m = migratory_optimum(inst)
+        curve = speed_machines_tradeoff(
+            lambda: FirstFitEDF(), inst, range(m, m + 4)
+        )
+        speeds = [s for _, s in curve if s is not None]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_clt_constant_plausible(self):
+        """CLT [3]: speed 5.828 suffices non-migratorily on m machines.
+
+        Our first-fit black box is not their algorithm, but on random
+        instances its empirical speed requirement at m machines should sit
+        far below that worst-case constant."""
+        worst = Fraction(1)
+        for seed in range(4):
+            inst = uniform_random_instance(18, seed=seed)
+            m = migratory_optimum(inst)
+            s = min_speed(lambda: FirstFitEDF(), inst, m)
+            assert s is not None
+            worst = max(worst, s)
+        assert worst <= Fraction(1166, 200)  # 5.83

@@ -1,0 +1,218 @@
+"""Tests for the dispatcher, metrics, reporting, and Gantt rendering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.gantt import render_gantt, render_witness
+from repro.analysis.metrics import (
+    ScheduleStats,
+    evaluate_schedule,
+    theorem2_bound,
+    theorem13_bound,
+)
+from repro.analysis.report import format_table, print_table
+from repro.core.adversary.migration_gap import MigrationGapAdversary
+from repro.core.adversary.nonpreemptive import ClassBasedNonPreemptive
+from repro.core.splitter import classify, dispatch
+from repro.generators import (
+    agreeable_instance,
+    laminar_random,
+    loose_instance,
+    uniform_random_instance,
+)
+from repro.model import Instance, Job, Schedule, Segment
+from repro.online.nonmigratory import FirstFitEDF
+
+
+class TestClassify:
+    def test_empty(self):
+        assert classify(Instance([])) == "empty"
+
+    def test_loose(self):
+        assert classify(loose_instance(15, Fraction(1, 4), seed=0)) == "loose"
+
+    def test_agreeable(self):
+        inst = agreeable_instance(20, max_slack=2, seed=1)
+        if inst.max_density > Fraction(2, 5):
+            assert classify(inst) == "agreeable"
+
+    def test_laminar(self):
+        inst = laminar_random(20, density_range=(0.6, 0.9), seed=2)
+        assert classify(inst) == "laminar"
+
+    def test_general(self):
+        # proper overlap, tight, not agreeable
+        inst = Instance([Job(0, 4, 5, id=0), Job(1, 2, 9, id=1), Job(3, 4, 8, id=2)])
+        assert classify(inst) == "general"
+
+
+class TestDispatch:
+    @pytest.mark.parametrize(
+        "maker,expected",
+        [
+            (lambda: loose_instance(12, Fraction(1, 4), seed=3), "loose"),
+            (lambda: laminar_random(15, density_range=(0.6, 0.9), seed=4), "laminar"),
+            (lambda: Instance([]), "empty"),
+        ],
+    )
+    def test_routes_and_schedules(self, maker, expected):
+        inst = maker()
+        result = dispatch(inst)
+        assert result.instance_class == expected
+        if len(inst):
+            assert result.schedule.verify(inst).feasible
+
+    def test_general_fallback(self):
+        inst = Instance([Job(0, 4, 5, id=0), Job(1, 2, 9, id=1), Job(3, 4, 8, id=2)])
+        result = dispatch(inst)
+        assert result.instance_class == "general"
+        assert "Theorem 3" in result.guarantee
+        assert result.schedule.verify(inst).feasible
+
+    def test_agreeable_route(self):
+        inst = agreeable_instance(25, max_slack=1, seed=5)
+        result = dispatch(inst)
+        assert result.instance_class in ("agreeable", "loose")
+        assert result.schedule.verify(inst).feasible
+
+
+class TestMetrics:
+    def test_evaluate_basic(self, mcnaughton_instance):
+        sched = Schedule(
+            [Segment(0, 0, 0, 2), Segment(1, 1, 0, 2), Segment(2, 0, 2, 3),
+             Segment(2, 1, 2, 3)]
+        )
+        # deliberately infeasible (job 2 double-booked in parallel with itself)
+        stats = evaluate_schedule(mcnaughton_instance, sched)
+        assert not stats.feasible
+
+    def test_ratio_properties(self, parallel_units):
+        from repro.online.engine import simulate
+        from repro.online.edf import EDF
+
+        eng = simulate(EDF(), parallel_units, machines=3)
+        stats = evaluate_schedule(parallel_units, eng.schedule(), with_nonmigratory_opt=True)
+        assert stats.feasible
+        assert stats.machines_over_opt == 1
+        assert stats.competitive_ratio_upper == 1
+
+    def test_theorem_bounds(self):
+        assert theorem2_bound(3) == 13
+        assert theorem2_bound(0) == 0
+        assert theorem13_bound(2, Fraction(1, 2)) == 8
+
+
+class TestRendering:
+    def test_gantt_smoke(self):
+        sched = Schedule([Segment(0, 0, 0, 2), Segment(1, 1, 1, 3)])
+        art = render_gantt(sched, width=20)
+        assert "M0" in art and "M1" in art
+
+    def test_gantt_empty(self):
+        assert "empty" in render_gantt(Schedule([]))
+
+    def test_gantt_labels(self):
+        sched = Schedule([Segment(7, 0, 0, 1)])
+        art = render_gantt(sched, width=10, labels={7: "X"})
+        assert "X" in art
+
+    def test_render_witness_figure1(self):
+        adv = MigrationGapAdversary(FirstFitEDF(), machines=7)
+        res = adv.run(4)
+        art = render_witness(res.node, width=80)
+        assert "critical time" in art
+        assert "L" in art  # the long job appears
+
+    def test_format_table(self):
+        text = format_table("T", ["a", "bb"], [[1, Fraction(1, 2)], [22, 3.14159]])
+        assert "== T ==" in text
+        assert "0.500" in text
+        assert "3.142" in text
+
+    def test_print_table_smoke(self, capsys):
+        print_table("X", ["c"], [[True]])
+        out = capsys.readouterr().out
+        assert "yes" in out
+
+
+class TestClassBaseline:
+    def test_schedule_feasible_nonpreemptive(self):
+        inst = uniform_random_instance(20, max_slack=30, seed=6)
+        scheduler = ClassBasedNonPreemptive()
+        sched, per_class = scheduler.schedule(inst)
+        rep = sched.verify(inst)
+        assert rep.feasible
+        assert rep.preemptions == 0
+        assert rep.is_non_migratory
+
+    def test_class_count_tracks_delta(self):
+        inst = Instance([Job(0, 1, 40, id=0), Job(0, 9, 40, id=1), Job(0, 33, 40, id=2)])
+        assert ClassBasedNonPreemptive.class_count(inst) == 3
+
+    def test_machines_compact(self):
+        inst = uniform_random_instance(15, max_slack=40, seed=7)
+        scheduler = ClassBasedNonPreemptive()
+        sched, _ = scheduler.schedule(inst)
+        assert sched.machines() == tuple(range(sched.machines_used))
+
+
+class TestCompetitiveProfiler:
+    def test_ratio_profile_basic(self):
+        from fractions import Fraction as F
+
+        from repro.analysis.competitive import ratio_profile
+        from repro.generators import loose_instance
+        from repro.online.llf import LLF
+
+        profile = ratio_profile(
+            "LLF", lambda: LLF(), "loose",
+            lambda seed: loose_instance(12, F(1, 3), seed=seed), range(3),
+        )
+        assert profile.samples == 3
+        assert profile.worst >= profile.med >= 1.0 or profile.worst >= 1.0
+        assert profile.row()[0] == "LLF"
+
+    def test_profile_matrix_shape(self):
+        from fractions import Fraction as F
+
+        from repro.analysis.competitive import profile_matrix
+        from repro.generators import loose_instance
+        from repro.online.edf import EDF
+        from repro.online.llf import LLF
+
+        rows = profile_matrix(
+            {"EDF": lambda: EDF(), "LLF": lambda: LLF()},
+            {"loose": lambda seed: loose_instance(10, F(1, 3), seed=seed)},
+            range(2),
+        )
+        assert len(rows) == 2
+
+    def test_empty_samples_rejected(self):
+        from repro.analysis.competitive import ratio_profile
+        from repro.model import Instance
+        from repro.online.edf import EDF
+
+        with pytest.raises(ValueError):
+            ratio_profile("EDF", lambda: EDF(), "empty",
+                          lambda seed: Instance([]), range(2))
+
+
+class TestCsvOutput:
+    def test_format_csv(self):
+        from fractions import Fraction as F
+
+        from repro.analysis.report import format_csv
+
+        text = format_csv(["a", "b"], [[1, F(1, 2)], ["x,y", True]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,0.500"
+        assert '"x,y"' in lines[2]
+
+    def test_save_csv(self, tmp_path):
+        from repro.analysis.report import save_csv
+
+        path = tmp_path / "out.csv"
+        save_csv(str(path), ["h"], [[1], [2]])
+        assert path.read_text().startswith("h")

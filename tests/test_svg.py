@@ -1,0 +1,119 @@
+"""Structural tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.svg import render_svg, save_svg, witness_svg
+from repro.core.adversary.migration_gap import MigrationGapAdversary
+from repro.model import Schedule, Segment
+from repro.online.nonmigratory import FirstFitEDF
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestRenderSvg:
+    def test_empty(self):
+        root = _parse(render_svg(Schedule([])))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_segment_plus_rows(self):
+        sched = Schedule([Segment(0, 0, 0, 2), Segment(1, 1, 1, 3)])
+        root = _parse(render_svg(sched))
+        rects = root.findall(f"{SVG_NS}rect")
+        # 2 machine background rows + 2 segments
+        assert len(rects) == 4
+
+    def test_well_formed_with_title_and_markers(self):
+        sched = Schedule([Segment(0, 0, 0, 4)])
+        svg = render_svg(
+            sched, title="demo", markers={"t0": Fraction(2)}
+        )
+        root = _parse(svg)
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "demo" in texts
+        assert "t0" in texts
+        assert root.findall(f"{SVG_NS}line")
+
+    def test_custom_colors(self):
+        sched = Schedule([Segment(7, 0, 0, 1)])
+        svg = render_svg(sched, colors={7: "#123456"})
+        assert "#123456" in svg
+
+    def test_tooltips_carry_exact_times(self):
+        sched = Schedule([Segment(0, 0, Fraction(1, 3), Fraction(2, 3))])
+        assert "[1/3, 2/3)" in render_svg(sched)
+
+    def test_save(self, tmp_path):
+        sched = Schedule([Segment(0, 0, 0, 1)])
+        path = tmp_path / "out.svg"
+        save_svg(sched, str(path), title="x")
+        assert path.read_text().startswith("<svg")
+
+
+class TestWitnessSvg:
+    def test_figure1_svg(self):
+        adversary = MigrationGapAdversary(FirstFitEDF(), machines=7)
+        result = adversary.run(4)
+        svg = witness_svg(result.node)
+        root = _parse(svg)
+        # three machine rows + segments; the t0 marker present
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "t0" in texts
+        assert any(t and t.startswith("Lemma 2") for t in texts)
+
+
+class TestSeriesChart:
+    def test_empty(self):
+        from repro.analysis.svg import render_series_svg
+
+        assert "no data" in render_series_svg({})
+
+    def test_multi_series_structure(self):
+        from repro.analysis.svg import render_series_svg
+
+        svg = render_series_svg(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]},
+            title="T", x_label="x", y_label="y",
+        )
+        root = _parse(svg)
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 2
+        circles = root.findall(f"{SVG_NS}circle")
+        assert len(circles) == 4
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert {"T", "x", "y", "a", "b"} <= set(texts)
+
+    def test_degenerate_single_point(self):
+        from repro.analysis.svg import render_series_svg
+
+        _parse(render_series_svg({"a": [(1, 1)]}))
+
+
+class TestScheduleStats:
+    def test_busy_time(self):
+        from repro.model import Schedule, Segment
+
+        s = Schedule([Segment(0, 0, 0, 2), Segment(1, 1, 1, 4)])
+        assert s.busy_time() == 5
+        assert s.busy_time(machine=0) == 2
+
+    def test_machine_utilization(self):
+        from fractions import Fraction
+
+        from repro.model import Schedule, Segment
+
+        s = Schedule([Segment(0, 0, 0, 2), Segment(1, 1, 0, 4)])
+        util = s.machine_utilization()
+        assert util[0] == Fraction(1, 2)
+        assert util[1] == 1
+
+    def test_empty_utilization(self):
+        from repro.model import Schedule
+
+        assert Schedule([]).machine_utilization() == {}

@@ -1,0 +1,122 @@
+"""Tests for the Theorem 1 workload characterization machinery."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.model import Instance, Job
+from repro.model.intervals import IntervalUnion
+from repro.offline.optimum import migratory_optimum
+from repro.offline.workload import (
+    best_single_interval,
+    contribution,
+    density,
+    greedy_union_lower_bound,
+    machines_bound,
+    single_interval_lower_bound,
+    total_contribution,
+    trivial_lower_bounds,
+)
+
+from tests.strategies import instances_st
+
+
+class TestContribution:
+    def test_full_overlap_zero_laxity(self):
+        j = Job(0, 2, 2, id=0)
+        assert contribution(j, IntervalUnion.single(0, 2)) == 2
+
+    def test_laxity_subtracted(self):
+        j = Job(0, 2, 6)  # laxity 4
+        assert contribution(j, IntervalUnion.single(0, 6)) == 2
+        assert contribution(j, IntervalUnion.single(0, 5)) == 1
+
+    def test_clamped_at_zero(self):
+        j = Job(0, 2, 6)
+        assert contribution(j, IntervalUnion.single(0, 3)) == 0
+
+    def test_disjoint_region(self):
+        j = Job(0, 2, 4)
+        assert contribution(j, IntervalUnion.single(10, 12)) == 0
+
+    def test_union_region(self):
+        j = Job(0, 4, 6)  # laxity 2
+        region = IntervalUnion.from_pairs([(0, 2), (4, 6)])
+        assert contribution(j, region) == 2  # overlap 4 − laxity 2
+
+    def test_total_contribution_sums(self):
+        inst = Instance([Job(0, 2, 2, id=0), Job(0, 1, 1, id=1)])
+        assert total_contribution(inst, IntervalUnion.single(0, 2)) == 3
+
+
+class TestDensityBounds:
+    def test_density_empty_region(self):
+        inst = Instance([Job(0, 1, 1, id=0)])
+        assert density(inst, IntervalUnion.empty()) == 0
+
+    def test_machines_bound_ceiling(self):
+        inst = Instance([Job(0, 1, 1, id=i) for i in range(3)])
+        assert machines_bound(inst, IntervalUnion.single(0, 1)) == 3
+
+    def test_single_interval_bound_parallel_units(self, parallel_units):
+        assert single_interval_lower_bound(parallel_units) == 3
+
+    def test_single_interval_bound_mcnaughton(self, mcnaughton_instance):
+        assert single_interval_lower_bound(mcnaughton_instance) == 2
+
+    def test_witness_returned(self, parallel_units):
+        best, witness = best_single_interval(parallel_units)
+        assert best == 3
+        assert witness is not None
+
+    @given(instances_st(max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_single_interval_is_valid_lower_bound(self, inst):
+        assert single_interval_lower_bound(inst) <= migratory_optimum(inst)
+
+    @given(instances_st(max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_union_is_valid_lower_bound(self, inst):
+        bound, region = greedy_union_lower_bound(inst)
+        assert bound <= migratory_optimum(inst)
+        # the certified density must match the returned region
+        assert machines_bound(inst, region) == bound
+
+    @given(instances_st(max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_union_at_least_single(self, inst):
+        bound, _ = greedy_union_lower_bound(inst)
+        assert bound >= single_interval_lower_bound(inst)
+
+    @given(instances_st(max_size=5))
+    @settings(max_examples=25, deadline=None)
+    def test_trivial_bounds_valid(self, inst):
+        assert trivial_lower_bounds(inst) <= migratory_optimum(inst)
+
+
+class TestTheorem1Equality:
+    """Theorem 1: some interval union achieves ceil density == OPT."""
+
+    def test_equality_on_parallel_units(self, parallel_units):
+        assert single_interval_lower_bound(parallel_units) == migratory_optimum(
+            parallel_units
+        )
+
+    def test_equality_on_disconnected_peaks(self):
+        # two separated overload peaks: a union certifies more than any
+        # single interval would on the same *average* density
+        jobs = [Job(0, 1, 1, id=i) for i in range(2)]
+        jobs += [Job(10, 1, 11, id=2 + i) for i in range(2)]
+        inst = Instance(jobs)
+        bound, _ = greedy_union_lower_bound(inst)
+        assert bound == migratory_optimum(inst) == 2
+
+    @given(instances_st(max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_union_often_tight(self, inst):
+        """The greedy certificate never exceeds OPT (tightness measured in
+        the benchmark E-T1, not asserted here: greediness may lose)."""
+        bound, _ = greedy_union_lower_bound(inst)
+        opt = migratory_optimum(inst)
+        assert 0 <= bound <= opt

@@ -1,0 +1,165 @@
+"""One-shot verification of every headline claim (CI smoke).
+
+Runs a condensed end-to-end check of each theorem's empirical content and
+prints PASS/FAIL per claim; exits non-zero on any failure.  Much faster
+than the full benchmark suite (~30 s) — the claims are the same, the
+parameter grids are smaller.
+
+    python tools/verify_repro.py
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+FAILURES = []
+
+
+def check(name: str, fn) -> None:
+    start = time.time()
+    try:
+        fn()
+        print(f"  PASS  {name}  ({time.time() - start:.1f}s)")
+    except Exception as exc:  # noqa: BLE001 - report and continue
+        FAILURES.append((name, exc))
+        print(f"  FAIL  {name}: {exc}")
+
+
+def t3_lower_bound() -> None:
+    from repro.core.adversary.migration_gap import MigrationGapAdversary
+    from repro.offline.optimum import migratory_optimum
+    from repro.online.nonmigratory import FirstFitEDF
+
+    adv = MigrationGapAdversary(FirstFitEDF(), machines=9)
+    res = adv.run(6)
+    assert res.machines_forced == 6, "adversary failed to force 6 machines"
+    assert res.machines_forced >= math.log2(res.n_jobs) - 1
+    rep = res.offline_witness().verify(res.instance)
+    assert rep.feasible and rep.machines_used <= 3, "witness broken"
+    assert migratory_optimum(res.instance) <= 3
+
+
+def t5_loose() -> None:
+    from repro.core.loose import LooseAlgorithm
+    from repro.generators import loose_instance
+    from repro.offline.optimum import migratory_optimum
+
+    inst = loose_instance(40, Fraction(1, 3), seed=1)
+    result = LooseAlgorithm(Fraction(1, 3)).run(inst)
+    result.schedule.verify(inst).require_feasible()
+    assert result.machines <= 8 * migratory_optimum(inst)
+
+
+def t9_laminar() -> None:
+    from repro.core.laminar import LaminarAlgorithm
+    from repro.generators import laminar_random
+    from repro.offline.optimum import migratory_optimum
+
+    inst = laminar_random(30, seed=2)
+    result = LaminarAlgorithm().run(inst)
+    rep = result.schedule.verify(inst)
+    assert rep.feasible and rep.is_non_migratory
+    m = migratory_optimum(inst)
+    assert result.machines <= 8 * m * (math.log2(max(m, 2)) + 1) + 8
+
+
+def t12_agreeable() -> None:
+    from repro.core.agreeable import AgreeableAlgorithm, optimal_alpha
+    from repro.generators import agreeable_instance
+    from repro.offline.optimum import migratory_optimum
+
+    _, bound = optimal_alpha(5000)
+    assert abs(float(bound) - 32.70) < 0.01, "the 32.70 constant is off"
+    inst = agreeable_instance(40, seed=3)
+    algo = AgreeableAlgorithm()
+    result = algo.run(inst)
+    rep = result.schedule.verify(inst)
+    assert rep.feasible and rep.preemptions == 0
+    assert result.machines <= algo.theorem12_bound(migratory_optimum(inst))
+
+
+def t15_agreeable_lb() -> None:
+    from repro.core.adversary.agreeable_lb import AgreeableAdversary
+    from repro.online.edf import EDF
+
+    dead = AgreeableAdversary(EDF(), m=40, machines=44).run(12)
+    alive = AgreeableAdversary(EDF(), m=40, machines=60).run(12)
+    assert dead.missed, "EDF survived below the 1.1010 threshold"
+    assert not alive.missed, "EDF died with generous capacity"
+
+
+def t1_characterization() -> None:
+    from repro.generators import uniform_random_instance
+    from repro.offline.optimum import migratory_optimum
+    from repro.offline.workload import greedy_union_lower_bound
+
+    tight = 0
+    for seed in range(6):
+        inst = uniform_random_instance(10, horizon=20, seed=seed)
+        bound, _ = greedy_union_lower_bound(inst)
+        opt = migratory_optimum(inst)
+        assert bound <= opt
+        tight += bound == opt
+    assert tight >= 4, "the Theorem 1 certificate is rarely tight"
+
+
+def t2_statement() -> None:
+    from repro.generators import uniform_random_instance
+    from repro.offline.nonmigratory import exact_nonmigratory_optimum
+    from repro.offline.optimum import migratory_optimum
+
+    for seed in range(4):
+        inst = uniform_random_instance(9, horizon=12, seed=seed)
+        m = migratory_optimum(inst)
+        assert exact_nonmigratory_optimum(inst) <= 6 * m - 5
+
+
+def baselines() -> None:
+    from repro.generators import edf_trap_instance
+    from repro.online.edf import EDF
+    from repro.online.engine import min_machines
+    from repro.online.llf import LLF
+
+    inst = edf_trap_instance(10)
+    assert min_machines(lambda k: EDF(), inst) == 10
+    assert min_machines(lambda k: LLF(), inst) == 2
+
+
+def np_regime() -> None:
+    from repro.core.adversary.np_trap import NonPreemptiveTrapAdversary
+    from repro.offline.nonpreemptive import exact_np_optimum
+    from repro.online.edf import NonPreemptiveEDF
+
+    adv = NonPreemptiveTrapAdversary(NonPreemptiveEDF(), machines=7)
+    res = adv.run(5)
+    assert res.machines_forced == 5
+    assert exact_np_optimum(res.instance) <= 3
+
+
+def main() -> int:
+    print("verify_repro: condensed headline-claim checks\n")
+    check("Theorem 3/4 + Figure 1 (Ω(log n) vs 3-machine witness)", t3_lower_bound)
+    check("Theorem 5/6/8 (O(m) for α-loose)", t5_loose)
+    check("Theorem 9/11 (O(m log m) for laminar)", t9_laminar)
+    check("Theorem 12/14 + Lemma 8 (32.70·m for agreeable)", t12_agreeable)
+    check("Theorem 15 + Lemma 9 ((6−2√6)·m threshold)", t15_agreeable_lb)
+    check("Theorem 1 (workload characterization)", t1_characterization)
+    check("Theorem 2 (6m−5 statement)", t2_statement)
+    check("Related work: EDF Ω(Δ) vs LLF (trap family)", baselines)
+    check("Related work: non-preemptive Ω(log Δ) (nesting trap)", np_regime)
+    print()
+    if FAILURES:
+        print(f"{len(FAILURES)} claim(s) FAILED")
+        return 1
+    print("all headline claims verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
