@@ -42,9 +42,14 @@ def dominates(j: Job, jprime: Job) -> bool:
 
 
 class Instance:
-    """An immutable set of jobs in canonical (paper) order."""
+    """An immutable set of jobs in canonical (paper) order.
 
-    __slots__ = ("jobs", "_by_id")
+    Immutability is load-bearing: derived structure (the feasibility core's
+    elementary intervals, scales, and flow verdicts) is memoized on the
+    instance itself in the ``_feas_cache`` slot and can never go stale.
+    """
+
+    __slots__ = ("jobs", "_by_id", "_feas_cache")
 
     jobs: Tuple[Job, ...]
 
@@ -57,6 +62,7 @@ class Instance:
             by_id[job.id] = job
         object.__setattr__(self, "jobs", ordered)
         object.__setattr__(self, "_by_id", by_id)
+        object.__setattr__(self, "_feas_cache", None)
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Instance is immutable")
@@ -82,6 +88,9 @@ class Instance:
         if not isinstance(other, Instance):
             return NotImplemented
         return self.jobs == other.jobs
+
+    def __hash__(self) -> int:
+        return hash(self.jobs)
 
     def __repr__(self) -> str:
         return f"Instance(n={len(self.jobs)})"

@@ -8,7 +8,11 @@ from .nonpreemptive import (
     single_machine_np_schedule,
 )
 from .migration_elimination import eliminate_migration, majority_machine, theorem2_blowup
+from .dinic import Dinic, FeasibilityNetwork
+from .feascache import CacheStats, FeasibilityCache, cache_for
 from .flow import (
+    BACKENDS,
+    DEFAULT_BACKEND,
     max_flow_assignment,
     mcnaughton,
     migratory_feasible,
@@ -30,12 +34,21 @@ from .workload import (
     density,
     greedy_union_lower_bound,
     machines_bound,
+    scaled_lower_bound,
     single_interval_lower_bound,
     total_contribution,
     trivial_lower_bounds,
 )
 
 __all__ = [
+    "Dinic",
+    "FeasibilityNetwork",
+    "CacheStats",
+    "FeasibilityCache",
+    "cache_for",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "scaled_lower_bound",
     "lp_feasible",
     "exact_np_optimum",
     "np_first_fit",

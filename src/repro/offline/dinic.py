@@ -1,0 +1,247 @@
+"""A dedicated integer Dinic max-flow solver for the feasibility core.
+
+Horn's feasibility test (``flow.py``) is the inner loop of every experiment:
+``migratory_optimum`` binary-searches it, and the analysis layer calls that
+optimum for every sampled instance.  The generic ``networkx`` solver pays
+for per-node hashing, ``dict``-of-``dict`` adjacency, and graph construction
+on every probe.  This module replaces it on the hot path with
+
+* :class:`Dinic` — max-flow on flat parallel arrays (``to`` / ``cap`` /
+  per-node edge lists), reverse edge of edge ``e`` is ``e ^ 1``, blocking
+  flows found by an iterative DFS (no recursion limits at scale);
+* :class:`FeasibilityNetwork` — the ``source → job → interval → sink``
+  network specialized to the job/interval bipartite structure: interval
+  capacities are computed once, a job's interval range is located by
+  bisection (every release/deadline is an event point), and the ``m·|E_k|``
+  sink capacities can be *grown in place*, so a solved flow at ``m``
+  machines warm-starts the probe at any ``m' > m`` (capacities only grow —
+  the previous flow stays feasible and Dinic continues on the residual).
+
+Snapshots (:meth:`FeasibilityNetwork.snapshot` / ``restore``) make the
+warm start usable inside a *binary* search, whose probe sequence is not
+monotone: restoring the nearest snapshot below the target ``m`` replaces a
+from-scratch rebuild with one array copy.
+
+Everything is integral: callers scale rational data by the common
+denominator (see ``flow._common_scale``), so ``flow == total demand`` is an
+exact feasibility verdict.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+
+class Dinic:
+    """Integer max-flow on flat adjacency arrays.
+
+    Edges are stored in pairs: ``add_edge`` appends the forward edge at an
+    even index ``e`` and its reverse (capacity 0) at ``e ^ 1``; the flow on
+    ``e`` is therefore ``cap[e ^ 1]`` as long as callers only ever *grow*
+    forward capacities (the warm-start contract).
+    """
+
+    __slots__ = ("n", "to", "cap", "adj")
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n = n_nodes
+        self.to: List[int] = []
+        self.cap: List[int] = []
+        self.adj: List[List[int]] = [[] for _ in range(n_nodes)]
+
+    def add_edge(self, u: int, v: int, capacity: int) -> int:
+        """Add ``u → v`` with the given capacity; returns the edge id."""
+        e = len(self.to)
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.adj[u].append(e)
+        self.to.append(u)
+        self.cap.append(0)
+        self.adj[v].append(e + 1)
+        return e
+
+    def edge_flow(self, e: int) -> int:
+        """Flow currently routed through forward edge ``e``."""
+        return self.cap[e ^ 1]
+
+    def max_flow(self, s: int, t: int) -> int:
+        """Push a maximum flow from ``s`` to ``t``; returns the amount *added*.
+
+        Starting from the current residual capacities, so repeated calls
+        after capacity increases implement a warm start.
+        """
+        to, cap, adj = self.to, self.cap, self.adj
+        added = 0
+        while True:
+            # BFS: level graph over the residual network.
+            level = [-1] * self.n
+            level[s] = 0
+            queue = deque((s,))
+            while queue:
+                u = queue.popleft()
+                lu = level[u] + 1
+                for e in adj[u]:
+                    v = to[e]
+                    if cap[e] and level[v] < 0:
+                        level[v] = lu
+                        queue.append(v)
+            if level[t] < 0:
+                return added
+            # Blocking flow: iterative DFS with current-arc pointers.
+            it = [0] * self.n
+            path: List[int] = []  # edge ids from s to the current node
+            u = s
+            while True:
+                if u == t:
+                    aug = min(cap[e] for e in path)
+                    added += aug
+                    for e in path:
+                        cap[e] -= aug
+                        cap[e ^ 1] += aug
+                    # Retreat to the shallowest saturated edge.
+                    cut = next(i for i, e in enumerate(path) if not cap[e])
+                    del path[cut + 1 :]
+                    e = path.pop()
+                    u = to[e ^ 1]
+                    it[u] += 1
+                    continue
+                edges = adj[u]
+                i = it[u]
+                lu = level[u] + 1
+                advanced = False
+                while i < len(edges):
+                    e = edges[i]
+                    v = to[e]
+                    if cap[e] and level[v] == lu:
+                        advanced = True
+                        break
+                    i += 1
+                it[u] = i
+                if advanced:
+                    path.append(e)
+                    u = v
+                elif path:
+                    level[u] = -1  # dead end: prune from this phase
+                    e = path.pop()
+                    u = to[e ^ 1]
+                    it[u] += 1
+                else:
+                    break  # source exhausted: blocking flow complete
+
+
+class FeasibilityNetwork:
+    """Horn's feasibility network with in-place machine-count scaling.
+
+    Nodes: ``0`` source, ``1`` sink, then one per job, then one per
+    elementary interval.  Built once per ``(instance, speed)`` with the sink
+    arcs at ``m = 0``; :meth:`set_machines` grows them to ``m · |E_k|``.
+    ``intervals`` and ``scale`` come from the caller (typically the
+    per-instance cache) so the Fraction arithmetic happens exactly once.
+    """
+
+    SOURCE = 0
+    SINK = 1
+
+    __slots__ = (
+        "dinic",
+        "iv_caps",
+        "sink_edges",
+        "source_edges",
+        "job_edges",
+        "job_ids",
+        "total_demand",
+        "machines",
+        "flow",
+    )
+
+    def __init__(
+        self,
+        instance,
+        speed: Fraction,
+        intervals: Sequence[Tuple[Fraction, Fraction]],
+        scale: int,
+    ) -> None:
+        n = len(instance)
+        n_iv = len(intervals)
+        dinic = Dinic(2 + n + n_iv)
+        # One exact multiplication per interval; job→interval arcs reuse it
+        # (a job cannot self-parallelize, so its per-interval cap equals the
+        # interval's unit capacity).
+        iv_caps = [int((b - a) * speed * scale) for a, b in intervals]
+        self.sink_edges = [
+            dinic.add_edge(2 + n + k, self.SINK, 0) for k in range(n_iv)
+        ]
+        starts = [a for a, _ in intervals]
+        self.source_edges: List[int] = []
+        self.job_edges: List[List[Tuple[int, int]]] = []  # per job: (edge, k)
+        self.job_ids: List[int] = []
+        total = 0
+        for idx, job in enumerate(instance):
+            demand = int(job.processing * scale)
+            total += demand
+            self.source_edges.append(dinic.add_edge(self.SOURCE, 2 + idx, demand))
+            # Every release/deadline is an event point, so the intervals
+            # inside [r_j, d_j) are exactly a contiguous bisected range.
+            k0 = bisect_left(starts, job.release)
+            k1 = bisect_left(starts, job.deadline)
+            self.job_edges.append(
+                [
+                    (dinic.add_edge(2 + idx, 2 + n + k, iv_caps[k]), k)
+                    for k in range(k0, k1)
+                ]
+            )
+            self.job_ids.append(job.id)
+        self.dinic = dinic
+        self.iv_caps = iv_caps
+        self.total_demand = total
+        self.machines = 0
+        self.flow = 0
+
+    # -- warm-started probing -------------------------------------------------
+
+    def set_machines(self, m: int) -> None:
+        """Grow sink capacities to ``m`` machines (``m ≥`` current)."""
+        delta = m - self.machines
+        if delta < 0:
+            raise ValueError("capacities only grow; restore a snapshot instead")
+        if delta:
+            cap = self.dinic.cap
+            for e, c in zip(self.sink_edges, self.iv_caps):
+                cap[e] += delta * c
+            self.machines = m
+        # delta == 0: nothing to do — the flow already matches this m.
+
+    def solve(self) -> int:
+        """Continue the max flow on the current residual; returns the total."""
+        self.flow += self.dinic.max_flow(self.SOURCE, self.SINK)
+        return self.flow
+
+    @property
+    def feasible(self) -> bool:
+        return self.flow == self.total_demand
+
+    def snapshot(self) -> Tuple[int, List[int], int]:
+        """Cheap copyable state: ``(machines, capacities, flow)``."""
+        return (self.machines, list(self.dinic.cap), self.flow)
+
+    def restore(self, state: Tuple[int, List[int], int]) -> None:
+        self.machines, cap, self.flow = state
+        self.dinic.cap = list(cap)
+
+    # -- extraction -----------------------------------------------------------
+
+    def work_by_job(self, speed: Fraction, scale: int) -> Dict[int, Dict[int, Fraction]]:
+        """``work[job_id][k]`` — machine time per elementary interval."""
+        cap = self.dinic.cap
+        work: Dict[int, Dict[int, Fraction]] = {}
+        for job_id, edges in zip(self.job_ids, self.job_edges):
+            row: Dict[int, Fraction] = {}
+            for e, k in edges:
+                amount = cap[e ^ 1]  # flow on the forward edge, in work units
+                if amount:
+                    row[k] = Fraction(amount, scale) / speed
+            work[job_id] = row
+        return work

@@ -1,0 +1,187 @@
+"""Per-instance memoization for the feasibility core.
+
+Every analysis entry point (``analysis.metrics``, ``analysis.competitive``,
+``analysis.search``, ``offline.nonmigratory``, ``realtime.analysis``)
+bottoms out in the same two primitives: the elementary-interval structure of
+an instance and the feasibility verdict at some ``(m, speed)``.  Before this
+module each caller recomputed both from scratch — the binary search in
+``migratory_optimum`` alone re-derived the event intervals and the common
+denominator on *every* probe.
+
+:class:`FeasibilityCache` hangs off the :class:`~repro.model.instance.Instance`
+itself (instances are immutable, so nothing can invalidate the memo):
+
+* ``intervals`` / ``base_scale`` — computed once per instance,
+* ``verdicts`` — resolved ``(m, speed) → feasible`` answers, shared by every
+  caller that probes the same instance,
+* per-speed :class:`~repro.offline.dinic.FeasibilityNetwork` solvers with
+  snapshot/restore, so a binary search's non-monotone probe sequence costs
+  one network build plus warm-started residual pushes (capacities only grow
+  with ``m``; a probe below the solver's current state restores the nearest
+  snapshot instead of rebuilding).
+
+``stats`` counts probes/hits so tests can pin the ``O(log(hi − lo))``
+probe-complexity contract and the cross-caller cache behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..model.instance import Instance
+from .dinic import FeasibilityNetwork
+
+
+@dataclass
+class CacheStats:
+    """Counters for the cache's observable behaviour (used by tests)."""
+
+    probes: int = 0  # feasibility questions answered by a flow computation
+    verdict_hits: int = 0  # answered from the (m, speed) memo
+    network_builds: int = 0  # cold FeasibilityNetwork constructions
+    restores: int = 0  # snapshot restores (probe below current m)
+
+
+class _SpeedState:
+    """Incremental solver state for one ``(instance, speed)`` pair."""
+
+    __slots__ = ("network", "snapshots")
+
+    def __init__(self, network: FeasibilityNetwork) -> None:
+        self.network = network
+        # m → (machines, cap[], flow); always contains the m = 0 base state.
+        self.snapshots: Dict[int, Tuple[int, List[int], int]] = {
+            0: network.snapshot()
+        }
+
+
+class FeasibilityCache:
+    """Instance-lifetime memo for Horn's feasibility flow."""
+
+    __slots__ = ("instance", "_intervals", "_base_scale", "_verdicts",
+                 "_speed_states", "stats")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self._intervals: Optional[List[Tuple[Fraction, Fraction]]] = None
+        self._base_scale: Optional[int] = None
+        self._verdicts: Dict[Tuple[int, Fraction], bool] = {}
+        self._speed_states: Dict[Fraction, _SpeedState] = {}
+        self.stats = CacheStats()
+
+    # -- memoized instance structure -----------------------------------------
+
+    @property
+    def intervals(self) -> List[Tuple[Fraction, Fraction]]:
+        """Elementary intervals between consecutive release/deadline events."""
+        if self._intervals is None:
+            points = sorted(
+                {j.release for j in self.instance}
+                | {j.deadline for j in self.instance}
+            )
+            self._intervals = [
+                (a, b) for a, b in zip(points, points[1:]) if b > a
+            ]
+        return self._intervals
+
+    @property
+    def base_scale(self) -> int:
+        """LCM of all denominators appearing in the instance data."""
+        if self._base_scale is None:
+            scale = 1
+            for j in self.instance:
+                for d in (
+                    j.release.denominator,
+                    j.deadline.denominator,
+                    j.processing.denominator,
+                ):
+                    scale = scale * d // math.gcd(scale, d)
+            self._base_scale = scale
+        return self._base_scale
+
+    def scale_for(self, speed: Fraction) -> int:
+        """Scale making both ``p_j`` and ``(b − a)·speed`` integral.
+
+        ``lcm(base, q) · q`` for ``speed = p/q`` — the extra factor of ``q``
+        guarantees divisibility of the *product* of two fractional factors
+        (matches ``flow._common_scale(instance, extra=[speed]) · q``).
+        """
+        q = speed.denominator
+        base = self.base_scale
+        return (base * q // math.gcd(base, q)) * q
+
+    # -- incremental feasibility ----------------------------------------------
+
+    def network_for(self, speed: Fraction) -> FeasibilityNetwork:
+        """The warm solver for this speed (built on first use)."""
+        return self._state_for(speed).network
+
+    def _state_for(self, speed: Fraction) -> _SpeedState:
+        state = self._speed_states.get(speed)
+        if state is None:
+            network = FeasibilityNetwork(
+                self.instance, speed, self.intervals, self.scale_for(speed)
+            )
+            state = _SpeedState(network)
+            self._speed_states[speed] = state
+            self.stats.network_builds += 1
+        return state
+
+    def solved_network(self, m: int, speed: Fraction) -> FeasibilityNetwork:
+        """The speed's network holding a maximum flow at exactly ``m``.
+
+        Invariant: outside this method the network always carries a maximum
+        flow for its current machine count, and every probed ``m`` has a
+        post-solve snapshot.  A request above the current state grows the
+        sink capacities in place and continues on the residual; a request
+        below restores the nearest snapshot at or below ``m`` (the ``m = 0``
+        base always exists) instead of rebuilding.
+        """
+        state = self._state_for(speed)
+        network = state.network
+        if m != network.machines:
+            exact = state.snapshots.get(m)
+            if exact is not None:
+                # This m was probed before: restoring is a pure array copy.
+                network.restore(exact)
+                self.stats.restores += 1
+            elif m < network.machines:
+                best = max(mm for mm in state.snapshots if mm <= m)
+                network.restore(state.snapshots[best])
+                self.stats.restores += 1
+        if m != network.machines:
+            network.set_machines(m)
+            network.solve()
+            state.snapshots[m] = network.snapshot()
+            self.stats.probes += 1
+            self._verdicts[(m, speed)] = network.feasible
+        return network
+
+    def feasible(self, m: int, speed: Fraction) -> bool:
+        """Memoized feasibility verdict, warm-starting across probes."""
+        if len(self.instance) == 0:
+            return True
+        if m <= 0:
+            return False
+        cached = self._verdicts.get((m, speed))
+        if cached is not None:
+            self.stats.verdict_hits += 1
+            return cached
+        return self.solved_network(m, speed).feasible
+
+
+def cache_for(instance: Instance) -> FeasibilityCache:
+    """The instance's cache, created on first request.
+
+    The cache lives in a slot on the (immutable) instance, so it shares the
+    instance's lifetime exactly: no global registry, no id-reuse hazards,
+    and equal-but-distinct instances keep independent solvers.
+    """
+    cache = instance._feas_cache
+    if cache is None:
+        cache = FeasibilityCache(instance)
+        object.__setattr__(instance, "_feas_cache", cache)
+    return cache

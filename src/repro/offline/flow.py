@@ -16,6 +16,16 @@ All rational data is scaled by the common denominator so the flow problem is
 *integral* and the answer is exact.  A feasible flow is turned into an
 explicit migratory :class:`~repro.model.schedule.Schedule` by McNaughton's
 wrap-around rule inside each elementary interval.
+
+Two interchangeable solver backends answer the flow question:
+
+* ``"dinic"`` (default) — the flat-array solver in
+  :mod:`repro.offline.dinic`, fed by the per-instance memo in
+  :mod:`repro.offline.feascache` (event intervals, scales, and verdicts are
+  computed once per instance; feasibility probes warm-start each other);
+* ``"networkx"`` — the original generic ``nx.maximum_flow`` formulation,
+  kept as an independent implementation for differential testing and as the
+  baseline in ``benchmarks/bench_scale.py``.
 """
 
 from __future__ import annotations
@@ -29,25 +39,39 @@ import networkx as nx
 from ..model.instance import Instance
 from ..model.intervals import Numeric, to_fraction
 from ..model.schedule import Schedule, Segment
+from .feascache import cache_for
 
 _SOURCE = "s"
 _SINK = "t"
 
+#: Solver backends accepted by :func:`max_flow_assignment` and friends.
+BACKENDS = ("dinic", "networkx")
+DEFAULT_BACKEND = "dinic"
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown flow backend {backend!r}; expected one of {BACKENDS}")
+
 
 def _event_intervals(instance: Instance) -> List[Tuple[Fraction, Fraction]]:
-    """Elementary intervals between consecutive release/deadline events."""
-    points = sorted({j.release for j in instance} | {j.deadline for j in instance})
-    return [(a, b) for a, b in zip(points, points[1:]) if b > a]
+    """Elementary intervals between consecutive release/deadline events.
+
+    Memoized per instance — instances are immutable, so the structure is
+    computed at most once no matter how many probes ask for it.
+    """
+    return cache_for(instance).intervals
 
 
 def _common_scale(instance: Instance, extra: Sequence[Fraction] = ()) -> int:
-    """LCM of all denominators appearing in the instance (and ``extra``)."""
-    denoms = [j.release.denominator for j in instance]
-    denoms += [j.deadline.denominator for j in instance]
-    denoms += [j.processing.denominator for j in instance]
-    denoms += [x.denominator for x in extra]
-    scale = 1
-    for d in denoms:
+    """LCM of all denominators appearing in the instance (and ``extra``).
+
+    The instance part is memoized per instance; only the (tiny) ``extra``
+    fold-in is recomputed.
+    """
+    scale = cache_for(instance).base_scale
+    for x in extra:
+        d = x.denominator
         scale = scale * d // math.gcd(scale, d)
     return scale
 
@@ -73,8 +97,25 @@ def _build_network(
     return graph
 
 
+def _scaled_inputs(
+    instance: Instance, speed: Fraction
+) -> Tuple[List[Tuple[Fraction, Fraction]], int]:
+    """Memoized ``(intervals, scale)`` for one ``(instance, speed)`` pair.
+
+    Capacities ``(b−a)·speed·scale`` and ``p_j·scale`` must be integral:
+    take the LCM of all data denominators and one extra factor of
+    ``speed.denominator`` (the LCM alone does not guarantee divisibility of
+    the *product* of two fractional factors).
+    """
+    cache = cache_for(instance)
+    return cache.intervals, cache.scale_for(speed)
+
+
 def max_flow_assignment(
-    instance: Instance, m: int, speed: Numeric = 1
+    instance: Instance,
+    m: int,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
 ) -> Tuple[bool, Dict[int, Dict[int, Fraction]], List[Tuple[Fraction, Fraction]]]:
     """Solve the feasibility flow for ``m`` speed-``speed`` machines.
 
@@ -82,17 +123,16 @@ def max_flow_assignment(
     amount of *machine time* job ``job_id`` spends in elementary interval
     ``k`` in a maximum flow (work equals machine time times speed).
     """
+    _check_backend(backend)
     if len(instance) == 0:
         return True, {}, []
     if m <= 0:
         return False, {}, []
     speed = to_fraction(speed)
-    intervals = _event_intervals(instance)
-    # Capacities (b−a)·speed·scale and p_j·scale must be integral: take the
-    # LCM of all data denominators and one extra factor of speed.denominator
-    # (the LCM alone does not guarantee divisibility of the *product* of two
-    # fractional factors).
-    scale = _common_scale(instance, extra=[speed]) * speed.denominator
+    intervals, scale = _scaled_inputs(instance, speed)
+    if backend == "dinic":
+        network = cache_for(instance).solved_network(m, speed)
+        return network.feasible, network.work_by_job(speed, scale), intervals
     graph = _build_network(instance, m, speed, intervals, scale)
     total = sum(int(j.processing * scale) for j in instance)
     flow_value, flow_dict = nx.maximum_flow(
@@ -110,9 +150,26 @@ def max_flow_assignment(
     return feasible, work, intervals
 
 
-def migratory_feasible(instance: Instance, m: int, speed: Numeric = 1) -> bool:
-    """Exact test: does a feasible migratory schedule on ``m`` machines exist?"""
-    feasible, _, _ = max_flow_assignment(instance, m, speed)
+def migratory_feasible(
+    instance: Instance,
+    m: int,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
+) -> bool:
+    """Exact test: does a feasible migratory schedule on ``m`` machines exist?
+
+    The dinic backend answers through the per-instance cache: repeated
+    probes on the same instance reuse the built network, warm-start from
+    each other's residual flows, and memoize ``(m, speed)`` verdicts.
+    """
+    _check_backend(backend)
+    if backend == "dinic":
+        if len(instance) == 0:
+            return True
+        if m <= 0:
+            return False
+        return cache_for(instance).feasible(m, to_fraction(speed))
+    feasible, _, _ = max_flow_assignment(instance, m, speed, backend=backend)
     return feasible
 
 
@@ -161,7 +218,10 @@ def mcnaughton(
 
 
 def migratory_schedule(
-    instance: Instance, m: int, speed: Numeric = 1
+    instance: Instance,
+    m: int,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
 ) -> Optional[Schedule]:
     """An explicit feasible migratory schedule on ``m`` machines, or ``None``.
 
@@ -169,7 +229,7 @@ def migratory_schedule(
     time before the wrap-around so that a job split across the wrap boundary
     never overlaps itself (its piece is at most the interval length).
     """
-    feasible, work, intervals = max_flow_assignment(instance, m, speed)
+    feasible, work, intervals = max_flow_assignment(instance, m, speed, backend=backend)
     if not feasible:
         return None
     segments: List[Segment] = []

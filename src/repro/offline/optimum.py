@@ -2,15 +2,13 @@
 
 from __future__ import annotations
 
-from fractions import Fraction
-from math import ceil
 from typing import Optional, Tuple
 
 from ..model.instance import Instance
-from ..model.intervals import Numeric
+from ..model.intervals import Numeric, to_fraction
 from ..model.schedule import Schedule
-from .flow import migratory_feasible, migratory_schedule
-from .workload import trivial_lower_bounds
+from .flow import DEFAULT_BACKEND, migratory_feasible, migratory_schedule
+from .workload import scaled_lower_bound
 
 
 def window_concurrency(instance: Instance) -> int:
@@ -31,24 +29,44 @@ def window_concurrency(instance: Instance) -> int:
     return best
 
 
-def migratory_optimum(instance: Instance, speed: Numeric = 1) -> int:
+def migratory_optimum(
+    instance: Instance, speed: Numeric = 1, backend: str = DEFAULT_BACKEND
+) -> int:
     """The exact minimum number of speed-``speed`` machines (migratory).
 
-    Binary search over the flow feasibility test between the workload lower
-    bound and the window-concurrency upper bound.
+    Binary search over the flow feasibility test between the speed-scaled
+    workload lower bound and the window-concurrency upper bound.  With the
+    default dinic backend the search is *incremental*: the per-instance
+    cache builds the flow network once, probes warm-start from each other's
+    residual flows (sink capacities only grow with ``m``), and resolved
+    ``(m, speed)`` verdicts are memoized, so repeated calls on the same
+    instance — the common pattern across the analysis layer — cost nothing.
+
+    Raises :class:`ValueError` when no machine count is feasible (a job with
+    ``p_j / speed > d_j − r_j`` cannot finish at any ``m`` because it cannot
+    self-parallelize; only possible for ``speed < 1``).
     """
     if len(instance) == 0:
         return 0
-    lo = max(1, trivial_lower_bounds(instance)) if speed == 1 else 1
+    speed = to_fraction(speed)
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if speed < 1 and any(j.processing > speed * j.window for j in instance):
+        raise ValueError(
+            "infeasible at every machine count: a job's window is shorter "
+            f"than its processing time at speed {speed}"
+        )
+    lo = max(1, scaled_lower_bound(instance, speed))
     hi = max(lo, window_concurrency(instance))
     # Window concurrency is feasible at unit speed; for slower machines grow
-    # geometrically until a feasible count is found.
-    while not migratory_feasible(instance, hi, speed):
+    # geometrically until a feasible count is found (the guard above ensures
+    # one exists).
+    while not migratory_feasible(instance, hi, speed, backend=backend):
         lo = hi + 1
         hi *= 2
     while lo < hi:
         mid = (lo + hi) // 2
-        if migratory_feasible(instance, mid, speed):
+        if migratory_feasible(instance, mid, speed, backend=backend):
             hi = mid
         else:
             lo = mid + 1
@@ -56,10 +74,10 @@ def migratory_optimum(instance: Instance, speed: Numeric = 1) -> int:
 
 
 def optimal_migratory_schedule(
-    instance: Instance, speed: Numeric = 1
+    instance: Instance, speed: Numeric = 1, backend: str = DEFAULT_BACKEND
 ) -> Tuple[int, Optional[Schedule]]:
     """``(OPT, schedule)`` for the migratory problem."""
-    m = migratory_optimum(instance, speed)
+    m = migratory_optimum(instance, speed, backend=backend)
     if m == 0:
         return 0, Schedule([])
-    return m, migratory_schedule(instance, m, speed)
+    return m, migratory_schedule(instance, m, speed, backend=backend)

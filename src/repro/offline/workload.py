@@ -28,7 +28,7 @@ from math import ceil
 from typing import Iterable, List, Optional, Tuple
 
 from ..model.instance import Instance
-from ..model.intervals import Interval, IntervalUnion, Numeric
+from ..model.intervals import Interval, IntervalUnion, Numeric, to_fraction
 from ..model.job import Job
 
 
@@ -141,3 +141,27 @@ def trivial_lower_bounds(instance: Instance) -> int:
         ceil(instance.total_work / span.length) if span.length > 0 else 0
     )
     return max(1, span_density, instance.zero_laxity_concurrency())
+
+
+def scaled_lower_bound(instance: Instance, speed: Numeric = 1) -> int:
+    """Speed-aware trivial lower bound on the speed-``speed`` optimum.
+
+    The span-density component scales exactly: ``m`` speed-``s`` machines
+    provide ``m·s·|span|`` work capacity, so ``m ≥ ⌈W / (s·|span|)⌉``.  The
+    zero-laxity-concurrency component does **not** scale as ``⌈c/s⌉`` for
+    ``s > 1``: a fast machine can interleave several ex-zero-laxity jobs'
+    (now sub-window) mandatory work inside one window, so concurrency is
+    only a valid bound when ``s ≤ 1`` (where a zero-laxity job still needs
+    its whole window).  At ``speed == 1`` this coincides with
+    :func:`trivial_lower_bounds`.
+    """
+    if len(instance) == 0:
+        return 0
+    speed = to_fraction(speed)
+    span = instance.span
+    bound = 1
+    if span.length > 0:
+        bound = max(bound, ceil(instance.total_work / (speed * span.length)))
+    if speed <= 1:
+        bound = max(bound, instance.zero_laxity_concurrency())
+    return bound

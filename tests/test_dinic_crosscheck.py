@@ -1,0 +1,108 @@
+"""Differential tests: dinic backend vs. networkx backend.
+
+The dedicated Dinic solver (``repro.offline.dinic``) replaced networkx on
+the feasibility hot path; the networkx formulation is kept precisely so the
+two independent implementations can be cross-checked.  Property tests here
+assert they agree on ``(feasible, total flow)`` across random, laminar, and
+agreeable instances, with fractional data and speeds below 1.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import agreeable_instance, laminar_instance
+from repro.model import Instance, Job
+from repro.offline.flow import max_flow_assignment, migratory_feasible
+from repro.offline.optimum import migratory_optimum
+
+from tests.strategies import instances_st
+
+SPEEDS = [
+    Fraction(1),
+    Fraction(1, 2),
+    Fraction(1, 3),
+    Fraction(3, 2),
+    Fraction(2),
+]
+
+speeds_st = st.sampled_from(SPEEDS)
+machines_st = st.integers(0, 5)
+
+
+@st.composite
+def fractional_instances_st(draw, max_size: int = 6):
+    """Instances with non-integer releases/processing times/deadlines."""
+    n = draw(st.integers(1, max_size))
+    jobs = []
+    for i in range(n):
+        denom = draw(st.sampled_from([1, 2, 3, 4]))
+        release = Fraction(draw(st.integers(0, 40)), denom)
+        processing = Fraction(draw(st.integers(1, 12)), denom)
+        slack = Fraction(draw(st.integers(0, 16)), denom)
+        jobs.append(Job(release, processing, release + processing + slack, id=i))
+    return Instance(jobs)
+
+
+def assert_backends_agree(instance: Instance, m: int, speed: Fraction) -> None:
+    """Both backends: same verdict and the same maximum-flow value."""
+    fd, wd, ivd = max_flow_assignment(instance, m, speed, backend="dinic")
+    fn, wn, ivn = max_flow_assignment(instance, m, speed, backend="networkx")
+    assert fd == fn
+    assert ivd == ivn
+    total_d = sum((sum(row.values(), Fraction(0)) for row in wd.values()), Fraction(0))
+    total_n = sum((sum(row.values(), Fraction(0)) for row in wn.values()), Fraction(0))
+    assert total_d == total_n
+    assert migratory_feasible(instance, m, speed, backend="dinic") == fn
+    assert migratory_feasible(instance, m, speed, backend="networkx") == fn
+
+
+class TestBackendsAgree:
+    @given(instances_st(max_size=7), machines_st, speeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_random_instances(self, inst, m, speed):
+        assert_backends_agree(inst, m, speed)
+
+    @given(fractional_instances_st(), machines_st, speeds_st)
+    @settings(max_examples=60, deadline=None)
+    def test_fractional_instances(self, inst, m, speed):
+        assert_backends_agree(inst, m, speed)
+
+    @given(
+        st.integers(1, 2),
+        st.integers(2, 3),
+        st.integers(1, 2),
+        st.integers(0, 1000),
+        machines_st,
+        speeds_st,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_laminar_instances(self, depth, fanout, per_node, seed, m, speed):
+        inst = laminar_instance(
+            depth, fanout=fanout, jobs_per_node=per_node, seed=seed
+        )
+        assert_backends_agree(inst, m, speed)
+
+    @given(st.integers(1, 9), st.integers(0, 1000), machines_st, speeds_st)
+    @settings(max_examples=40, deadline=None)
+    def test_agreeable_instances(self, n, seed, m, speed):
+        inst = agreeable_instance(n, seed=seed)
+        assert inst.is_agreeable()
+        assert_backends_agree(inst, m, speed)
+
+
+class TestOptimumAgrees:
+    @given(instances_st(max_size=6), st.sampled_from([Fraction(1), Fraction(3, 2), Fraction(2)]))
+    @settings(max_examples=30, deadline=None)
+    def test_optimum_matches_networkx(self, inst, speed):
+        assert migratory_optimum(inst, speed, backend="dinic") == migratory_optimum(
+            inst, speed, backend="networkx"
+        )
+
+    @given(fractional_instances_st(max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_fractional_optimum_matches(self, inst):
+        assert migratory_optimum(inst, backend="dinic") == migratory_optimum(
+            inst, backend="networkx"
+        )

@@ -1,0 +1,153 @@
+"""Regression tests for the feasibility cache and incremental binary search.
+
+Pins the performance *contract* of the feasibility core (probe counts and
+cache behaviour are deterministic, so they are testable without timers):
+
+* ``migratory_optimum`` issues at most ``O(log(hi − lo))`` flow probes,
+* repeated calls with the same instance are answered from the verdict memo,
+* the memoized structure (intervals, scale) is computed once and can never
+  be invalidated because :class:`Instance` is immutable,
+* the speed-scaled lower-bound start is valid (never exceeds the optimum).
+"""
+
+from fractions import Fraction
+from math import ceil, log2
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import uniform_random_instance
+from repro.model import Instance, Job
+from repro.offline.feascache import cache_for
+from repro.offline.flow import _common_scale, _event_intervals, max_flow_assignment
+from repro.offline.optimum import migratory_optimum, window_concurrency
+from repro.offline.workload import scaled_lower_bound, trivial_lower_bounds
+
+from tests.strategies import instances_st
+
+
+def probe_budget(instance: Instance) -> int:
+    """The O(log) probe allowance for one unit-speed optimum computation."""
+    lo = max(1, scaled_lower_bound(instance))
+    hi = max(lo, window_concurrency(instance))
+    return ceil(log2(hi - lo + 1)) + 2
+
+
+class TestProbeComplexity:
+    @pytest.mark.parametrize("n", [30, 100, 300])
+    def test_logarithmic_probes(self, n):
+        inst = uniform_random_instance(n, horizon=2 * n, seed=n)
+        m = migratory_optimum(inst)
+        stats = cache_for(inst).stats
+        assert m >= 1
+        assert stats.probes <= probe_budget(inst)
+        assert stats.network_builds == 1
+
+    @given(instances_st(max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_logarithmic_probes_random(self, inst):
+        migratory_optimum(inst)
+        assert cache_for(inst).stats.probes <= probe_budget(inst)
+
+
+class TestVerdictCache:
+    def test_repeated_optimum_hits_cache(self):
+        inst = uniform_random_instance(60, horizon=120, seed=7)
+        first = migratory_optimum(inst)
+        stats = cache_for(inst).stats
+        probes_after_first = stats.probes
+        assert stats.verdict_hits == 0
+        second = migratory_optimum(inst)
+        assert second == first
+        # Every probe of the second search is a memo hit: no new flows.
+        assert stats.probes == probes_after_first
+        assert stats.verdict_hits > 0
+
+    def test_cache_shared_across_entry_points(self):
+        inst = uniform_random_instance(40, horizon=80, seed=3)
+        m = migratory_optimum(inst)
+        stats = cache_for(inst).stats
+        probes = stats.probes
+        # max_flow_assignment reuses the same warm solver: no new build, and
+        # the verdict at m was already resolved by the search.
+        feasible, work, _ = max_flow_assignment(inst, m)
+        assert feasible
+        assert stats.network_builds == 1
+        assert stats.probes == probes  # solver already held the flow at m
+        for job in inst:
+            assert sum(work[job.id].values(), Fraction(0)) == job.processing
+
+    def test_speeds_keep_separate_solvers(self):
+        inst = uniform_random_instance(20, horizon=40, seed=1)
+        migratory_optimum(inst)
+        migratory_optimum(inst, speed=2)
+        assert cache_for(inst).stats.network_builds == 2
+
+
+class TestMemoizedStructure:
+    def test_intervals_computed_once(self):
+        inst = uniform_random_instance(25, horizon=50, seed=5)
+        cache = cache_for(inst)
+        assert cache.intervals is cache.intervals
+        assert _event_intervals(inst) is cache.intervals
+        points = sorted({j.release for j in inst} | {j.deadline for j in inst})
+        assert cache.intervals == [
+            (a, b) for a, b in zip(points, points[1:]) if b > a
+        ]
+
+    def test_scale_matches_direct_computation(self):
+        inst = Instance(
+            [
+                Job(Fraction(1, 3), Fraction(1, 2), Fraction(7, 6), id=0),
+                Job(Fraction(1, 4), Fraction(3, 4), Fraction(2), id=1),
+            ]
+        )
+        cache = cache_for(inst)
+        assert cache.base_scale == 12
+        speed = Fraction(2, 5)
+        assert cache.scale_for(speed) == _common_scale(inst, extra=[speed]) * 5
+
+    def test_memo_cannot_be_invalidated(self):
+        """The cache hangs off the instance; the instance cannot change."""
+        inst = uniform_random_instance(5, horizon=10, seed=0)
+        cache_for(inst)
+        with pytest.raises(AttributeError):
+            inst.jobs = ()
+        with pytest.raises(AttributeError):
+            inst.anything = 1
+
+    def test_equal_instances_are_hashable_and_equal(self):
+        a = Instance([Job(0, 2, 4, id=0)])
+        b = Instance([Job(0, 2, 4, id=0)])
+        assert a == b and hash(a) == hash(b)
+        # ... but keep independent caches (cache lifetime == object lifetime).
+        assert cache_for(a) is not cache_for(b)
+
+
+class TestScaledLowerBound:
+    def test_matches_trivial_bound_at_unit_speed(self):
+        for seed in range(10):
+            inst = uniform_random_instance(15, horizon=30, seed=seed)
+            assert scaled_lower_bound(inst, 1) == trivial_lower_bounds(inst)
+
+    @given(
+        instances_st(max_size=7),
+        st.sampled_from(
+            [Fraction(1), Fraction(3, 2), Fraction(2), Fraction(3), Fraction(1, 2)]
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_exceeds_optimum(self, inst, speed):
+        try:
+            opt = migratory_optimum(inst, speed)
+        except ValueError:
+            return  # infeasible at every m (speed < 1): any bound is vacuous
+        assert scaled_lower_bound(inst, speed) <= opt
+
+    def test_infeasible_slow_speed_raises(self):
+        # Zero-laxity job: infeasible at every machine count below unit speed.
+        inst = Instance([Job(0, 4, 4, id=0)])
+        with pytest.raises(ValueError):
+            migratory_optimum(inst, speed=Fraction(1, 2))
+        assert migratory_optimum(inst, speed=1) == 1
