@@ -17,6 +17,7 @@ The package is layered:
 from .model import Instance, Job, Schedule, Segment
 from .offline import migratory_optimum, optimal_migratory_schedule
 from .online import EDF, LLF, FirstFitEDF, min_machines, simulate
+from .verify import certified_optimum, certify
 from .core import (
     AgreeableAlgorithm,
     LaminarAlgorithm,
@@ -36,6 +37,8 @@ __all__ = [
     "Segment",
     "migratory_optimum",
     "optimal_migratory_schedule",
+    "certify",
+    "certified_optimum",
     "EDF",
     "LLF",
     "FirstFitEDF",

@@ -9,6 +9,7 @@ Subcommands (``python -m repro <cmd> …`` or the ``repro`` entry point):
 * ``simulate``  — run a classic online policy at a fixed machine count
 * ``gantt``     — render a schedule JSON as an ASCII chart
 * ``adversary`` — run the Lemma 2 or Lemma 9 adversary against a policy
+* ``verify``    — certified feasibility verdicts and backend cross-checks
 """
 
 from __future__ import annotations
@@ -35,8 +36,16 @@ from .generators import (
 )
 from .model import Instance, Schedule
 from .model.io import load, save
+from .offline.flow import BACKENDS, DEFAULT_BACKEND
 from .offline.nonmigratory import nonmigratory_optimum_bounds
 from .offline.optimum import migratory_optimum
+from .verify import (
+    Unsatisfiable,
+    certified_optimum,
+    certify,
+    check_certificate,
+    differential_optimum,
+)
 from .online.edf import EDF, NonPreemptiveEDF
 from .online.engine import min_machines, simulate
 from .online.llf import LLF
@@ -200,6 +209,66 @@ def cmd_realtime(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Certified verdicts: check schedules, certify optima, cross-check backends."""
+    import json as _json
+
+    instance = _load_instance(args.instance)
+    speed = Fraction(args.speed)
+    exit_code = 0
+
+    if args.schedule:
+        obj = load(args.schedule)
+        if not isinstance(obj, Schedule):
+            raise SystemExit(f"{args.schedule} does not contain a schedule")
+        report = obj.verify(instance, speed, machines=args.m)
+        bound = f" on ≤ {args.m} machines" if args.m is not None else ""
+        print(f"schedule{bound}: feasible = {report.feasible}, "
+              f"machines used = {report.machines_used}, "
+              f"migrations = {report.migrations}")
+        for violation in report.violations[:10]:
+            print(f"  violation: {violation}")
+        return 0 if report.feasible else 1
+
+    if args.m is not None:
+        cert = certify(instance, args.m, speed, backend=args.backend, check=False)
+        result = check_certificate(instance, cert)
+        print(cert.describe(instance) if cert.kind == "infeasible" else cert.describe())
+        print(f"certificate check: {'ok' if result.ok else 'FAILED'}")
+        for reason in result.reasons[:10]:
+            print(f"  {reason}")
+        exit_code = 0 if result.ok else 1
+        if args.output and result.ok:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                _json.dump(cert.to_dict(), fh, indent=2)
+            print(f"certificate written to {args.output}")
+        return exit_code
+
+    try:
+        co = certified_optimum(instance, speed, backend=args.backend)
+    except Unsatisfiable as exc:
+        print("infeasible at every machine count")
+        print("  " + exc.certificate.describe(instance))
+        return 0
+    print(co.describe(instance))
+    if args.differential:
+        report = differential_optimum(instance, speed)
+        print(report.summary())
+        for failure in report.failures[:10]:
+            print(f"  {failure}")
+        exit_code = 0 if report.ok else 1
+    if args.output:
+        payload = {
+            "optimum": co.machines,
+            "feasible": co.feasible.to_dict(),
+            **({"infeasible": co.infeasible.to_dict()} if co.infeasible else {}),
+        }
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2)
+        print(f"certificates written to {args.output}")
+    return exit_code
+
+
 def cmd_adversary(args) -> int:
     policy_cls = POLICIES[args.policy]
     if args.kind == "migration-gap":
@@ -295,6 +364,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("taskset", help='JSON: {"tasks": [{"wcet": 1, "period": 4, ...}]}')
     p.add_argument("--horizon", type=int, default=None)
     p.set_defaults(func=cmd_realtime)
+
+    p = sub.add_parser(
+        "verify",
+        help="certified feasibility verdicts and backend cross-checks",
+    )
+    p.add_argument("instance")
+    p.add_argument("--m", type=int, default=None,
+                   help="certify at this machine count (default: certified optimum)")
+    p.add_argument("--speed", default="1")
+    p.add_argument("--backend", default=DEFAULT_BACKEND, choices=sorted(BACKENDS))
+    p.add_argument("--schedule",
+                   help="verify this schedule JSON against the instance instead")
+    p.add_argument("--differential", action="store_true",
+                   help="cross-check dinic vs networkx vs LP at OPT and OPT−1")
+    p.add_argument("-o", "--output", help="write the certificate(s) as JSON")
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("adversary", help="run a lower-bound adversary")
     p.add_argument("kind", choices=["migration-gap", "agreeable"])

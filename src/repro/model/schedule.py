@@ -163,10 +163,25 @@ class Schedule:
 
     # -- verification --------------------------------------------------------
 
-    def verify(self, instance: Instance, speed: Numeric = 1) -> FeasibilityReport:
-        """Check the schedule against ``instance`` on speed-``speed`` machines."""
+    def verify(
+        self,
+        instance: Instance,
+        speed: Numeric = 1,
+        machines: Optional[int] = None,
+    ) -> FeasibilityReport:
+        """Check the schedule against ``instance`` on speed-``speed`` machines.
+
+        When ``machines`` is given the schedule must also fit on that many
+        machines — the extra condition that turns a verified schedule into a
+        *feasibility certificate at* ``m`` (see :mod:`repro.verify`).
+        """
         speed = to_fraction(speed)
         violations: List[str] = []
+
+        if machines is not None and self.machines_used > machines:
+            violations.append(
+                f"schedule uses {self.machines_used} machines > allowed {machines}"
+            )
 
         known = {j.id for j in instance}
         for seg in self.segments:

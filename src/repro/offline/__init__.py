@@ -17,6 +17,8 @@ from .flow import (
     mcnaughton,
     migratory_feasible,
     migratory_schedule,
+    networkx_min_cut,
+    schedule_from_work,
 )
 from .nonmigratory import (
     edf_single_machine_schedule,
@@ -61,6 +63,8 @@ __all__ = [
     "mcnaughton",
     "migratory_feasible",
     "migratory_schedule",
+    "networkx_min_cut",
+    "schedule_from_work",
     "edf_single_machine_schedule",
     "exact_nonmigratory_optimum",
     "first_fit_assignment",

@@ -67,6 +67,26 @@ class Dinic:
         """Flow currently routed through forward edge ``e``."""
         return self.cap[e ^ 1]
 
+    def residual_reachable(self, s: int) -> List[bool]:
+        """Nodes reachable from ``s`` through positive-residual edges.
+
+        After :meth:`max_flow` has terminated this is the source side of a
+        minimum cut (max-flow/min-cut duality): every edge leaving the
+        returned set is saturated.
+        """
+        seen = [False] * self.n
+        seen[s] = True
+        stack = [s]
+        to, cap, adj = self.to, self.cap, self.adj
+        while stack:
+            u = stack.pop()
+            for e in adj[u]:
+                v = to[e]
+                if cap[e] and not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        return seen
+
     def max_flow(self, s: int, t: int) -> int:
         """Push a maximum flow from ``s`` to ``t``; returns the amount *added*.
 
@@ -232,6 +252,27 @@ class FeasibilityNetwork:
         self.dinic.cap = list(cap)
 
     # -- extraction -----------------------------------------------------------
+
+    def min_cut(self) -> Tuple[List[int], List[int]]:
+        """Source side of a minimum cut as ``(job_ids, interval_indices)``.
+
+        Meaningful only while the network carries a *maximum* flow (the
+        cache's invariant after :meth:`solve`).  When the flow falls short of
+        the total demand, the cut witnesses Theorem 1's overloaded-interval
+        characterization: with ``S`` the returned jobs and ``I`` the union of
+        the returned elementary intervals, every admissible ``job → interval``
+        arc leaving the set is saturated, so
+
+            Σ_{j ∈ S} (p_j − s·(|I(j)| − |I(j) ∩ I|))  >  m · s · |I|,
+
+        i.e. the mandatory work of ``S`` inside ``I`` exceeds the machine
+        capacity — a solver-independent proof of infeasibility at ``m``.
+        """
+        seen = self.dinic.residual_reachable(self.SOURCE)
+        n = len(self.job_ids)
+        jobs = [jid for idx, jid in enumerate(self.job_ids) if seen[2 + idx]]
+        ivs = [k for k in range(len(self.iv_caps)) if seen[2 + n + k]]
+        return jobs, ivs
 
     def work_by_job(self, speed: Fraction, scale: int) -> Dict[int, Dict[int, Fraction]]:
         """``work[job_id][k]`` — machine time per elementary interval."""

@@ -217,21 +217,17 @@ def mcnaughton(
     return segments
 
 
-def migratory_schedule(
-    instance: Instance,
+def schedule_from_work(
+    work: Dict[int, Dict[int, Fraction]],
+    intervals: Sequence[Tuple[Fraction, Fraction]],
     m: int,
-    speed: Numeric = 1,
-    backend: str = DEFAULT_BACKEND,
-) -> Optional[Schedule]:
-    """An explicit feasible migratory schedule on ``m`` machines, or ``None``.
+) -> Schedule:
+    """Turn a feasible flow's work map into an explicit migratory schedule.
 
     Within each elementary interval, jobs are sorted by decreasing machine
     time before the wrap-around so that a job split across the wrap boundary
     never overlaps itself (its piece is at most the interval length).
     """
-    feasible, work, intervals = max_flow_assignment(instance, m, speed, backend=backend)
-    if not feasible:
-        return None
     segments: List[Segment] = []
     per_interval: Dict[int, List[Tuple[int, Fraction]]] = {}
     for job_id, row in work.items():
@@ -242,3 +238,41 @@ def migratory_schedule(
         pieces.sort(key=lambda item: (-item[1], item[0]))
         segments.extend(mcnaughton(pieces, a, b, m))
     return Schedule(segments)
+
+
+def migratory_schedule(
+    instance: Instance,
+    m: int,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
+) -> Optional[Schedule]:
+    """An explicit feasible migratory schedule on ``m`` machines, or ``None``."""
+    feasible, work, intervals = max_flow_assignment(instance, m, speed, backend=backend)
+    if not feasible:
+        return None
+    return schedule_from_work(work, intervals, m)
+
+
+def networkx_min_cut(
+    instance: Instance, m: int, speed: Numeric = 1
+) -> Tuple[List[int], List[int]]:
+    """Source side of a minimum cut of the networkx-built feasibility network.
+
+    Returns ``(job_ids, interval_indices)`` — the independent counterpart of
+    :meth:`repro.offline.dinic.FeasibilityNetwork.min_cut`, used to extract
+    Theorem 1 overloaded-interval witnesses from the networkx backend.
+    """
+    if len(instance) == 0 or m <= 0:
+        # No network to cut: every job (with its whole window) is a witness.
+        return [j.id for j in instance], []
+    speed = to_fraction(speed)
+    intervals, scale = _scaled_inputs(instance, speed)
+    graph = _build_network(instance, m, speed, intervals, scale)
+    _, (reachable, _) = nx.minimum_cut(
+        graph, _SOURCE, _SINK, flow_func=nx.algorithms.flow.dinitz
+    )
+    jobs = sorted(node[1] for node in reachable
+                  if isinstance(node, tuple) and node[0] == "job")
+    ivs = sorted(node[1] for node in reachable
+                 if isinstance(node, tuple) and node[0] == "iv")
+    return jobs, ivs

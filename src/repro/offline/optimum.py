@@ -7,7 +7,13 @@ from typing import Optional, Tuple
 from ..model.instance import Instance
 from ..model.intervals import Numeric, to_fraction
 from ..model.schedule import Schedule
-from .flow import DEFAULT_BACKEND, migratory_feasible, migratory_schedule
+from .feascache import cache_for
+from .flow import (
+    DEFAULT_BACKEND,
+    migratory_feasible,
+    migratory_schedule,
+    schedule_from_work,
+)
 from .workload import scaled_lower_bound
 
 
@@ -76,8 +82,22 @@ def migratory_optimum(
 def optimal_migratory_schedule(
     instance: Instance, speed: Numeric = 1, backend: str = DEFAULT_BACKEND
 ) -> Tuple[int, Optional[Schedule]]:
-    """``(OPT, schedule)`` for the migratory problem."""
+    """``(OPT, schedule)`` for the migratory problem.
+
+    With the dinic backend the binary search leaves the per-instance cache
+    holding a solved snapshot at the optimum, so the schedule is extracted
+    straight from that residual flow — no fresh feasibility solve (pinned by
+    a :class:`~repro.offline.feascache.CacheStats` regression test).  The
+    networkx backend stays a deliberately independent implementation and
+    re-solves at the optimum.
+    """
     m = migratory_optimum(instance, speed, backend=backend)
     if m == 0:
         return 0, Schedule([])
+    if backend == "dinic":
+        speed = to_fraction(speed)
+        cache = cache_for(instance)
+        network = cache.solved_network(m, speed)  # snapshot restore, no probe
+        work = network.work_by_job(speed, cache.scale_for(speed))
+        return m, schedule_from_work(work, cache.intervals, m)
     return m, migratory_schedule(instance, m, speed, backend=backend)

@@ -1,0 +1,163 @@
+"""Certified feasibility verdicts: ``certify`` and ``certified_optimum``.
+
+``certify(instance, m)`` answers the feasibility question *with a receipt*:
+
+* feasible → a schedule extracted from the max flow and re-verified by
+  :meth:`Schedule.verify` with exact arithmetic on at most ``m`` machines;
+* infeasible → a minimum cut of the feasibility network converted into an
+  overloaded interval set ``(S, I)`` and checked against Theorem 1 by pure
+  workload arithmetic.
+
+Certificates are checked before they are returned (``check=True``), so a
+solver bug surfaces as a :class:`CertificationError` at the call site
+instead of silently poisoning downstream experiments.
+
+``certified_optimum`` sandwiches the optimum: a feasible certificate at
+``m`` plus an infeasible certificate at ``m − 1``.  Instances that are
+infeasible at *every* machine count (``speed < 1`` with a job whose window
+is shorter than its slowed-down processing time) raise
+:class:`Unsatisfiable`, which carries the degenerate ``|I| = 0`` witness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..model.instance import Instance
+from ..model.intervals import IntervalUnion, Numeric, to_fraction
+from ..model.schedule import Schedule
+from ..offline.feascache import cache_for
+from ..offline.flow import (
+    DEFAULT_BACKEND,
+    _check_backend,
+    max_flow_assignment,
+    networkx_min_cut,
+    schedule_from_work,
+)
+from ..offline.optimum import migratory_optimum
+from .certificates import (
+    Certificate,
+    CertifiedOptimum,
+    FeasibleCertificate,
+    InfeasibleCertificate,
+)
+from .checkers import check_certificate
+
+
+class Unsatisfiable(ValueError):
+    """No machine count is feasible; carries the ``|I| = 0`` witness."""
+
+    def __init__(self, message: str, certificate: InfeasibleCertificate) -> None:
+        super().__init__(message)
+        self.certificate = certificate
+
+
+def unsat_certificate(
+    instance: Instance, speed: Numeric = 1
+) -> Optional[InfeasibleCertificate]:
+    """The degenerate witness that no machine count works, if one exists.
+
+    A job with ``p_j > s·|I(j)|`` cannot finish even running alone for its
+    whole window (it cannot self-parallelize); with ``I = ∅`` its mandatory
+    work ``C_s(j, ∅) = p_j − s·|I(j)| > 0`` exceeds the zero capacity at
+    every ``m``.  Returns ``None`` when no such job exists.
+    """
+    speed = to_fraction(speed)
+    culprits = tuple(j.id for j in instance if j.processing > speed * j.window)
+    if not culprits:
+        return None
+    return InfeasibleCertificate(0, speed, culprits, IntervalUnion.empty())
+
+
+def certify(
+    instance: Instance,
+    m: int,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
+    check: bool = True,
+) -> Certificate:
+    """Feasibility verdict at ``m`` machines with an attached witness."""
+    _check_backend(backend)
+    speed = to_fraction(speed)
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if m < 0:
+        raise ValueError("machine count must be non-negative")
+
+    cert: Certificate
+    if len(instance) == 0:
+        cert = FeasibleCertificate(m, speed, Schedule([]))
+    elif m == 0:
+        # Zero machines, at least one job: the whole instance over the whole
+        # event span is overloaded (C_s(S, I) ≥ Σ min(p_j, s·|I(j)|) > 0).
+        cert = InfeasibleCertificate(
+            0, speed, tuple(j.id for j in instance), instance.intervals()
+        )
+    elif backend == "dinic":
+        cache = cache_for(instance)
+        network = cache.solved_network(m, speed)
+        if network.feasible:
+            work = network.work_by_job(speed, cache.scale_for(speed))
+            cert = FeasibleCertificate(
+                m, speed, schedule_from_work(work, cache.intervals, m)
+            )
+        else:
+            job_ids, iv_idx = network.min_cut()
+            intervals = cache.intervals
+            cert = InfeasibleCertificate(
+                m,
+                speed,
+                tuple(job_ids),
+                IntervalUnion.from_pairs(intervals[k] for k in iv_idx),
+            )
+    else:
+        feasible, work, intervals = max_flow_assignment(
+            instance, m, speed, backend=backend
+        )
+        if feasible:
+            cert = FeasibleCertificate(
+                m, speed, schedule_from_work(work, intervals, m)
+            )
+        else:
+            job_ids, iv_idx = networkx_min_cut(instance, m, speed)
+            cert = InfeasibleCertificate(
+                m,
+                speed,
+                tuple(job_ids),
+                IntervalUnion.from_pairs(intervals[k] for k in iv_idx),
+            )
+    if check:
+        check_certificate(instance, cert).require()
+    return cert
+
+
+def certified_optimum(
+    instance: Instance,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
+    check: bool = True,
+) -> CertifiedOptimum:
+    """The exact optimum with certificates on both sides.
+
+    Raises :class:`Unsatisfiable` (with the degenerate witness attached)
+    when no machine count is feasible.
+    """
+    speed = to_fraction(speed)
+    unsat = unsat_certificate(instance, speed)
+    if unsat is not None:
+        if check:
+            check_certificate(instance, unsat).require()
+        raise Unsatisfiable(
+            "infeasible at every machine count: a job's window is shorter "
+            f"than its processing time at speed {speed}",
+            unsat,
+        )
+    m = migratory_optimum(instance, speed, backend=backend)
+    feasible = certify(instance, m, speed, backend=backend, check=check)
+    assert isinstance(feasible, FeasibleCertificate)
+    infeasible: Optional[InfeasibleCertificate] = None
+    if m > 0:
+        below = certify(instance, m - 1, speed, backend=backend, check=check)
+        assert isinstance(below, InfeasibleCertificate)
+        infeasible = below
+    return CertifiedOptimum(m, feasible, infeasible)

@@ -1,0 +1,100 @@
+"""Solver-independent certificate checkers (exact ``Fraction`` arithmetic).
+
+These functions are the trust anchor of the verification layer: they touch
+*only* the model layer — interval unions, job data, and the schedule
+checker — so a bug in the flow solvers cannot leak into the verdict they
+confirm.  A certificate either passes here or the verdict it claims is
+unsubstantiated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..model.instance import Instance
+from .certificates import (
+    Certificate,
+    FeasibleCertificate,
+    InfeasibleCertificate,
+)
+
+
+class CertificationError(AssertionError):
+    """A certificate failed its independent check."""
+
+
+class CheckResult:
+    """Outcome of checking one certificate against an instance."""
+
+    __slots__ = ("ok", "reasons")
+
+    def __init__(self, ok: bool, reasons: Tuple[str, ...] = ()) -> None:
+        self.ok = ok
+        self.reasons = reasons
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def require(self) -> "CheckResult":
+        if not self.ok:
+            raise CertificationError(
+                "certificate check failed: " + "; ".join(self.reasons[:5])
+            )
+        return self
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        tail = f" ({'; '.join(self.reasons[:3])})" if self.reasons else ""
+        return f"CheckResult({status}{tail})"
+
+
+def check_feasible_certificate(
+    instance: Instance, cert: FeasibleCertificate
+) -> CheckResult:
+    """Re-verify the witness schedule exactly, bounded to ``cert.machines``."""
+    reasons: List[str] = []
+    if cert.machines < 0:
+        reasons.append(f"negative machine count {cert.machines}")
+    if cert.speed <= 0:
+        reasons.append(f"non-positive speed {cert.speed}")
+    if not reasons:
+        report = cert.schedule.verify(instance, cert.speed, machines=cert.machines)
+        reasons.extend(report.violations)
+    return CheckResult(not reasons, tuple(reasons))
+
+
+def check_infeasible_certificate(
+    instance: Instance, cert: InfeasibleCertificate
+) -> CheckResult:
+    """Check the overloaded interval set ``(S, I)`` by direct arithmetic.
+
+    Valid iff ``C_s(S, I) > m · s · |I|`` — with ``|I| = 0`` this degenerates
+    to ``C_s(S, ∅) > 0``, which refutes every machine count at once.
+    """
+    reasons: List[str] = []
+    if cert.machines < 0:
+        reasons.append(f"negative machine count {cert.machines}")
+    if cert.speed <= 0:
+        reasons.append(f"non-positive speed {cert.speed}")
+    unknown = [j for j in set(cert.jobs) if j not in instance]
+    if unknown:
+        reasons.append(f"witness references unknown jobs {sorted(unknown)}")
+    if reasons:
+        return CheckResult(False, tuple(reasons))
+    contribution = cert.contribution(instance)
+    capacity = cert.capacity
+    if contribution <= capacity:
+        reasons.append(
+            f"C(S,I) = {contribution} does not exceed machine capacity "
+            f"{capacity} = {cert.machines}·{cert.speed}·{cert.region.length}"
+        )
+    return CheckResult(not reasons, tuple(reasons))
+
+
+def check_certificate(instance: Instance, cert: Certificate) -> CheckResult:
+    """Dispatch on the certificate kind."""
+    if isinstance(cert, FeasibleCertificate):
+        return check_feasible_certificate(instance, cert)
+    if isinstance(cert, InfeasibleCertificate):
+        return check_infeasible_certificate(instance, cert)
+    raise TypeError(f"not a certificate: {type(cert).__name__}")

@@ -1,0 +1,185 @@
+"""Differential verification harness: dinic vs networkx vs LP.
+
+Three independent implementations answer the same feasibility question:
+
+* the flat-array Dinic solver (the hot path),
+* the generic networkx max-flow formulation,
+* the float-based HiGHS LP relaxation (advisory).
+
+This module runs them side by side on the same ``(instance, m, speed)``
+probes and *arbitrates with certificates*: the exact backends must agree
+verdict-for-verdict and each verdict must come with a certificate that
+passes the solver-independent checkers.  The LP is float-based, so a lone
+LP disagreement is recorded (``lp_disagreements``) but does not fail the
+run when the exact consensus is backed by a valid certificate — the
+certificate, not the majority, is the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model.instance import Instance
+from ..model.intervals import Numeric, to_fraction
+from ..offline.flow import BACKENDS, migratory_feasible
+from ..offline.optimum import migratory_optimum
+from .certify import certify, unsat_certificate
+from .checkers import check_certificate
+
+
+@dataclass(frozen=True)
+class DifferentialRecord:
+    """One cross-checked probe ``(m, speed)`` on one instance."""
+
+    m: int
+    speed: Fraction
+    verdicts: Tuple[Tuple[str, bool], ...]  # backend → feasible
+    lp_verdict: Optional[bool]  # None: LP skipped or solver failure
+    failures: Tuple[str, ...]  # exact-backend disagreements / bad certificates
+    lp_disagreement: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Aggregated outcome of a differential sweep."""
+
+    records: Tuple[DifferentialRecord, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.records)
+
+    @property
+    def failures(self) -> List[str]:
+        return [f for r in self.records for f in r.failures]
+
+    @property
+    def lp_disagreements(self) -> int:
+        return sum(1 for r in self.records if r.lp_disagreement)
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({len(self.failures)} failures)"
+        lp = (
+            f", {self.lp_disagreements} advisory LP disagreement(s)"
+            if self.lp_disagreements
+            else ""
+        )
+        return f"differential: {len(self.records)} probes {status}{lp}"
+
+
+def _lp_verdict(instance: Instance, m: int, speed: Fraction) -> Optional[bool]:
+    try:
+        from ..offline.lp import lp_feasible
+    except ImportError:  # scipy unavailable: LP leg is advisory anyway
+        return None
+    try:
+        return lp_feasible(instance, m, speed)
+    except Exception:  # solver hiccup — advisory leg never fails the run
+        return None
+
+
+def differential_check(
+    instance: Instance,
+    m: int,
+    speed: Numeric = 1,
+    backends: Sequence[str] = BACKENDS,
+    use_lp: bool = True,
+) -> DifferentialRecord:
+    """Cross-check one probe: verdicts, certificates, and the LP advisory."""
+    speed = to_fraction(speed)
+    failures: List[str] = []
+    verdicts: Dict[str, bool] = {}
+    for backend in backends:
+        verdict = migratory_feasible(instance, m, speed, backend=backend)
+        verdicts[backend] = verdict
+        cert = certify(instance, m, speed, backend=backend, check=False)
+        if (cert.kind == "feasible") != verdict:
+            failures.append(
+                f"{backend}: verdict {verdict} but certificate kind {cert.kind}"
+            )
+        result = check_certificate(instance, cert)
+        if not result.ok:
+            failures.append(
+                f"{backend}: invalid {cert.kind} certificate at m={m}: "
+                + "; ".join(result.reasons[:3])
+            )
+    if len(set(verdicts.values())) > 1:
+        failures.append(f"exact backends disagree at m={m}: {verdicts}")
+    lp = _lp_verdict(instance, m, speed) if use_lp else None
+    lp_disagrees = lp is not None and bool(verdicts) and lp != next(iter(verdicts.values()))
+    return DifferentialRecord(
+        m=m,
+        speed=speed,
+        verdicts=tuple(sorted(verdicts.items())),
+        lp_verdict=lp,
+        failures=tuple(failures),
+        lp_disagreement=lp_disagrees,
+    )
+
+
+def differential_optimum(
+    instance: Instance,
+    speed: Numeric = 1,
+    backends: Sequence[str] = BACKENDS,
+    use_lp: bool = True,
+) -> DifferentialReport:
+    """Cross-check the certified optimum: probes at OPT and OPT − 1.
+
+    Every backend must compute the same optimum; unsatisfiable instances
+    (``speed < 1``) must carry a valid degenerate witness instead.
+    """
+    speed = to_fraction(speed)
+    unsat = unsat_certificate(instance, speed)
+    if unsat is not None:
+        failures: List[str] = []
+        result = check_certificate(instance, unsat)
+        if not result.ok:
+            failures.append("invalid unsat witness: " + "; ".join(result.reasons[:3]))
+        record = DifferentialRecord(
+            m=-1,
+            speed=speed,
+            verdicts=tuple((b, False) for b in backends),
+            lp_verdict=None,
+            failures=tuple(failures),
+            lp_disagreement=False,
+        )
+        return DifferentialReport((record,))
+    optima = {b: migratory_optimum(instance, speed, backend=b) for b in backends}
+    records: List[DifferentialRecord] = []
+    if len(set(optima.values())) > 1:
+        records.append(
+            DifferentialRecord(
+                m=-1,
+                speed=speed,
+                verdicts=(),
+                lp_verdict=None,
+                failures=(f"backends disagree on the optimum: {optima}",),
+                lp_disagreement=False,
+            )
+        )
+    m = max(optima.values())
+    records.append(differential_check(instance, m, speed, backends, use_lp))
+    if m > 0:
+        records.append(differential_check(instance, m - 1, speed, backends, use_lp))
+    return DifferentialReport(tuple(records))
+
+
+def differential_sweep(
+    instances: Iterable[Instance],
+    speeds: Sequence[Numeric] = (1,),
+    backends: Sequence[str] = BACKENDS,
+    use_lp: bool = True,
+) -> DifferentialReport:
+    """Run :func:`differential_optimum` over a corpus of instances/speeds."""
+    records: List[DifferentialRecord] = []
+    for instance in instances:
+        for speed in speeds:
+            report = differential_optimum(instance, speed, backends, use_lp)
+            records.extend(report.records)
+    return DifferentialReport(tuple(records))

@@ -1,0 +1,98 @@
+"""Seeded regression corpus with golden certified-optimum expectations.
+
+Each corpus instance is archived JSON (lossless rationals) with a golden
+``(optimum, certificate kind)`` expectation in ``expectations.json``.  The
+corpus pins the feasibility core end to end on hand-picked structures —
+tight agreeable, laminar, Lemma 2 adversary prefixes, separated overload
+bursts, fractional data, and a speed-<1 unsatisfiable instance — on *both*
+flow backends.  It is also the kill-set of the mutation smoke gate
+(``tools/mutation_smoke.py``), so it must stay fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+
+import pytest
+
+from repro.model.io import load
+from repro.offline.flow import BACKENDS
+from repro.offline.optimum import migratory_optimum
+from repro.verify import (
+    Unsatisfiable,
+    certified_optimum,
+    check_certificate,
+    certificate_from_dict,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "corpus")
+
+with open(os.path.join(CORPUS_DIR, "expectations.json"), "r", encoding="utf-8") as fh:
+    CASES = json.load(fh)["cases"]
+
+
+def _case_id(case) -> str:
+    return f"{case['file']}@s={case['speed']}"
+
+
+@pytest.mark.parametrize("case", CASES, ids=_case_id)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_corpus_certified_optimum(case, backend):
+    instance = load(os.path.join(CORPUS_DIR, case["file"]))
+    speed = Fraction(case["speed"])
+
+    if case.get("unsat"):
+        with pytest.raises(Unsatisfiable) as excinfo:
+            certified_optimum(instance, speed, backend=backend)
+        cert = excinfo.value.certificate
+        assert cert.region.length == 0
+        assert check_certificate(instance, cert).ok
+        # The raw optimum search must refuse the instance up front rather
+        # than searching forever (pins the speed-<1 every-m guard).
+        with pytest.raises(ValueError):
+            migratory_optimum(instance, speed, backend=backend)
+        return
+
+    co = certified_optimum(instance, speed, backend=backend)
+    assert co.machines == case["optimum"], (
+        f"{case['file']}: optimum {co.machines} != golden {case['optimum']} "
+        f"({backend} backend)"
+    )
+    # Feasible side: the schedule re-verifies exactly on ≤ m machines.
+    assert check_certificate(instance, co.feasible).ok
+    assert co.feasible.machines == co.machines
+    # Infeasible side: the overloaded interval set holds by pure arithmetic
+    # and proves the matching lower bound.
+    if case.get("infeasible_kind") == "none":
+        assert co.infeasible is None
+    else:
+        assert co.infeasible is not None
+        assert check_certificate(instance, co.infeasible).ok
+        if case["infeasible_kind"] == "degenerate":
+            assert co.infeasible.region.length == 0
+        else:
+            required = co.infeasible.required_machines(instance)
+            assert required is not None and required >= co.machines
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in CASES if not c.get("unsat") and c["speed"] == "1"],
+    ids=_case_id,
+)
+def test_corpus_certificate_roundtrip(case):
+    """Certificates survive a JSON round-trip and still check out."""
+    instance = load(os.path.join(CORPUS_DIR, case["file"]))
+    co = certified_optimum(instance)
+    for cert in filter(None, (co.feasible, co.infeasible)):
+        clone = certificate_from_dict(json.loads(json.dumps(cert.to_dict())))
+        assert clone.kind == cert.kind
+        assert check_certificate(instance, clone).ok
+
+
+def test_corpus_has_enough_instances():
+    files = [f for f in os.listdir(CORPUS_DIR) if f != "expectations.json"]
+    assert len(files) >= 12
+    assert {c["file"] for c in CASES} == set(files)

@@ -1,0 +1,138 @@
+"""Metamorphic properties of the certified feasibility core.
+
+Verdicts must move *monotonically* under relaxing/equivalent transforms:
+
+* more machines / faster machines   → feasibility is preserved,
+* removing a job                    → the optimum cannot increase,
+* splitting a job into two halves   → the optimum cannot increase,
+* uniform time scaling (with shift) → the optimum is invariant.
+
+Every verdict is obtained through :func:`repro.verify.certify`, so each
+probe is certificate-backed; when hypothesis shrinks a counterexample the
+assertion message prints the offending certificate(s) — the witness is the
+diagnosis.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import Instance, Job
+from repro.offline.flow import BACKENDS
+from repro.offline.optimum import migratory_optimum
+from repro.verify import certify
+
+from tests.strategies import instances_st
+
+backends_st = st.sampled_from(BACKENDS)
+machines_st = st.integers(0, 4)
+SPEEDS = [Fraction(1, 2), Fraction(2, 3), Fraction(1), Fraction(3, 2), Fraction(2)]
+
+
+def feasible_with_cert(instance, m, speed=Fraction(1), backend="dinic"):
+    """Certificate-backed verdict (check=True re-proves it independently)."""
+    cert = certify(instance, m, speed, backend=backend)
+    return cert.kind == "feasible", cert
+
+
+class TestVerdictMonotonicity:
+    @given(instances_st(max_size=7), machines_st, backends_st)
+    @settings(max_examples=80, deadline=None)
+    def test_more_machines_preserve_feasibility(self, inst, m, backend):
+        ok_m, cert_m = feasible_with_cert(inst, m, backend=backend)
+        ok_up, cert_up = feasible_with_cert(inst, m + 1, backend=backend)
+        if ok_m:
+            assert ok_up, (
+                f"feasible at m={m} but infeasible at m={m + 1}\n"
+                f"  at m:   {cert_m.describe()}\n"
+                f"  at m+1: {cert_up.describe(inst)}"
+            )
+
+    @given(
+        instances_st(max_size=7),
+        st.integers(1, 4),
+        st.sampled_from(SPEEDS),
+        st.sampled_from(SPEEDS),
+        backends_st,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_faster_machines_preserve_feasibility(self, inst, m, s1, s2, backend):
+        lo, hi = min(s1, s2), max(s1, s2)
+        ok_lo, cert_lo = feasible_with_cert(inst, m, lo, backend)
+        ok_hi, cert_hi = feasible_with_cert(inst, m, hi, backend)
+        if ok_lo:
+            assert ok_hi, (
+                f"feasible at speed {lo} but infeasible at speed {hi} (m={m})\n"
+                f"  slow: {cert_lo.describe()}\n"
+                f"  fast: {cert_hi.describe(inst)}"
+            )
+
+
+class TestOptimumMonotonicity:
+    @given(instances_st(min_size=2, max_size=7), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_removing_a_job_cannot_raise_the_optimum(self, inst, data):
+        m = migratory_optimum(inst)
+        victim = data.draw(st.sampled_from([j.id for j in inst]))
+        rest = Instance([j for j in inst if j.id != victim])
+        ok, cert = feasible_with_cert(rest, m)
+        assert ok, (
+            f"optimum {m} of the full instance infeasible after removing job "
+            f"{victim}\n  {cert.describe(rest)}"
+        )
+
+    @given(instances_st(max_size=6), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_splitting_a_job_cannot_raise_the_optimum(self, inst, data):
+        m = migratory_optimum(inst)
+        victim = data.draw(st.sampled_from([j.id for j in inst]))
+        job = inst.job(victim)
+        half = job.processing / 2
+        next_id = max(j.id for j in inst) + 1
+        split = Instance(
+            [j for j in inst if j.id != victim]
+            + [
+                Job(job.release, half, job.deadline, id=victim),
+                Job(job.release, half, job.deadline, id=next_id),
+            ]
+        )
+        ok, cert = feasible_with_cert(split, m)
+        assert ok, (
+            f"optimum {m} infeasible after splitting job {victim} in half\n"
+            f"  {cert.describe(split)}"
+        )
+
+
+class TestInvariance:
+    @given(
+        instances_st(max_size=6),
+        st.sampled_from([Fraction(1, 3), Fraction(1, 2), Fraction(2), Fraction(7, 5)]),
+        st.integers(-5, 17),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_time_scaling_is_optimum_invariant(self, inst, scale, shift):
+        """``t ↦ c·t + h`` rescales windows *and* processing times alike."""
+        m = migratory_optimum(inst)
+        transformed = inst.scaled(scale, shift)
+        m_t = migratory_optimum(transformed)
+        assert m_t == m, (
+            f"optimum changed under time scaling ×{scale}+{shift}: {m} → {m_t}\n"
+            f"  witness at {m_t - 1 if m_t > m else m_t}: "
+            f"{certify(transformed, min(m, m_t), check=False).describe(transformed)}"
+        )
+
+    @given(instances_st(max_size=6), st.sampled_from(SPEEDS), backends_st)
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree_with_certificates(self, inst, speed, backend):
+        """Any backend's certified verdict matches the dinic verdict."""
+        for m in range(0, 4):
+            ok_ref, cert_ref = feasible_with_cert(inst, m, speed, "dinic")
+            ok, cert = feasible_with_cert(inst, m, speed, backend)
+            assert ok == ok_ref, (
+                f"backend split at m={m}, speed {speed}\n"
+                f"  dinic:    {cert_ref.describe(inst)}\n"
+                f"  {backend}: {cert.describe(inst)}"
+            )

@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Mutation smoke gate for the feasibility core.
+
+Applies small, deterministic AST mutations (operator swaps, comparison
+negations, min/max swaps) to the solver modules under ``src/repro/offline/``
+and re-runs the certificate-backed corpus tests for each mutant.  Every
+mutant must be *killed* — a surviving mutant means the certificate layer
+would accept output from a subtly broken solver, which is exactly the
+failure mode the verification layer exists to prevent.
+
+A mutant that makes the tests hang counts as killed (the behavioral change
+was detected); a mutant that fails to compile is skipped (nothing to test).
+
+Usage:
+    python tools/mutation_smoke.py [--max-mutants N] [--time-budget SECONDS]
+                                   [--list] [--tests PATH ...]
+
+Exit status: 0 iff every executed mutant was killed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import copy
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: file → function allowlist (None = every function in the file).  The
+#: allowlist keeps mutation sites inside *semantics-critical* code: bounds
+#: seeding and warm-start bookkeeping are deliberately excluded where a
+#: mutation only degrades performance (an equivalent mutant for these tests).
+TARGETS: Dict[str, Optional[Set[str]]] = {
+    "src/repro/offline/dinic.py": None,
+    "src/repro/offline/flow.py": {
+        "mcnaughton",
+        "schedule_from_work",
+        "_build_network",
+        "networkx_min_cut",
+        "max_flow_assignment",
+        "migratory_feasible",
+    },
+    "src/repro/offline/optimum.py": {"migratory_optimum"},
+}
+
+#: The kill-set: fast, deterministic, certificate-backed.
+DEFAULT_TESTS = ["tests/test_corpus.py"]
+
+COMPARE_SWAP = {
+    ast.Lt: ast.GtE,
+    ast.LtE: ast.Gt,
+    ast.Gt: ast.LtE,
+    ast.GtE: ast.Lt,
+    ast.Eq: ast.NotEq,
+    ast.NotEq: ast.Eq,
+}
+BINOP_SWAP = {ast.Add: ast.Sub, ast.Sub: ast.Add, ast.Mult: ast.Add, ast.BitXor: ast.BitOr}
+NAME_SWAP = {"min": "max", "max": "min"}
+
+#: Functions where ``==``/``!=`` swaps are excluded: Dinic's level check
+#: (``level[v] == lu``) degenerates into plain DFS augmentation — slower but
+#: still a maximum flow, i.e. an equivalent mutant for correctness tests.
+NO_EQ_SWAP_FUNCS = {"max_flow"}
+
+
+class Site:
+    """One mutable AST location inside an allowlisted function."""
+
+    __slots__ = ("path", "func", "lineno", "col", "node_kind", "detail")
+
+    def __init__(self, path: str, func: str, lineno: int, col: int,
+                 node_kind: str, detail: str) -> None:
+        self.path = path
+        self.func = func
+        self.lineno = lineno
+        self.col = col
+        self.node_kind = node_kind
+        self.detail = detail
+
+    def label(self) -> str:
+        return f"{self.path}:{self.lineno}:{self.col} [{self.func}] {self.detail}"
+
+
+def _is_string_compare(node: ast.Compare) -> bool:
+    """Skip ``backend == "dinic"``-style dispatch: swapping it just routes
+    probes through the *other* (correct) backend — an equivalent mutant."""
+    operands = [node.left, *node.comparators]
+    return any(isinstance(o, ast.Constant) and isinstance(o.value, str) for o in operands)
+
+
+def iter_sites(path: str, tree: ast.Module, allow: Optional[Set[str]]) -> Iterator[Site]:
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if allow is not None and func.name not in allow:
+            continue
+        for node in ast.walk(func):
+            if isinstance(node, ast.BinOp) and type(node.op) in BINOP_SWAP:
+                yield Site(path, func.name, node.lineno, node.col_offset,
+                           "binop", type(node.op).__name__)
+            elif (
+                isinstance(node, ast.Compare)
+                and len(node.ops) == 1
+                and type(node.ops[0]) in COMPARE_SWAP
+                and not _is_string_compare(node)
+                and not (
+                    func.name in NO_EQ_SWAP_FUNCS
+                    and type(node.ops[0]) in (ast.Eq, ast.NotEq)
+                )
+            ):
+                yield Site(path, func.name, node.lineno, node.col_offset,
+                           "compare", type(node.ops[0]).__name__)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in NAME_SWAP
+            ):
+                yield Site(path, func.name, node.lineno, node.col_offset,
+                           "minmax", node.func.id)
+
+
+def mutate_source(source: str, site: Site) -> Optional[str]:
+    """Re-parse, swap the node at the site, and unparse the mutated module."""
+    tree = ast.parse(source)
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name != site.func:
+            continue
+        for node in ast.walk(func):
+            if (getattr(node, "lineno", None), getattr(node, "col_offset", None)) != (
+                site.lineno,
+                site.col,
+            ):
+                continue
+            if site.node_kind == "binop" and isinstance(node, ast.BinOp):
+                node.op = BINOP_SWAP[type(node.op)]()
+                return ast.unparse(tree)
+            if site.node_kind == "compare" and isinstance(node, ast.Compare):
+                node.ops = [COMPARE_SWAP[type(node.ops[0])]()]
+                return ast.unparse(tree)
+            if site.node_kind == "minmax" and isinstance(node, ast.Call):
+                node.func = ast.Name(id=NAME_SWAP[node.func.id], ctx=ast.Load())
+                return ast.unparse(tree)
+    return None
+
+
+def run_tests(tests: List[str], timeout: float) -> str:
+    """Returns 'killed', 'survived', or 'timeout' for the current tree."""
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-x", "-q", "--no-header", *tests],
+            cwd=REPO,
+            env={**dict(__import__("os").environ), "PYTHONPATH": str(REPO / "src")},
+            capture_output=True,
+            timeout=timeout,
+        )
+    except subprocess.TimeoutExpired:
+        return "timeout"
+    return "survived" if proc.returncode == 0 else "killed"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-mutants", type=int, default=14,
+                        help="evenly-spaced sample of all enumerated sites")
+    parser.add_argument("--time-budget", type=float, default=300.0,
+                        help="stop (gracefully) after this many seconds")
+    parser.add_argument("--per-mutant-timeout", type=float, default=None,
+                        help="default: 2.5x the clean-run time (min 30s)")
+    parser.add_argument("--tests", nargs="*", default=DEFAULT_TESTS)
+    parser.add_argument("--list", action="store_true",
+                        help="print every enumerated site and exit")
+    args = parser.parse_args(argv)
+
+    sites: List[Site] = []
+    sources: Dict[str, str] = {}
+    for rel, allow in TARGETS.items():
+        source = (REPO / rel).read_text(encoding="utf-8")
+        sources[rel] = source
+        sites.extend(iter_sites(rel, ast.parse(source), allow))
+    if args.list:
+        for i, site in enumerate(sites):
+            print(f"{i:4d}  {site.label()}")
+        print(f"{len(sites)} sites total")
+        return 0
+
+    if args.max_mutants and args.max_mutants < len(sites):
+        stride = len(sites) / args.max_mutants
+        chosen = [sites[int(i * stride)] for i in range(args.max_mutants)]
+    else:
+        chosen = sites
+
+    start = time.monotonic()
+    print(f"sanity: running kill-set clean ({' '.join(args.tests)})")
+    if run_tests(args.tests, args.time_budget) != "survived":
+        print("FATAL: kill-set does not pass on the unmutated tree")
+        return 2
+    clean_time = time.monotonic() - start
+    # A mutant that runs much longer than the clean suite has hung (e.g. an
+    # unbounded search) — that *is* a behavioral detection, so cut it short.
+    timeout = args.per_mutant_timeout or max(30.0, 2.5 * clean_time)
+    print(f"clean run {clean_time:.0f}s; per-mutant timeout {timeout:.0f}s")
+
+    survivors: List[Site] = []
+    executed = 0
+    for site in chosen:
+        if time.monotonic() - start > args.time_budget:
+            print(f"time budget exhausted after {executed}/{len(chosen)} mutants")
+            break
+        mutated = mutate_source(sources[site.path], site)
+        if mutated is None:
+            print(f"  skip (site vanished): {site.label()}")
+            continue
+        target = REPO / site.path
+        try:
+            target.write_text(mutated, encoding="utf-8")
+            verdict = run_tests(args.tests, timeout)
+        finally:
+            target.write_text(sources[site.path], encoding="utf-8")
+        executed += 1
+        mark = {"killed": "✓ killed", "timeout": "✓ killed (hang)",
+                "survived": "✗ SURVIVED"}[verdict]
+        print(f"  {mark}: {site.label()}")
+        if verdict == "survived":
+            survivors.append(site)
+
+    elapsed = time.monotonic() - start
+    print(f"\n{executed} mutants in {elapsed:.0f}s: "
+          f"{executed - len(survivors)} killed, {len(survivors)} survived")
+    if survivors:
+        print("surviving mutants (the certificate tests must be strengthened):")
+        for site in survivors:
+            print(f"  {site.label()}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
