@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from math import ceil
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -80,6 +80,35 @@ def window_density_grid(
     return start_grid, width_grid, density
 
 
+def grid_winner(instance: Instance, starts: int = 64, widths: int = 32) -> Dict[str, Any]:
+    """The densest grid window with its exact certified bound.
+
+    Returns a dict with keys ``bound`` (the exact ``ceil(C/|I|)`` of the
+    winning window), ``window`` (``(a, b)`` as :class:`~fractions.Fraction`
+    pair, or ``None`` for the empty instance), ``grid_density`` (the float
+    grid estimate at the winner), and ``grid`` (the grid resolution) — the
+    joinable record emitted by ``repro profile --json`` so trace files and
+    profiles can be correlated offline.
+    """
+    if len(instance) == 0:
+        return {
+            "bound": 0,
+            "window": None,
+            "grid_density": 0.0,
+            "grid": {"starts": starts, "widths": widths},
+        }
+    start_grid, width_grid, density = window_density_grid(instance, starts, widths)
+    i, k = np.unravel_index(np.argmax(density), density.shape)
+    a = Fraction(start_grid[i]).limit_denominator(10**9)
+    b = a + Fraction(width_grid[k]).limit_denominator(10**9)
+    return {
+        "bound": machines_bound(instance, IntervalUnion.single(a, b)),
+        "window": (a, b),
+        "grid_density": float(density[i, k]),
+        "grid": {"starts": starts, "widths": widths},
+    }
+
+
 def approx_lower_bound(instance: Instance, starts: int = 64, widths: int = 32) -> int:
     """A fast, *certified* lower bound on the migratory optimum.
 
@@ -87,10 +116,4 @@ def approx_lower_bound(instance: Instance, starts: int = 64, widths: int = 32) -
     exact ``ceil(C/|I|)`` of that window (re-evaluated with rationals), so
     float round-off can cost tightness but never soundness.
     """
-    if len(instance) == 0:
-        return 0
-    start_grid, width_grid, density = window_density_grid(instance, starts, widths)
-    i, k = np.unravel_index(np.argmax(density), density.shape)
-    a = Fraction(start_grid[i]).limit_denominator(10**9)
-    b = a + Fraction(width_grid[k]).limit_denominator(10**9)
-    return machines_bound(instance, IntervalUnion.single(a, b))
+    return grid_winner(instance, starts, widths)["bound"]

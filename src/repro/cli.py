@@ -10,6 +10,11 @@ Subcommands (``python -m repro <cmd> …`` or the ``repro`` entry point):
 * ``gantt``     — render a schedule JSON as an ASCII chart
 * ``adversary`` — run the Lemma 2 or Lemma 9 adversary against a policy
 * ``verify``    — certified feasibility verdicts and backend cross-checks
+* ``stats``     — one-shot observability report (counters + span timings)
+
+Every subcommand accepts ``--trace OUT.jsonl``: the run's full span/counter
+event stream (see :mod:`repro.obs`) is written as JSON lines for offline
+analysis.
 """
 
 from __future__ import annotations
@@ -18,8 +23,9 @@ import argparse
 import sys
 from fractions import Fraction
 
+from . import obs
 from .analysis.gantt import render_gantt, render_witness
-from .analysis.profile import approx_lower_bound, load_profile
+from .analysis.profile import grid_winner, load_profile
 from .analysis.svg import save_svg
 from .core.adversary.agreeable_lb import AgreeableAdversary
 from .core.adversary.migration_gap import MigrationGapAdversary
@@ -167,10 +173,30 @@ def cmd_svg(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    import json as _json
+
     instance = _load_instance(args.instance)
     times, density = load_profile(instance, samples=args.samples)
-    bound = approx_lower_bound(instance)
+    winner = grid_winner(instance)
+    bound = winner["bound"]
     peak = max(density) if len(density) else 0.0
+    if args.json:
+        window = winner["window"]
+        payload = {
+            "instance": args.instance,
+            "n": len(instance),
+            "samples": args.samples,
+            "peak_density": float(peak),
+            "lower_bound": bound,
+            "grid_winner": {
+                "start": str(window[0]) if window else None,
+                "end": str(window[1]) if window else None,
+                "grid_density": winner["grid_density"],
+                **winner["grid"],
+            },
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0
     print(f"n = {len(instance)}, mandatory-load peak = {peak:.2f}, "
           f"certified lower bound on m = {bound}")
     # ASCII sparkline of the load profile
@@ -269,6 +295,42 @@ def cmd_verify(args) -> int:
     return exit_code
 
 
+def cmd_stats(args) -> int:
+    """One-shot observability report: counters and span timings for a run."""
+    import json as _json
+
+    instance = _load_instance(args.instance)
+    speed = Fraction(args.speed)
+    with obs.capture() as registry:
+        try:
+            co = certified_optimum(instance, speed, backend=args.backend)
+            headline = f"certified optimum: {co.machines}"
+            optimum = co.machines
+        except Unsatisfiable:
+            headline = "infeasible at every machine count"
+            optimum = None
+        if args.policy and optimum:
+            engine = simulate(POLICIES[args.policy](), instance,
+                              machines=optimum, speed=speed)
+            headline += (
+                f"; {args.policy} at m={optimum}: "
+                f"missed = {engine.missed_jobs or 'none'}"
+            )
+    if args.json:
+        payload = {
+            "instance": args.instance,
+            "speed": str(speed),
+            "backend": args.backend,
+            "optimum": optimum,
+            **registry.snapshot(),
+        }
+        print(_json.dumps(payload, indent=2))
+        return 0
+    print(headline)
+    print(registry.summary())
+    return 0
+
+
 def cmd_adversary(args) -> int:
     policy_cls = POLICIES[args.policy]
     if args.kind == "migration-gap":
@@ -307,7 +369,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="generate a seeded instance")
+    # Shared by every subcommand: stream the run's observability events.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace",
+        metavar="OUT.jsonl",
+        default=None,
+        help="write the run's span/counter event stream as JSON lines",
+    )
+
+    def add_parser(name, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    p = add_parser("generate", help="generate a seeded instance")
     p.add_argument("kind", choices=sorted(GENERATORS))
     p.add_argument("-n", type=int, default=30)
     p.add_argument("--alpha", default="1/2", help="looseness for loose/tight")
@@ -315,24 +389,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("classify", help="classify an instance JSON")
+    p = add_parser("classify", help="classify an instance JSON")
     p.add_argument("instance")
     p.set_defaults(func=cmd_classify)
 
-    p = sub.add_parser("opt", help="exact optima of an instance")
+    p = add_parser("opt", help="exact optima of an instance")
     p.add_argument("instance")
     p.add_argument("--nonmigratory", action="store_true")
     p.add_argument("--exact-threshold", type=int, default=14)
     p.set_defaults(func=cmd_opt)
 
-    p = sub.add_parser("solve", help="schedule with a paper algorithm")
+    p = add_parser("solve", help="schedule with a paper algorithm")
     p.add_argument("instance")
     p.add_argument("--algorithm", default="auto",
                    choices=["auto", "loose", "agreeable", "laminar"])
     p.add_argument("-o", "--output")
     p.set_defaults(func=cmd_solve)
 
-    p = sub.add_parser("simulate", help="run a classic online policy")
+    p = add_parser("simulate", help="run a classic online policy")
     p.add_argument("instance")
     p.add_argument("--policy", default="edf", choices=sorted(POLICIES))
     p.add_argument("--machines", type=int, default=None,
@@ -342,30 +416,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100)
     p.set_defaults(func=cmd_simulate)
 
-    p = sub.add_parser("gantt", help="render a schedule JSON")
+    p = add_parser("gantt", help="render a schedule JSON")
     p.add_argument("schedule")
     p.add_argument("--width", type=int, default=100)
     p.set_defaults(func=cmd_gantt)
 
-    p = sub.add_parser("svg", help="render a schedule JSON to SVG")
+    p = add_parser("svg", help="render a schedule JSON to SVG")
     p.add_argument("schedule")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--width", type=int, default=900)
     p.add_argument("--title", default="")
     p.set_defaults(func=cmd_svg)
 
-    p = sub.add_parser("profile", help="mandatory-load profile of an instance")
+    p = add_parser("profile", help="mandatory-load profile of an instance")
     p.add_argument("instance")
     p.add_argument("--samples", type=int, default=256)
     p.add_argument("--width", type=int, default=80)
+    p.add_argument("--json", action="store_true",
+                   help="emit the profile (incl. the grid-winner window) as JSON")
     p.set_defaults(func=cmd_profile)
 
-    p = sub.add_parser("realtime", help="provision machines for a task set JSON")
+    p = add_parser("realtime", help="provision machines for a task set JSON")
     p.add_argument("taskset", help='JSON: {"tasks": [{"wcet": 1, "period": 4, ...}]}')
     p.add_argument("--horizon", type=int, default=None)
     p.set_defaults(func=cmd_realtime)
 
-    p = sub.add_parser(
+    p = add_parser(
         "verify",
         help="certified feasibility verdicts and backend cross-checks",
     )
@@ -381,7 +457,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write the certificate(s) as JSON")
     p.set_defaults(func=cmd_verify)
 
-    p = sub.add_parser("adversary", help="run a lower-bound adversary")
+    p = add_parser(
+        "stats",
+        help="one-shot observability report (counters + span timings)",
+    )
+    p.add_argument("instance")
+    p.add_argument("--speed", default="1")
+    p.add_argument("--backend", default=DEFAULT_BACKEND, choices=sorted(BACKENDS))
+    p.add_argument("--policy", default=None, choices=sorted(POLICIES),
+                   help="also simulate this policy at the optimum "
+                        "(adds engine.* counters)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the counter/span snapshot as JSON")
+    p.set_defaults(func=cmd_stats)
+
+    p = add_parser("adversary", help="run a lower-bound adversary")
     p.add_argument("kind", choices=["migration-gap", "agreeable"])
     p.add_argument("--policy", default="firstfit", choices=sorted(POLICIES))
     p.add_argument("--k", type=int, default=5, help="migration-gap depth")
@@ -399,7 +489,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    sink = obs.attach(obs.JsonlSink(trace_path))
+    try:
+        return args.func(args)
+    finally:
+        obs.detach(sink)
+        sink.close()
 
 
 if __name__ == "__main__":

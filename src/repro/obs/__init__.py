@@ -1,0 +1,53 @@
+"""Zero-dependency tracing & metrics for the solver, cache, engine, and verifier.
+
+Instrumentation is always compiled in but costs a single truthiness check
+while no sink is attached, so production call sites pay effectively nothing
+(see ``benchmarks/bench_obs_overhead.py`` for the proof).  Consumption is
+explicit and scoped::
+
+    from repro import obs
+
+    with obs.capture() as reg:                 # in-memory aggregation
+        migratory_optimum(instance)
+    print(reg.summary())                       # counters + span table
+
+    with obs.capture(obs.JsonlSink("t.jsonl")) as reg:   # + event stream
+        certified_optimum(instance)
+
+The CLI exposes the same machinery as ``repro stats INSTANCE.json`` (one-shot
+report) and a global ``--trace out.jsonl`` flag on every subcommand.
+
+Span taxonomy and the JSONL event schema are documented in
+``docs/ARCHITECTURE.md`` ("Observability").
+"""
+
+from .core import (
+    attach,
+    capture,
+    detach,
+    enabled,
+    event,
+    gauge,
+    incr,
+    span,
+    span_path,
+)
+from .sinks import JsonlSink, Registry, Sink, SpanStat, StderrSummary, jsonable
+
+__all__ = [
+    "attach",
+    "capture",
+    "detach",
+    "enabled",
+    "event",
+    "gauge",
+    "incr",
+    "span",
+    "span_path",
+    "JsonlSink",
+    "Registry",
+    "Sink",
+    "SpanStat",
+    "StderrSummary",
+    "jsonable",
+]

@@ -1,0 +1,178 @@
+"""Tracing and metrics primitives (stdlib only).
+
+The observability layer has one hard constraint: when nothing is listening
+it must cost *nothing measurable* on the hot path.  Every primitive
+therefore bottoms out in the same guard — a truthiness check on the
+module-level sink list:
+
+* :func:`enabled` — ``True`` iff at least one sink is attached; hot call
+  sites (the Dinic inner loop, the engine step) accumulate plain local
+  integers and flush them behind one ``enabled()`` check,
+* :func:`span` — hierarchical timing context manager.  Nesting is tracked
+  through a :class:`contextvars.ContextVar`, so spans compose correctly
+  across threads and async contexts; with no sink attached ``span()``
+  returns a shared no-op singleton (no allocation, no clock read),
+* :func:`incr` / :func:`gauge` / :func:`event` — monotonic counters,
+  last-value gauges, and point events.
+
+Sinks receive the raw stream (see :mod:`repro.obs.sinks`): the in-memory
+:class:`~repro.obs.sinks.Registry` aggregates for tests and one-shot
+reports, :class:`~repro.obs.sinks.JsonlSink` streams events for offline
+analysis, :class:`~repro.obs.sinks.StderrSummary` renders a table.
+
+Attachment is explicit and scoped: ``with capture() as reg: …`` attaches a
+fresh registry for the duration of a block, which is how the CLI, the
+benchmark harness, and the test suite all consume the layer.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "attach",
+    "capture",
+    "detach",
+    "enabled",
+    "event",
+    "gauge",
+    "incr",
+    "span",
+    "span_path",
+]
+
+#: Attached sinks.  Empty list == observability disabled (the default).
+_sinks: List[Any] = []
+
+#: Current span path, e.g. ``("optimum.search", "optimum.probe")``.
+_span_path: ContextVar[Tuple[str, ...]] = ContextVar(
+    "repro_obs_span_path", default=()
+)
+
+_perf_ns = time.perf_counter_ns
+
+
+def enabled() -> bool:
+    """True iff at least one sink is attached (the hot-path guard)."""
+    return bool(_sinks)
+
+
+def attach(sink) -> Any:
+    """Attach a sink to the global stream; returns it for chaining."""
+    _sinks.append(sink)
+    return sink
+
+
+def detach(sink) -> None:
+    """Detach a previously attached sink (closing it is the caller's job)."""
+    _sinks.remove(sink)
+
+
+def span_path() -> Tuple[str, ...]:
+    """The stack of span names enclosing the caller (empty at top level)."""
+    return _span_path.get()
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while no sink is attached."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live timing span; records wall time and its position in the tree."""
+
+    __slots__ = ("name", "attrs", "path", "_token", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self.path = _span_path.get() + (self.name,)
+        self._token = _span_path.set(self.path)
+        self._t0 = _perf_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration_ns = _perf_ns() - self._t0
+        _span_path.reset(self._token)
+        error = exc_type.__name__ if exc_type is not None else None
+        path = "/".join(self.path)
+        for sink in list(_sinks):
+            sink.on_span(path, duration_ns, self.attrs, error)
+        return False  # exceptions always propagate
+
+
+def span(name: str, **attrs: Any):
+    """Timing context manager: ``with span("dinic.solve", m=m): …``.
+
+    The span's full path is the ``/``-joined chain of enclosing span names,
+    so nested calls show up as ``optimum.search/optimum.probe/dinic.solve``.
+    Exceptions propagate; the span is still closed and reported with the
+    exception's class name attached.
+    """
+    if not _sinks:
+        return _NOOP_SPAN
+    return _Span(name, attrs)
+
+
+def incr(name: str, value: int = 1, **attrs: Any) -> None:
+    """Add ``value`` to the monotonic counter ``name``."""
+    if not _sinks:
+        return
+    for sink in list(_sinks):
+        sink.on_counter(name, value, attrs)
+
+
+def gauge(name: str, value: Any, **attrs: Any) -> None:
+    """Record the current value of ``name`` (last write wins)."""
+    if not _sinks:
+        return
+    for sink in list(_sinks):
+        sink.on_gauge(name, value, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a point event (e.g. one online-engine decision point)."""
+    if not _sinks:
+        return
+    path = "/".join(_span_path.get())
+    for sink in list(_sinks):
+        sink.on_event(name, attrs, path)
+
+
+@contextmanager
+def capture(*extra_sinks) -> Iterator[Any]:
+    """Attach a fresh :class:`~repro.obs.sinks.Registry` for a block.
+
+    Any ``extra_sinks`` (e.g. a :class:`~repro.obs.sinks.JsonlSink`) are
+    attached alongside it and detached with it.  Yields the registry::
+
+        with capture() as reg:
+            migratory_optimum(instance)
+        reg.counters["dinic.aug_paths"]
+    """
+    from .sinks import Registry
+
+    registry = Registry()
+    attached = [registry, *extra_sinks]
+    for sink in attached:
+        attach(sink)
+    try:
+        yield registry
+    finally:
+        for sink in attached:
+            detach(sink)

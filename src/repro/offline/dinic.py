@@ -34,6 +34,8 @@ from collections import deque
 from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs import core as _obs
+
 
 class Dinic:
     """Integer max-flow on flat adjacency arrays.
@@ -95,8 +97,12 @@ class Dinic:
         """
         to, cap, adj = self.to, self.cap, self.adj
         added = 0
+        # Local accumulators: the inner loops stay free of any obs calls;
+        # one guarded flush happens at the single return point below.
+        phases = paths = retreats = 0
         while True:
             # BFS: level graph over the residual network.
+            phases += 1
             level = [-1] * self.n
             level[s] = 0
             queue = deque((s,))
@@ -109,6 +115,11 @@ class Dinic:
                         level[v] = lu
                         queue.append(v)
             if level[t] < 0:
+                if _obs.enabled():
+                    _obs.incr("dinic.bfs_phases", phases)
+                    _obs.incr("dinic.aug_paths", paths)
+                    _obs.incr("dinic.retreats", retreats)
+                    _obs.incr("dinic.flow_pushed", added)
                 return added
             # Blocking flow: iterative DFS with current-arc pointers.
             it = [0] * self.n
@@ -116,6 +127,7 @@ class Dinic:
             u = s
             while True:
                 if u == t:
+                    paths += 1
                     aug = min(cap[e] for e in path)
                     added += aug
                     for e in path:
@@ -144,6 +156,7 @@ class Dinic:
                     path.append(e)
                     u = v
                 elif path:
+                    retreats += 1
                     level[u] = -1  # dead end: prune from this phase
                     e = path.pop()
                     u = to[e ^ 1]
@@ -236,7 +249,12 @@ class FeasibilityNetwork:
 
     def solve(self) -> int:
         """Continue the max flow on the current residual; returns the total."""
-        self.flow += self.dinic.max_flow(self.SOURCE, self.SINK)
+        if not _obs.enabled():
+            self.flow += self.dinic.max_flow(self.SOURCE, self.SINK)
+            return self.flow
+        with _obs.span("dinic.solve", m=self.machines,
+                       jobs=len(self.job_ids), intervals=len(self.iv_caps)):
+            self.flow += self.dinic.max_flow(self.SOURCE, self.SINK)
         return self.flow
 
     @property

@@ -27,22 +27,40 @@ probe-complexity contract and the cross-caller cache behaviour.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, replace
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..model.instance import Instance
+from ..obs import core as _obs
 from .dinic import FeasibilityNetwork
 
 
 @dataclass
 class CacheStats:
-    """Counters for the cache's observable behaviour (used by tests)."""
+    """Counters for the cache's observable behaviour (used by tests).
+
+    Every increment is mirrored to the ``cache.*`` counters of
+    :mod:`repro.obs` when a sink is attached, so the same numbers are
+    available both on the cache object and in captured traces.
+    """
 
     probes: int = 0  # feasibility questions answered by a flow computation
     verdict_hits: int = 0  # answered from the (m, speed) memo
     network_builds: int = 0  # cold FeasibilityNetwork constructions
     restores: int = 0  # snapshot restores (probe below current m)
+
+    def bump(self, field_name: str) -> None:
+        """Increment one counter, mirroring it to the obs layer."""
+        setattr(self, field_name, getattr(self, field_name) + 1)
+        _obs.incr("cache." + field_name)
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable-by-convention copy (carried on certificates)."""
+        return replace(self)
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
 
 
 class _SpeedState:
@@ -127,7 +145,7 @@ class FeasibilityCache:
             )
             state = _SpeedState(network)
             self._speed_states[speed] = state
-            self.stats.network_builds += 1
+            self.stats.bump("network_builds")
         return state
 
     def solved_network(self, m: int, speed: Fraction) -> FeasibilityNetwork:
@@ -147,16 +165,16 @@ class FeasibilityCache:
             if exact is not None:
                 # This m was probed before: restoring is a pure array copy.
                 network.restore(exact)
-                self.stats.restores += 1
+                self.stats.bump("restores")
             elif m < network.machines:
                 best = max(mm for mm in state.snapshots if mm <= m)
                 network.restore(state.snapshots[best])
-                self.stats.restores += 1
+                self.stats.bump("restores")
         if m != network.machines:
             network.set_machines(m)
             network.solve()
             state.snapshots[m] = network.snapshot()
-            self.stats.probes += 1
+            self.stats.bump("probes")
             self._verdicts[(m, speed)] = network.feasible
         return network
 
@@ -168,7 +186,7 @@ class FeasibilityCache:
             return False
         cached = self._verdicts.get((m, speed))
         if cached is not None:
-            self.stats.verdict_hits += 1
+            self.stats.bump("verdict_hits")
             return cached
         return self.solved_network(m, speed).feasible
 

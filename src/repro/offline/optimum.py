@@ -7,6 +7,7 @@ from typing import Optional, Tuple
 from ..model.instance import Instance
 from ..model.intervals import Numeric, to_fraction
 from ..model.schedule import Schedule
+from ..obs import core as _obs
 from .feascache import cache_for
 from .flow import (
     DEFAULT_BACKEND,
@@ -64,18 +65,30 @@ def migratory_optimum(
         )
     lo = max(1, scaled_lower_bound(instance, speed))
     hi = max(lo, window_concurrency(instance))
-    # Window concurrency is feasible at unit speed; for slower machines grow
-    # geometrically until a feasible count is found (the guard above ensures
-    # one exists).
-    while not migratory_feasible(instance, hi, speed, backend=backend):
-        lo = hi + 1
-        hi *= 2
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if migratory_feasible(instance, mid, speed, backend=backend):
-            hi = mid
-        else:
-            lo = mid + 1
+
+    def probe(m: int, kind: str) -> bool:
+        _obs.incr("search.probes")
+        with _obs.span("optimum.probe", m=m, kind=kind):
+            return migratory_feasible(instance, m, speed, backend=backend)
+
+    with _obs.span("optimum.search", n=len(instance), speed=str(speed),
+                   backend=backend):
+        _obs.gauge("search.lower_bound_start", lo)
+        _obs.gauge("search.upper_bound_start", hi)
+        # Window concurrency is feasible at unit speed; for slower machines
+        # grow geometrically until a feasible count is found (the guard above
+        # ensures one exists).
+        while not probe(hi, "expand"):
+            _obs.incr("search.expansions")
+            lo = hi + 1
+            hi *= 2
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if probe(mid, "bisect"):
+                hi = mid
+            else:
+                lo = mid + 1
+        _obs.gauge("search.optimum", lo)
     return lo
 
 
@@ -97,7 +110,8 @@ def optimal_migratory_schedule(
     if backend == "dinic":
         speed = to_fraction(speed)
         cache = cache_for(instance)
-        network = cache.solved_network(m, speed)  # snapshot restore, no probe
-        work = network.work_by_job(speed, cache.scale_for(speed))
-        return m, schedule_from_work(work, cache.intervals, m)
+        with _obs.span("optimum.extract_schedule", m=m):
+            network = cache.solved_network(m, speed)  # snapshot restore, no probe
+            work = network.work_by_job(speed, cache.scale_for(speed))
+            return m, schedule_from_work(work, cache.intervals, m)
     return m, migratory_schedule(instance, m, speed, backend=backend)

@@ -27,6 +27,7 @@ from ..model.instance import Instance
 from ..model.intervals import Numeric, to_fraction
 from ..model.job import Job
 from ..model.schedule import Schedule, Segment
+from ..obs import core as _obs
 from .base import EngineError, InfeasibleOnline, JobState, Policy
 
 _MAX_EVENTS_FACTOR = 2000  # safety valve against pathological policies
@@ -195,6 +196,8 @@ class OnlineEngine:
         if count < 0:
             raise ValueError("count must be non-negative")
         self.machines += count
+        if count:
+            _obs.incr("engine.machines_opened", count)
         return self.machines
 
     # -- core loop ---------------------------------------------------------------
@@ -210,6 +213,7 @@ class OnlineEngine:
             batch.append(state)
         if batch:
             self.policy.on_release(self, batch)
+            _obs.incr("engine.releases", len(batch))
         self._last_admitted = tuple(s.job.id for s in batch)
 
     def _check_misses(self) -> None:
@@ -297,16 +301,32 @@ class OnlineEngine:
         self._admit_releases()
         self._check_misses()
         selection = self._validated_selection()
+        prev_running = self._running
         self._running = dict(selection)
         # migration penalties land when a job resumes on a different machine
+        migrations = 0
         for machine, job_id in selection.items():
             state = self.jobs[job_id]
             if state.last_machine is not None and state.last_machine != machine:
                 state.migration_count += 1
+                migrations += 1
                 if self.migration_cost > 0:
                     state.remaining += self.migration_cost
                     state.overhead += self.migration_cost
             state.last_machine = machine
+        if _obs.enabled():
+            _obs.incr("engine.steps")
+            if migrations:
+                _obs.incr("engine.migrations", migrations)
+            # Preempted: ran at the previous decision point, still has work
+            # and a live deadline, but lost its machine at this one.
+            selected = set(selection.values())
+            preempted = sum(
+                1 for jid in prev_running.values()
+                if jid not in selected and jid in self._active
+            )
+            if preempted:
+                _obs.incr("engine.preemptions", preempted)
         if not selection and not self._pending and not self.active_jobs():
             # nothing left to do in this slice
             if limit is not None:
@@ -339,17 +359,32 @@ class OnlineEngine:
                 completed.append(job_id)
         missed_before = len(self.missed_jobs)
         self._check_misses()
+        newly_missed = tuple(self.missed_jobs[missed_before:])
+        admitted = getattr(self, "_last_admitted", ())
         if self.trace is not None:
             self.trace.append(
                 TraceEvent(
                     time=start_time,
                     running=dict(selection),
-                    admitted=getattr(self, "_last_admitted", ()),
+                    admitted=admitted,
                     completed=tuple(completed),
-                    missed=tuple(self.missed_jobs[missed_before:]),
+                    missed=newly_missed,
                 )
             )
             self._last_admitted = ()
+        if _obs.enabled():
+            if completed:
+                _obs.incr("engine.completions", len(completed))
+            if newly_missed:
+                _obs.incr("engine.misses", len(newly_missed))
+            _obs.event(
+                "engine.decision",
+                t=str(start_time),
+                machines=len(selection),
+                admitted=len(admitted),
+                completed=len(completed),
+                missed=len(newly_missed),
+            )
 
 
 def simulate(
@@ -361,8 +396,10 @@ def simulate(
 ) -> OnlineEngine:
     """Run ``policy`` on a static instance to completion; returns the engine."""
     engine = OnlineEngine(policy, machines=machines, speed=speed, on_miss=on_miss)
-    engine.release(instance)
-    engine.run_to_completion()
+    with _obs.span("engine.simulate", policy=type(policy).__name__,
+                   machines=machines, n=len(instance)):
+        engine.release(instance)
+        engine.run_to_completion()
     return engine
 
 

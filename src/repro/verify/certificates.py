@@ -29,7 +29,7 @@ that produced the certificate (see :mod:`repro.verify.checkers`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from math import ceil
 from typing import Any, Dict, Optional, Tuple, Union
@@ -39,6 +39,7 @@ from ..model.intervals import IntervalUnion, to_fraction
 from ..model.io import schedule_from_dict, schedule_to_dict
 from ..model.job import Job
 from ..model.schedule import Schedule
+from ..offline.feascache import CacheStats
 
 
 def mandatory_work(job: Job, region: IntervalUnion, speed: Fraction) -> Fraction:
@@ -59,6 +60,11 @@ class FeasibleCertificate:
     machines: int
     speed: Fraction
     schedule: Schedule
+    #: Snapshot of the producing cache's counters at certification time
+    #: (dinic backend only) — the canonical carrier for solver-effort stats.
+    cache_stats: Optional[CacheStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     kind = "feasible"
 
@@ -75,6 +81,11 @@ class FeasibleCertificate:
             "machines": self.machines,
             "speed": str(self.speed),
             "schedule": schedule_to_dict(self.schedule),
+            **(
+                {"cache_stats": self.cache_stats.as_dict()}
+                if self.cache_stats is not None
+                else {}
+            ),
         }
 
 
@@ -86,6 +97,10 @@ class InfeasibleCertificate:
     speed: Fraction
     jobs: Tuple[int, ...]  # S — job ids contributing mandatory work
     region: IntervalUnion  # I — finite union of intervals
+    #: Snapshot of the producing cache's counters (dinic backend only).
+    cache_stats: Optional[CacheStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     kind = "infeasible"
 
@@ -133,6 +148,11 @@ class InfeasibleCertificate:
             "speed": str(self.speed),
             "jobs": list(self.jobs),
             "region": [[str(c.start), str(c.end)] for c in self.region],
+            **(
+                {"cache_stats": self.cache_stats.as_dict()}
+                if self.cache_stats is not None
+                else {}
+            ),
         }
 
 
@@ -143,9 +163,15 @@ def certificate_from_dict(data: Dict[str, Any]) -> Certificate:
     """Inverse of ``Certificate.to_dict`` (lossless rational round-trip)."""
     kind = data.get("kind")
     speed = to_fraction(data["speed"])
+    stats = (
+        CacheStats(**data["cache_stats"]) if "cache_stats" in data else None
+    )
     if kind == "feasible":
         return FeasibleCertificate(
-            data["machines"], speed, schedule_from_dict(data["schedule"])
+            data["machines"],
+            speed,
+            schedule_from_dict(data["schedule"]),
+            cache_stats=stats,
         )
     if kind == "infeasible":
         return InfeasibleCertificate(
@@ -155,6 +181,7 @@ def certificate_from_dict(data: Dict[str, Any]) -> Certificate:
             IntervalUnion.from_pairs(
                 (to_fraction(a), to_fraction(b)) for a, b in data["region"]
             ),
+            cache_stats=stats,
         )
     raise ValueError(f"unknown certificate kind {kind!r}")
 
@@ -171,6 +198,11 @@ class CertifiedOptimum:
     machines: int
     feasible: FeasibleCertificate
     infeasible: Optional[InfeasibleCertificate]
+    #: Snapshot of the cache counters after both sandwich probes (dinic
+    #: backend only) — total solver effort spent establishing the optimum.
+    cache_stats: Optional[CacheStats] = field(
+        default=None, compare=False, repr=False
+    )
 
     def describe(self, instance: Optional[Instance] = None) -> str:
         lines = [f"certified optimum: {self.machines}", "  " + self.feasible.describe()]

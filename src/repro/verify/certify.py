@@ -26,6 +26,7 @@ from typing import Optional
 from ..model.instance import Instance
 from ..model.intervals import IntervalUnion, Numeric, to_fraction
 from ..model.schedule import Schedule
+from ..obs import core as _obs
 from ..offline.feascache import cache_for
 from ..offline.flow import (
     DEFAULT_BACKEND,
@@ -85,49 +86,61 @@ def certify(
         raise ValueError("machine count must be non-negative")
 
     cert: Certificate
-    if len(instance) == 0:
-        cert = FeasibleCertificate(m, speed, Schedule([]))
-    elif m == 0:
-        # Zero machines, at least one job: the whole instance over the whole
-        # event span is overloaded (C_s(S, I) ≥ Σ min(p_j, s·|I(j)|) > 0).
-        cert = InfeasibleCertificate(
-            0, speed, tuple(j.id for j in instance), instance.intervals()
-        )
-    elif backend == "dinic":
-        cache = cache_for(instance)
-        network = cache.solved_network(m, speed)
-        if network.feasible:
-            work = network.work_by_job(speed, cache.scale_for(speed))
-            cert = FeasibleCertificate(
-                m, speed, schedule_from_work(work, cache.intervals, m)
-            )
-        else:
-            job_ids, iv_idx = network.min_cut()
-            intervals = cache.intervals
+    with _obs.span("verify.certify", m=m, backend=backend, speed=str(speed)):
+        if len(instance) == 0:
+            cert = FeasibleCertificate(m, speed, Schedule([]))
+        elif m == 0:
+            # Zero machines, at least one job: the whole instance over the whole
+            # event span is overloaded (C_s(S, I) ≥ Σ min(p_j, s·|I(j)|) > 0).
             cert = InfeasibleCertificate(
-                m,
-                speed,
-                tuple(job_ids),
-                IntervalUnion.from_pairs(intervals[k] for k in iv_idx),
+                0, speed, tuple(j.id for j in instance), instance.intervals()
             )
-    else:
-        feasible, work, intervals = max_flow_assignment(
-            instance, m, speed, backend=backend
-        )
-        if feasible:
-            cert = FeasibleCertificate(
-                m, speed, schedule_from_work(work, intervals, m)
-            )
+        elif backend == "dinic":
+            cache = cache_for(instance)
+            network = cache.solved_network(m, speed)
+            if network.feasible:
+                work = network.work_by_job(speed, cache.scale_for(speed))
+                cert = FeasibleCertificate(
+                    m,
+                    speed,
+                    schedule_from_work(work, cache.intervals, m),
+                    cache_stats=cache.stats.snapshot(),
+                )
+            else:
+                job_ids, iv_idx = network.min_cut()
+                intervals = cache.intervals
+                cert = InfeasibleCertificate(
+                    m,
+                    speed,
+                    tuple(job_ids),
+                    IntervalUnion.from_pairs(intervals[k] for k in iv_idx),
+                    cache_stats=cache.stats.snapshot(),
+                )
         else:
-            job_ids, iv_idx = networkx_min_cut(instance, m, speed)
-            cert = InfeasibleCertificate(
-                m,
-                speed,
-                tuple(job_ids),
-                IntervalUnion.from_pairs(intervals[k] for k in iv_idx),
+            feasible, work, intervals = max_flow_assignment(
+                instance, m, speed, backend=backend
             )
-    if check:
-        check_certificate(instance, cert).require()
+            if feasible:
+                cert = FeasibleCertificate(
+                    m, speed, schedule_from_work(work, intervals, m)
+                )
+            else:
+                job_ids, iv_idx = networkx_min_cut(instance, m, speed)
+                cert = InfeasibleCertificate(
+                    m,
+                    speed,
+                    tuple(job_ids),
+                    IntervalUnion.from_pairs(intervals[k] for k in iv_idx),
+                )
+        if check:
+            with _obs.span("verify.check", kind=cert.kind, m=m):
+                check_certificate(instance, cert).require()
+            _obs.incr("verify.certificates_checked")
+            _obs.incr(
+                "verify.feasible_checked"
+                if cert.kind == "feasible"
+                else "verify.infeasible_checked"
+            )
     return cert
 
 
@@ -152,12 +165,17 @@ def certified_optimum(
             f"than its processing time at speed {speed}",
             unsat,
         )
-    m = migratory_optimum(instance, speed, backend=backend)
-    feasible = certify(instance, m, speed, backend=backend, check=check)
-    assert isinstance(feasible, FeasibleCertificate)
-    infeasible: Optional[InfeasibleCertificate] = None
-    if m > 0:
-        below = certify(instance, m - 1, speed, backend=backend, check=check)
-        assert isinstance(below, InfeasibleCertificate)
-        infeasible = below
-    return CertifiedOptimum(m, feasible, infeasible)
+    with _obs.span("verify.certified_optimum", backend=backend, speed=str(speed)):
+        m = migratory_optimum(instance, speed, backend=backend)
+        feasible = certify(instance, m, speed, backend=backend, check=check)
+        assert isinstance(feasible, FeasibleCertificate)
+        infeasible: Optional[InfeasibleCertificate] = None
+        if m > 0:
+            below = certify(instance, m - 1, speed, backend=backend, check=check)
+            assert isinstance(below, InfeasibleCertificate)
+            infeasible = below
+    stats = None
+    if backend == "dinic" and len(instance) > 0:
+        # Snapshot *after* both sandwich probes: the total solver effort.
+        stats = cache_for(instance).stats.snapshot()
+    return CertifiedOptimum(m, feasible, infeasible, cache_stats=stats)

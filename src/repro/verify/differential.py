@@ -17,12 +17,14 @@ certificate, not the majority, is the ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.instance import Instance
 from ..model.intervals import Numeric, to_fraction
+from ..obs import core as _obs
 from ..offline.flow import BACKENDS, migratory_feasible
 from ..offline.optimum import migratory_optimum
 from .certify import certify, unsat_certificate
@@ -39,6 +41,9 @@ class DifferentialRecord:
     lp_verdict: Optional[bool]  # None: LP skipped or solver failure
     failures: Tuple[str, ...]  # exact-backend disagreements / bad certificates
     lp_disagreement: bool
+    #: backend → seconds spent on this probe (verdict + certificate + check;
+    #: the LP leg appears as "lp"), so disagreement cost is attributable.
+    timings: Tuple[Tuple[str, float], ...] = field(default=(), compare=False)
 
     @property
     def ok(self) -> bool:
@@ -63,6 +68,15 @@ class DifferentialReport:
     def lp_disagreements(self) -> int:
         return sum(1 for r in self.records if r.lp_disagreement)
 
+    @property
+    def backend_seconds(self) -> Dict[str, float]:
+        """Total wall time attributed to each backend across all probes."""
+        totals: Dict[str, float] = {}
+        for r in self.records:
+            for backend, sec in r.timings:
+                totals[backend] = totals.get(backend, 0.0) + sec
+        return totals
+
     def summary(self) -> str:
         status = "OK" if self.ok else f"FAILED ({len(self.failures)} failures)"
         lp = (
@@ -70,7 +84,15 @@ class DifferentialReport:
             if self.lp_disagreements
             else ""
         )
-        return f"differential: {len(self.records)} probes {status}{lp}"
+        seconds = self.backend_seconds
+        timing = (
+            " ["
+            + ", ".join(f"{b} {s:.3f}s" for b, s in sorted(seconds.items()))
+            + "]"
+            if seconds
+            else ""
+        )
+        return f"differential: {len(self.records)} probes {status}{lp}{timing}"
 
 
 def _lp_verdict(instance: Instance, m: int, speed: Fraction) -> Optional[bool]:
@@ -95,24 +117,37 @@ def differential_check(
     speed = to_fraction(speed)
     failures: List[str] = []
     verdicts: Dict[str, bool] = {}
+    timings: List[Tuple[str, float]] = []
+    _obs.incr("differential.probes")
     for backend in backends:
-        verdict = migratory_feasible(instance, m, speed, backend=backend)
-        verdicts[backend] = verdict
-        cert = certify(instance, m, speed, backend=backend, check=False)
-        if (cert.kind == "feasible") != verdict:
-            failures.append(
-                f"{backend}: verdict {verdict} but certificate kind {cert.kind}"
-            )
-        result = check_certificate(instance, cert)
-        if not result.ok:
-            failures.append(
-                f"{backend}: invalid {cert.kind} certificate at m={m}: "
-                + "; ".join(result.reasons[:3])
-            )
+        t0 = time.perf_counter()
+        with _obs.span("differential.backend", backend=backend, m=m):
+            verdict = migratory_feasible(instance, m, speed, backend=backend)
+            verdicts[backend] = verdict
+            cert = certify(instance, m, speed, backend=backend, check=False)
+            if (cert.kind == "feasible") != verdict:
+                failures.append(
+                    f"{backend}: verdict {verdict} but certificate kind {cert.kind}"
+                )
+            result = check_certificate(instance, cert)
+            if not result.ok:
+                failures.append(
+                    f"{backend}: invalid {cert.kind} certificate at m={m}: "
+                    + "; ".join(result.reasons[:3])
+                )
+        timings.append((backend, time.perf_counter() - t0))
     if len(set(verdicts.values())) > 1:
         failures.append(f"exact backends disagree at m={m}: {verdicts}")
-    lp = _lp_verdict(instance, m, speed) if use_lp else None
+        _obs.incr("differential.disagreements")
+    lp = None
+    if use_lp:
+        t0 = time.perf_counter()
+        with _obs.span("differential.backend", backend="lp", m=m):
+            lp = _lp_verdict(instance, m, speed)
+        timings.append(("lp", time.perf_counter() - t0))
     lp_disagrees = lp is not None and bool(verdicts) and lp != next(iter(verdicts.values()))
+    if lp_disagrees:
+        _obs.incr("differential.lp_disagreements")
     return DifferentialRecord(
         m=m,
         speed=speed,
@@ -120,6 +155,7 @@ def differential_check(
         lp_verdict=lp,
         failures=tuple(failures),
         lp_disagreement=lp_disagrees,
+        timings=tuple(timings),
     )
 
 

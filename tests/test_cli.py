@@ -144,6 +144,48 @@ class TestNewCommands:
         assert main(["realtime", str(spec), "--horizon", "40"]) == 0
 
 
+class TestObservability:
+    def test_stats_prints_counter_table(self, loose_file, capsys):
+        assert main(["stats", loose_file, "--policy", "edf"]) == 0
+        out = capsys.readouterr().out
+        assert "certified optimum:" in out
+        assert "dinic.aug_paths" in out
+        assert "engine.steps" in out
+
+    def test_stats_json_spans_all_layers(self, loose_file, capsys):
+        assert main(["stats", loose_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["optimum"] >= 1
+        counters = payload["counters"]
+        assert len(counters) >= 10
+        for layer in ("dinic.", "cache.", "search.", "verify."):
+            assert any(name.startswith(layer) for name in counters), layer
+        assert payload["spans"]["verify.certified_optimum"]["count"] == 1
+
+    def test_global_trace_flag_writes_jsonl(self, loose_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["opt", loose_file, "--trace", str(trace)]) == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records
+        assert {"counter", "span"} <= {rec["type"] for rec in records}
+
+    def test_trace_detached_after_run(self, loose_file, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["classify", loose_file, "--trace", str(trace)]) == 0
+        assert not obs.enabled()
+
+    def test_profile_json_grid_winner(self, loose_file, capsys):
+        assert main(["profile", loose_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["lower_bound"] >= 1
+        winner = payload["grid_winner"]
+        assert winner["grid_density"] > 0
+        assert winner["start"] is not None and winner["end"] is not None
+        assert winner["starts"] > 0 and winner["widths"] > 0
+
+
 class TestErrorPaths:
     def test_missing_file(self, tmp_path):
         with pytest.raises((SystemExit, FileNotFoundError)):

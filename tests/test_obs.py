@@ -1,0 +1,247 @@
+"""Tests for the observability layer (`repro.obs`).
+
+Covers the contract pinned by ISSUE 3:
+
+* span nesting and exception safety (paths compose, errors propagate and
+  are recorded, the contextvar stack always unwinds),
+* the no-sink fast path (shared no-op span, counters untouched, later
+  captures start clean) and counter atomicity under threads,
+* JSONL sink round-trip (every record is valid JSON and re-aggregates to
+  the registry's numbers),
+* exact Dinic/search/cache counter values on two corpus instances, so an
+  algorithmic regression in the feasibility core shows up as a counter
+  diff even when verdicts stay correct,
+* CacheStats surfaced on certificates and certified optima (satellite).
+"""
+
+import json
+import threading
+from fractions import Fraction
+
+import pytest
+
+from repro import obs
+from repro.model import Instance, Job
+from repro.model.io import load
+from repro.obs import core as obs_core
+from repro.offline.feascache import CacheStats, cache_for
+from repro.offline.optimum import migratory_optimum
+from repro.verify import certificate_from_dict, certified_optimum, certify
+
+CORPUS = "tests/data/corpus"
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_sinks():
+    """Every test starts and ends with observability disabled."""
+    assert not obs.enabled()
+    yield
+    assert not obs.enabled()
+
+
+class TestSpans:
+    def test_nesting_builds_hierarchical_paths(self):
+        with obs.capture() as reg:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    assert obs.span_path() == ("outer", "inner")
+                with obs.span("inner"):
+                    pass
+        snap = reg.snapshot()
+        assert set(snap["spans"]) == {"outer", "outer/inner"}
+        assert snap["spans"]["outer/inner"]["count"] == 2
+        # A parent's wall time includes its children's.
+        assert (snap["spans"]["outer"]["total_ns"]
+                >= snap["spans"]["outer/inner"]["total_ns"])
+
+    def test_exception_propagates_and_is_recorded(self):
+        with obs.capture() as reg:
+            with pytest.raises(ValueError):
+                with obs.span("will_fail"):
+                    raise ValueError("boom")
+            # The stack unwound: new spans are top-level again.
+            assert obs.span_path() == ()
+            with obs.span("after"):
+                pass
+        snap = reg.snapshot()
+        assert snap["spans"]["will_fail"]["errors"] == 1
+        assert "after" in snap["spans"]  # not "will_fail/after"
+
+    def test_span_attrs_reach_sinks(self):
+        events = []
+
+        class Probe(obs.Sink):
+            def on_span(self, path, duration_ns, attrs, error):
+                events.append((path, attrs, error))
+
+        sink = obs.attach(Probe())
+        try:
+            with obs.span("s", m=3, speed="1/2"):
+                pass
+        finally:
+            obs.detach(sink)
+        assert events == [("s", {"m": 3, "speed": "1/2"}, None)]
+
+
+class TestNoSinkFastPath:
+    def test_disabled_by_default_and_span_is_shared_noop(self):
+        assert not obs.enabled()
+        a, b = obs.span("x", key=1), obs.span("y")
+        assert a is b is obs_core._NOOP_SPAN
+
+    def test_unobserved_increments_are_dropped(self):
+        obs.incr("lost.counter", 41)
+        obs.gauge("lost.gauge", 1)
+        obs.event("lost.event")
+        with obs.capture() as reg:
+            obs.incr("kept.counter")
+        snap = reg.snapshot()
+        assert snap["counters"] == {"kept.counter": 1}
+        assert snap["gauges"] == {} and snap["events"] == {}
+
+    def test_counter_atomicity_under_threads(self):
+        with obs.capture() as reg:
+            def worker():
+                for _ in range(10_000):
+                    obs.incr("threads.counter")
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert reg.counters["threads.counter"] == 80_000
+
+
+class TestJsonlSink:
+    def test_round_trip_matches_registry(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.capture(obs.JsonlSink(str(path))) as reg:
+            with obs.span("top", speed=Fraction(1, 2)):
+                obs.incr("a.counter", 2)
+                obs.incr("a.counter", 3)
+                obs.gauge("a.gauge", Fraction(7, 3))
+                obs.event("a.event", detail="x")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records, "trace file must not be empty"
+        by_type = {}
+        for rec in records:
+            by_type.setdefault(rec["type"], []).append(rec)
+        counted = sum(r["value"] for r in by_type["counter"]
+                      if r["name"] == "a.counter")
+        assert counted == reg.counters["a.counter"] == 5
+        (gauge_rec,) = by_type["gauge"]
+        assert gauge_rec["value"] == "7/3"  # Fractions survive as strings
+        (span_rec,) = by_type["span"]
+        assert span_rec["path"] == "top" and span_rec["ns"] >= 0
+        assert span_rec["attrs"] == {"speed": "1/2"}
+        (event_rec,) = by_type["event"]
+        assert event_rec["span"] == "top" and event_rec["attrs"] == {"detail": "x"}
+        assert all("t" in r for r in records)
+
+    def test_error_spans_marked(self, tmp_path):
+        path = tmp_path / "err.jsonl"
+        sink = obs.attach(obs.JsonlSink(str(path)))
+        try:
+            with pytest.raises(RuntimeError):
+                with obs.span("bad"):
+                    raise RuntimeError
+        finally:
+            obs.detach(sink)
+            sink.close()
+        (rec,) = [json.loads(l) for l in path.read_text().splitlines()]
+        assert rec["error"] == "RuntimeError"
+
+
+class TestCounterRegression:
+    """Exact counters on corpus instances: algorithmic drift = counter diff."""
+
+    def optimum_counters(self, name):
+        inst = load(f"{CORPUS}/{name}.json")
+        with obs.capture() as reg:
+            m = migratory_optimum(inst)
+        return m, reg.snapshot()
+
+    def test_mcnaughton3(self):
+        m, snap = self.optimum_counters("mcnaughton3")
+        assert m == 2
+        assert snap["counters"] == {
+            "cache.network_builds": 1,
+            "cache.probes": 2,
+            "cache.restores": 1,
+            "dinic.aug_paths": 6,
+            "dinic.bfs_phases": 4,
+            "dinic.flow_pushed": 12,
+            "dinic.retreats": 0,
+            "search.probes": 2,
+        }
+        assert snap["gauges"] == {
+            "search.lower_bound_start": 2,
+            "search.optimum": 2,
+            "search.upper_bound_start": 3,
+        }
+
+    def test_overload_six(self):
+        m, snap = self.optimum_counters("overload_six")
+        assert m == 6
+        assert snap["counters"] == {
+            "cache.network_builds": 1,
+            "cache.probes": 1,
+            "dinic.aug_paths": 7,
+            "dinic.bfs_phases": 2,
+            "dinic.flow_pushed": 13,
+            "dinic.retreats": 0,
+            "search.probes": 1,
+        }
+        assert snap["gauges"]["search.lower_bound_start"] == 6
+
+    def test_layers_covered_by_certified_optimum(self):
+        """≥ 10 distinct counters spanning dinic, cache, search, verify."""
+        inst = load(f"{CORPUS}/uniform_seed3.json")
+        with obs.capture() as reg:
+            certified_optimum(inst)
+        names = set(reg.counters)
+        assert len(names) >= 10
+        for layer in ("dinic.", "cache.", "search.", "verify."):
+            assert any(n.startswith(layer) for n in names), layer
+
+
+class TestCacheStatsSurfaced:
+    """Satellite: certify/certified_optimum carry the CacheStats snapshot."""
+
+    def test_certify_carries_snapshot(self, mcnaughton_instance):
+        cert = certify(mcnaughton_instance, 2)
+        stats = cert.cache_stats
+        assert isinstance(stats, CacheStats)
+        assert stats.probes >= 1 and stats.network_builds == 1
+        # It is a snapshot, not the live object: later probes don't mutate it.
+        live = cache_for(mcnaughton_instance).stats
+        assert stats is not live
+        before = stats.probes
+        certify(mcnaughton_instance, 3)
+        assert stats.probes == before
+
+    def test_certified_optimum_totals(self, mcnaughton_instance):
+        co = certified_optimum(mcnaughton_instance)
+        assert co.machines == 2
+        assert isinstance(co.cache_stats, CacheStats)
+        # The carried totals equal the live cache's counters at return time.
+        assert co.cache_stats == cache_for(mcnaughton_instance).stats
+        assert co.feasible.cache_stats is not None
+        assert co.infeasible.cache_stats is not None
+
+    def test_networkx_backend_has_no_cache_stats(self, mcnaughton_instance):
+        cert = certify(mcnaughton_instance, 2, backend="networkx")
+        assert cert.cache_stats is None
+
+    def test_round_trip_preserves_stats(self, mcnaughton_instance):
+        cert = certify(mcnaughton_instance, 2)
+        clone = certificate_from_dict(json.loads(json.dumps(cert.to_dict())))
+        assert clone.cache_stats == cert.cache_stats
+
+    def test_infeasible_cert_carries_snapshot(self):
+        inst = Instance([Job(0, 2, 2, id=i) for i in range(3)])
+        cert = certify(inst, 2)
+        assert cert.kind == "infeasible"
+        assert cert.cache_stats is not None
+        assert cert.cache_stats.probes >= 1
