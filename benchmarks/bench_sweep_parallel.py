@@ -1,0 +1,90 @@
+"""E-PAR — parallel sweep runner: speedup and bit-identity (ISSUE 4).
+
+A 200-instance competitive sweep (FirstFitEDF over seeded uniform
+instances) is the acceptance workload: 4 workers must beat the serial path
+by ≥3× wall-clock while returning bit-identical results — same order, same
+values, same merged counter totals.  The identity assertions run on every
+machine; the speedup gate needs real parallel hardware and is skipped below
+4 cores (CI runners have them).
+"""
+
+import os
+import time
+
+import pytest
+
+from conftest import run_once
+from repro.analysis.report import print_table
+from repro.runner import SweepPlan, run_sweep
+
+N_INSTANCES = 200
+CHUNKSIZE = 10
+
+
+def sweep_plan(n_instances: int = N_INSTANCES) -> SweepPlan:
+    return SweepPlan.competitive(
+        ["firstfit"], ["uniform"], n=24, seeds=n_instances, root_seed=4
+    )
+
+
+def _fingerprint(report):
+    """Everything the determinism contract pins (span times are wall time)."""
+    snapshot = report.registry.snapshot()
+    return (
+        [(r.index, r.status, r.value) for r in report.results],
+        snapshot["counters"],
+        snapshot.get("events", {}),
+    )
+
+
+def test_sweep_serial_baseline(benchmark):
+    plan = sweep_plan()
+    report = run_once(benchmark, lambda: run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE))
+    assert report.ok and len(report.results) == N_INSTANCES
+
+
+def test_sweep_parallel_workers(benchmark):
+    workers = min(4, os.cpu_count() or 1)
+    plan = sweep_plan()
+    report = run_once(
+        benchmark, lambda: run_sweep(plan, n_jobs=workers, chunksize=CHUNKSIZE)
+    )
+    assert report.ok and len(report.results) == N_INSTANCES
+    benchmark.extra_info["workers"] = workers
+
+
+def test_parallel_bit_identical_to_serial():
+    """The identity half of the acceptance gate — runs on any machine."""
+    # two policies per instance: each group's items share a warm cache
+    plan = SweepPlan.competitive(
+        ["firstfit", "edf"], ["uniform"], n=24, seeds=30, root_seed=4
+    )
+    serial = run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE)
+    for n_jobs in (2, 4):
+        parallel = run_sweep(plan, n_jobs=n_jobs, chunksize=CHUNKSIZE)
+        assert _fingerprint(parallel) == _fingerprint(serial), n_jobs
+    # grouped chunks share warm feasibility caches inside the workers
+    counters = serial.registry.snapshot()["counters"]
+    assert counters["cache.verdict_hits"] > 0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="speedup gate needs >= 4 cores"
+)
+def test_speedup_at_4_workers():
+    """The wall-clock half of the acceptance gate: >= 3x at 4 workers."""
+    plan = sweep_plan()
+    t0 = time.perf_counter()
+    serial = run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_sweep(plan, n_jobs=4, chunksize=CHUNKSIZE)
+    t_parallel = time.perf_counter() - t0
+    assert _fingerprint(parallel) == _fingerprint(serial)
+    speedup = t_serial / t_parallel
+    print_table(
+        f"E-PAR · {N_INSTANCES}-instance competitive sweep",
+        ["n_jobs", "seconds", "speedup"],
+        [(1, round(t_serial, 2), 1.0), (4, round(t_parallel, 2), round(speedup, 2))],
+    )
+    assert speedup >= 3.0, f"only {speedup:.2f}x at 4 workers"

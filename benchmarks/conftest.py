@@ -31,8 +31,11 @@ def obs_snapshot(request):
     if "benchmark" not in request.fixturenames:
         yield
         return
+    # Resolve the benchmark fixture *now*: it must outlive this fixture's
+    # teardown (resolving it there breaks on pytest >= 9).
+    bench = request.getfixturevalue("benchmark")
     with obs.capture() as registry:
         yield
     snapshot = registry.snapshot()
     if any(snapshot.values()):
-        request.getfixturevalue("benchmark").extra_info["obs"] = snapshot
+        bench.extra_info["obs"] = snapshot

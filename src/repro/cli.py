@@ -11,6 +11,8 @@ Subcommands (``python -m repro <cmd> …`` or the ``repro`` entry point):
 * ``adversary`` — run the Lemma 2 or Lemma 9 adversary against a policy
 * ``verify``    — certified feasibility verdicts and backend cross-checks
 * ``stats``     — one-shot observability report (counters + span timings)
+* ``sweep``     — parallel seeded sweeps (ratio / differential / corpus)
+  across worker processes, bit-identical to the serial run
 
 Every subcommand accepts ``--trace OUT.jsonl``: the run's full span/counter
 event stream (see :mod:`repro.obs`) is written as JSON lines for offline
@@ -331,6 +333,96 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Deterministic parallel sweeps over seeded instance batches."""
+    import json as _json
+
+    from .analysis.competitive import profiles_from_samples
+    from .analysis.report import print_table
+    from .runner import FAMILIES, InstanceSpec, SweepPlan, run_sweep, split_seed
+    from .runner.tasks import POLICIES as SWEEP_POLICIES
+    from .verify.differential import DifferentialReport
+
+    policies = [p for p in args.policies.split(",") if p]
+    families = [f for f in args.families.split(",") if f]
+    for policy in policies:
+        if policy not in SWEEP_POLICIES:
+            raise SystemExit(f"unknown policy {policy!r}; known: {sorted(SWEEP_POLICIES)}")
+    for family in families:
+        if family not in FAMILIES:
+            raise SystemExit(f"unknown family {family!r}; known: {sorted(FAMILIES)}")
+
+    if args.kind == "ratio":
+        plan = SweepPlan.competitive(
+            policies=policies,
+            families=families,
+            n=args.n,
+            seeds=args.seeds,
+            root_seed=args.root_seed,
+        )
+    elif args.kind == "differential":
+        specs = [
+            InstanceSpec(family, args.n, split_seed(args.root_seed, i))
+            for family in families
+            for i in range(args.seeds)
+        ]
+        plan = SweepPlan.differential(
+            specs,
+            speeds=[s for s in args.speeds.split(",") if s],
+            use_lp=not args.no_lp,
+        )
+    elif args.kind == "corpus":
+        plan = SweepPlan.corpus(args.dir)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown sweep kind {args.kind}")
+
+    report = run_sweep(plan, n_jobs=args.workers, chunksize=args.chunksize)
+
+    if args.snapshot:
+        with open(args.snapshot, "w", encoding="utf-8") as fh:
+            _json.dump(report.snapshot(), fh, indent=2)
+
+    exit_code = 0 if report.ok else 1
+    if args.json:
+        print(_json.dumps(report.snapshot(), indent=2))
+    elif args.kind == "ratio":
+        profiles = profiles_from_samples(report.values())
+        print_table(
+            f"repro sweep ratio (n={args.n}, seeds={args.seeds}, "
+            f"workers={args.workers})",
+            ["policy", "family", "samples", "worst", "avg", "median"],
+            [p.row() for p in profiles],
+        )
+        print()
+        print(report.summary())
+    elif args.kind == "differential":
+        diff = DifferentialReport(
+            tuple(rec for records in report.values() for rec in records)
+        )
+        print(diff.summary())
+        for failure in diff.failures[:10]:
+            print(f"  {failure}")
+        print(report.summary())
+        exit_code = exit_code or (0 if diff.ok else 1)
+    else:  # corpus
+        rows = [
+            (v["name"], v["speed"], v.get("optimum", "-"), v["ok"])
+            for v in report.values()
+        ]
+        print_table(
+            f"repro sweep corpus ({args.dir})",
+            ["case", "speed", "optimum", "ok"],
+            rows,
+        )
+        print()
+        print(report.summary())
+        if not all(v["ok"] for v in report.values()):
+            exit_code = 1
+    for bad in (report.errors + report.crashes + report.cancelled)[:10]:
+        print(f"  item {bad.index} [{bad.task}] {bad.status}: {bad.error}")
+    return exit_code
+
+
 def cmd_adversary(args) -> int:
     policy_cls = POLICIES[args.policy]
     if args.kind == "migration-gap":
@@ -470,6 +562,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the counter/span snapshot as JSON")
     p.set_defaults(func=cmd_stats)
+
+    p = add_parser(
+        "sweep",
+        help="deterministic parallel sweep (process-pool fan-out)",
+    )
+    p.add_argument("kind", choices=["ratio", "differential", "corpus"])
+    p.add_argument("--policies", default="edf,firstfit",
+                   help="comma-separated policy names (ratio sweeps)")
+    p.add_argument("--families", default="uniform",
+                   help="comma-separated instance families")
+    p.add_argument("-n", type=int, default=30, help="jobs per instance")
+    p.add_argument("--seeds", type=int, default=5,
+                   help="seed count (split deterministically from --root-seed)")
+    p.add_argument("--root-seed", type=int, default=0)
+    p.add_argument("--speeds", default="1",
+                   help="comma-separated speeds (differential sweeps)")
+    p.add_argument("--no-lp", action="store_true",
+                   help="skip the advisory LP leg (differential sweeps)")
+    p.add_argument("--dir", default="tests/data/corpus",
+                   help="corpus directory (corpus sweeps)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial fast path, no pool)")
+    p.add_argument("--chunksize", type=int, default=4,
+                   help="minimum items per worker chunk (groups never split)")
+    p.add_argument("--json", action="store_true",
+                   help="emit results + merged counter snapshot as JSON")
+    p.add_argument("--snapshot", metavar="OUT.json",
+                   help="also write the merged snapshot to this file")
+    p.set_defaults(func=cmd_sweep)
 
     p = add_parser("adversary", help="run a lower-bound adversary")
     p.add_argument("kind", choices=["migration-gap", "agreeable"])

@@ -67,6 +67,12 @@ class Instance:
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Instance is immutable")
 
+    def __reduce__(self):
+        # Reconstruct from the job tuple: the immutability guard breaks the
+        # default slot-state protocol, and the feasibility cache (worker- or
+        # process-local solver state) must not travel across processes.
+        return (Instance, (self.jobs,))
+
     # -- container protocol --------------------------------------------------
 
     def __iter__(self) -> Iterator[Job]:

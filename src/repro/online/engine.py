@@ -88,6 +88,15 @@ class OnlineEngine:
         self._event_budget = 10_000
         #: running map chosen at the current decision point
         self._running: Dict[int, int] = {}
+        #: machine → ids of jobs committed to it (kept by commit/binding);
+        #: with _job_seq this answers machine_jobs in O(jobs on machine)
+        #: instead of the O(all jobs) scan it replaced
+        self._machine_index: Dict[int, Set[int]] = {}
+        #: job id → insertion rank, so index-backed listings keep the exact
+        #: enumeration order of the old full scans (self.jobs is ordered)
+        self._job_seq: Dict[int, int] = {}
+        #: machines that ever got a commitment or processed work
+        self._ever_used: Set[int] = set()
         #: decision-point log when constructed with ``trace=True``
         self.trace: Optional[List[TraceEvent]] = [] if trace else None
 
@@ -102,6 +111,7 @@ class OnlineEngine:
                 raise EngineError(
                     f"job {job.id} released at {job.release} < current time {self.time}"
                 )
+            self._job_seq[job.id] = len(self.jobs)
             self.jobs[job.id] = JobState(job=job, remaining=job.processing)
             heapq.heappush(self._pending, (job.release, job.id))
             self._event_budget += _MAX_EVENTS_FACTOR
@@ -145,22 +155,45 @@ class OnlineEngine:
     def committed_machine(self, job_id: int) -> Optional[int]:
         return self.jobs[job_id].committed
 
+    def _bind(self, job_id: int, machine: int) -> None:
+        """Record a commitment in the machine index (idempotent)."""
+        bucket = self._machine_index.get(machine)
+        if bucket is None:
+            bucket = self._machine_index[machine] = set()
+        bucket.add(job_id)
+        self._ever_used.add(machine)
+
     def machine_jobs(self, machine: int) -> List[JobState]:
-        """Jobs committed to ``machine`` (finished ones included)."""
-        return [s for s in self.jobs.values() if s.committed == machine]
+        """Jobs committed to ``machine`` (finished ones included).
+
+        Served from the commitment index in O(jobs on the machine); the
+        enumeration order matches the old full scan (release order).
+        """
+        if _obs.enabled():
+            _obs.incr("engine.machine_queries")
+        ids = self._machine_index.get(machine)
+        if not ids:
+            return []
+        return [self.jobs[i] for i in sorted(ids, key=self._job_seq.__getitem__)]
 
     def machine_active_jobs(self, machine: int) -> List[JobState]:
-        return [s for s in self._active.values() if s.committed == machine]
+        if _obs.enabled():
+            _obs.incr("engine.machine_queries")
+        ids = self._machine_index.get(machine)
+        if not ids:
+            return []
+        return [
+            self.jobs[i]
+            for i in sorted(ids, key=self._job_seq.__getitem__)
+            if i in self._active
+        ]
 
     @property
     def used_machines(self) -> Set[int]:
         """Machines that have a commitment or ever processed a job."""
-        used: Set[int] = set()
-        for s in self.jobs.values():
-            if s.committed is not None:
-                used.add(s.committed)
-            used.update(s.machines)
-        return used
+        if _obs.enabled():
+            _obs.incr("engine.machine_queries")
+        return set(self._ever_used)
 
     def schedule(self) -> Schedule:
         return Schedule(self.segments)
@@ -190,6 +223,7 @@ class OnlineEngine:
                 f"job {job_id} already committed to machine {state.committed}"
             )
         state.committed = machine
+        self._bind(job_id, machine)
 
     def add_machines(self, count: int = 1) -> int:
         """Open additional machines; returns the new machine count."""
@@ -256,6 +290,7 @@ class OnlineEngine:
             if not self.policy.migratory and state.committed is None:
                 # first processing binds the job for non-migratory policies
                 state.committed = machine
+                self._bind(job_id, machine)
         return selection
 
     def _next_event(self, selection: Dict[int, int], limit: Optional[Fraction]) -> Fraction:
@@ -343,6 +378,7 @@ class OnlineEngine:
             if state.started_at is None:
                 state.started_at = self.time
             state.machines.add(machine)
+            self._ever_used.add(machine)
             state.remaining -= (nxt - self.time) * self.speed
             if state.remaining < 0:
                 # completion strictly inside the slice is impossible: the

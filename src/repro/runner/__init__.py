@@ -1,0 +1,61 @@
+"""Deterministic process-pool fan-out for sweeps (the batching layer).
+
+Every empirical result in this repo — competitive-ratio profiles,
+differential verification, corpus re-checks — is a batch of independent
+``(instance, task)`` work items.  This package runs such batches across
+worker processes with one hard guarantee: **parallel and serial runs are
+bit-identical** — same results, same order, same merged observability
+counter totals — for any worker count and any chunking.
+
+    from repro.runner import SweepPlan, run_sweep
+
+    plan = SweepPlan.competitive(
+        policies=["edf", "firstfit"], families=["uniform", "agreeable"],
+        n=30, seeds=50, root_seed=7,
+    )
+    report = run_sweep(plan, n_jobs=4, chunksize=4)
+    report.values()                      # in plan order, k-independent
+    report.registry.counters             # merged obs totals, k-independent
+
+How the guarantee is kept (details in ``docs/ARCHITECTURE.md``):
+
+* seeds split deterministically from a root seed (:func:`~repro.runner.plan.split_seed`),
+* chunk boundaries depend only on the plan and ``chunksize``,
+* items sharing an instance are grouped into the same chunk, so warm
+  :class:`~repro.offline.feascache.FeasibilityCache` hits are scheduling-independent,
+* worker snapshots merge in chunk order, never completion order.
+
+``n_jobs=1`` is a true serial fast path: no pool, no pickling.  The CLI
+front-end is ``repro sweep``.
+"""
+
+from .merge import merge_snapshot_into, merge_snapshots, replay_into_ambient
+from .plan import (
+    FAMILIES,
+    InstanceSpec,
+    SweepPlan,
+    WorkItem,
+    instance_key,
+    split_seed,
+)
+from .pool import ItemResult, SweepReport, WorkerCrash, run_sweep
+from .tasks import POLICIES, TASKS, register_task
+
+__all__ = [
+    "FAMILIES",
+    "InstanceSpec",
+    "ItemResult",
+    "POLICIES",
+    "SweepPlan",
+    "SweepReport",
+    "TASKS",
+    "WorkItem",
+    "WorkerCrash",
+    "instance_key",
+    "merge_snapshot_into",
+    "merge_snapshots",
+    "register_task",
+    "replay_into_ambient",
+    "run_sweep",
+    "split_seed",
+]

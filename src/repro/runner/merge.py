@@ -1,0 +1,74 @@
+"""Deterministic merging of worker observability snapshots.
+
+Each chunk executes under its own :func:`repro.obs.capture` — in a worker
+process or inline on the serial path — and ships back the registry's
+:meth:`~repro.obs.sinks.Registry.snapshot` dict.  The parent folds those
+snapshots into one :class:`~repro.obs.sinks.Registry` **in chunk order**
+(never completion order), so:
+
+* counters and event counts sum to exactly the serial totals for any
+  worker count and any chunking,
+* gauges keep last-write-wins semantics in plan order,
+* span statistics aggregate (count/total/max/errors) — counts are
+  deterministic, nanosecond totals are genuine worker wall time.
+
+:func:`replay_into_ambient` additionally re-emits the merged numbers into
+whatever sinks the parent process has attached (``repro stats``'s registry,
+a ``--trace`` JSONL stream), so observability consumers keep working when
+the work itself happened in other processes.  Counters, gauges, and event
+counts replay faithfully (events as ``replayed=True`` emissions, one per
+occurrence); the workers' per-event attributes stay worker-local.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+from ..obs import core as _obs
+from ..obs.sinks import Registry, SpanStat
+
+__all__ = ["merge_snapshot_into", "merge_snapshots", "replay_into_ambient"]
+
+
+def merge_snapshot_into(registry: Registry, snapshot: Dict[str, Any]) -> Registry:
+    """Fold one chunk snapshot into ``registry`` (see module docstring)."""
+    for name, value in snapshot.get("counters", {}).items():
+        registry.on_counter(name, value, {})
+    for name, value in snapshot.get("gauges", {}).items():
+        registry.on_gauge(name, value, {})
+    for name, count in snapshot.get("events", {}).items():
+        with registry._lock:
+            registry.events[name] = registry.events.get(name, 0) + count
+    for path, stat in snapshot.get("spans", {}).items():
+        with registry._lock:
+            agg = registry.spans.get(path)
+            if agg is None:
+                agg = registry.spans[path] = SpanStat()
+            agg.count += stat["count"]
+            agg.total_ns += stat["total_ns"]
+            agg.max_ns = max(agg.max_ns, stat["max_ns"])
+            agg.errors += stat["errors"]
+    return registry
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Registry:
+    """A fresh registry holding the fold of ``snapshots`` in the given order."""
+    registry = Registry()
+    for snapshot in snapshots:
+        merge_snapshot_into(registry, snapshot)
+    return registry
+
+
+def replay_into_ambient(snapshot: Dict[str, Any]) -> None:
+    """Re-emit a merged snapshot into the parent's attached obs sinks."""
+    if not _obs.enabled():
+        return
+    for name, value in snapshot.get("counters", {}).items():
+        _obs.incr(name, value)
+    for name, value in snapshot.get("gauges", {}).items():
+        _obs.gauge(name, value)
+    for name, count in snapshot.get("events", {}).items():
+        # One emission per occurrence, so ambient event *counts* match the
+        # serial path exactly; the workers' per-event attrs stay worker-local.
+        for _ in range(count):
+            _obs.event(name, replayed=True)

@@ -1,0 +1,406 @@
+"""Chunked, deterministic process-pool execution of sweep plans.
+
+:func:`run_sweep` fans a :class:`~repro.runner.plan.SweepPlan` out across
+``n_jobs`` worker processes and merges everything back into a single
+:class:`SweepReport`.  The contract:
+
+* **Bit-identical results.**  ``run_sweep(plan, n_jobs=k)`` returns the
+  same results in the same order with the same merged counter totals for
+  every ``k`` and every chunking.  Work is cut into group-preserving chunks
+  up front (a function of the plan and ``chunksize`` only), each chunk runs
+  under its own :func:`repro.obs.capture`, and snapshots merge in chunk
+  order — never completion order.
+* **Serial fast path.**  ``n_jobs=1`` executes the same chunk loop inline:
+  no pool is spawned, no pickling happens, ambient obs sinks see the raw
+  event stream exactly as before this module existed.
+* **Warm caches.**  A chunk materializes each instance group once, so every
+  item of the group shares the instance's
+  :class:`~repro.offline.feascache.FeasibilityCache` (verdict memo + warm
+  flow networks) inside its worker.
+* **Failure containment.**  A task exception becomes an ``"error"`` record
+  for that item (the sweep continues).  A worker process that dies
+  mid-chunk (OOM-killed, segfault) breaks the pool; every unresolved item
+  is then retried in an isolated single-worker pool, and an item that kills
+  its worker again is reported as a ``"crashed"`` record carrying a
+  :class:`WorkerCrash` message — never silently dropped.
+  ``KeyboardInterrupt`` cancels outstanding work and returns the partial
+  report with the remaining items marked ``"cancelled"``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+import traceback
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs import core as _obs
+from ..obs.sinks import Registry, jsonable
+from .merge import merge_snapshot_into, replay_into_ambient
+from .plan import SweepPlan, WorkItem
+from .tasks import TASKS
+
+__all__ = ["ItemResult", "SweepReport", "WorkerCrash", "run_sweep"]
+
+#: (index, status, value, error) — the wire format a chunk ships back.
+_Row = Tuple[int, str, Any, Optional[str]]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died while executing an item (e.g. OOM-killed)."""
+
+
+@dataclass(frozen=True)
+class ItemResult:
+    """Outcome of one work item; exactly one per plan item, in plan order."""
+
+    index: int
+    task: str
+    group: str
+    status: str  # "ok" | "error" | "crashed" | "cancelled"
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class SweepReport:
+    """Merged outcome of a sweep: per-item results + one obs registry."""
+
+    results: Tuple[ItemResult, ...]
+    registry: Registry
+    n_jobs: int
+    n_chunks: int
+    chunksize: int
+    wall_seconds: float
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def values(self) -> List[Any]:
+        """Values of successful items, in plan order."""
+        return [r.value for r in self.results if r.ok]
+
+    @property
+    def errors(self) -> List[ItemResult]:
+        return [r for r in self.results if r.status == "error"]
+
+    @property
+    def crashes(self) -> List[ItemResult]:
+        return [r for r in self.results if r.status == "crashed"]
+
+    @property
+    def cancelled(self) -> List[ItemResult]:
+        return [r for r in self.results if r.status == "cancelled"]
+
+    def summary(self) -> str:
+        n_ok = sum(1 for r in self.results if r.ok)
+        parts = [f"sweep: {n_ok}/{len(self.results)} items ok"]
+        for label, items in (
+            ("errors", self.errors),
+            ("crashed", self.crashes),
+            ("cancelled", self.cancelled),
+        ):
+            if items:
+                parts.append(f"{len(items)} {label}")
+        parts.append(
+            f"{self.n_chunks} chunks on {self.n_jobs} worker(s) "
+            f"in {self.wall_seconds:.2f}s"
+        )
+        return ", ".join(parts)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump: per-item results + the merged registry snapshot."""
+        return {
+            "n_jobs": self.n_jobs,
+            "n_chunks": self.n_chunks,
+            "chunksize": self.chunksize,
+            "wall_seconds": self.wall_seconds,
+            "interrupted": self.interrupted,
+            "results": [
+                {
+                    "index": r.index,
+                    "task": r.task,
+                    "status": r.status,
+                    "value": jsonable(r.value),
+                    **({"error": r.error} if r.error else {}),
+                }
+                for r in self.results
+            ],
+            **self.registry.snapshot(),
+        }
+
+
+def _init_worker() -> None:
+    """Worker initialization: start from a clean observability state.
+
+    Under the fork start method the child inherits the parent's attached
+    sinks — including open ``--trace`` file descriptors, which concurrent
+    workers would interleave garbage into.  Workers report exclusively
+    through their chunk snapshot, so all inherited sinks are dropped.
+    """
+    _obs._sinks.clear()
+
+
+def _execute_chunk(
+    items: Sequence[WorkItem],
+) -> Tuple[List[_Row], Dict[str, Any]]:
+    """Run one chunk under a fresh capture; returns (row tuples, snapshot).
+
+    This is the single execution path for both the serial loop and the pool
+    workers — which is precisely why their counter totals agree.  The chunk
+    materializes each instance group once; all items of the group share its
+    warm :class:`~repro.offline.feascache.FeasibilityCache`.
+    """
+    from .. import obs
+
+    rows: List[_Row] = []
+    instances: Dict[str, Any] = {}
+    with obs.capture() as registry:
+        for item in items:
+            try:
+                instance = item.materialize(instances)
+                fn = TASKS[item.task]
+                value = fn(instance, **item.kwargs)
+                rows.append((item.index, "ok", value, None))
+            except Exception as exc:  # noqa: BLE001 — contained per item
+                detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
+                rows.append((item.index, "error", None, detail))
+                obs.incr("runner.task_errors")
+    return rows, registry.snapshot()
+
+
+def _default_context(start_method: Optional[str]):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _isolated_retry(
+    chunk: Sequence[WorkItem], mp_context
+) -> Tuple[Dict[int, _Row], List[Dict[str, Any]]]:
+    """Re-run a crashed chunk's items one at a time, each in a fresh pool.
+
+    Isolation pins the blame: an item that breaks its private single-worker
+    pool is the crasher and gets a ``"crashed"`` record; its innocent
+    chunk-mates recover their results.  Snapshots come back in item order,
+    so the surviving items' merged counters stay deterministic.
+    """
+    rows: Dict[int, _Row] = {}
+    snapshots: List[Dict[str, Any]] = []
+    for item in chunk:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=1, mp_context=mp_context, initializer=_init_worker
+        )
+        try:
+            chunk_rows, snapshot = pool.submit(_execute_chunk, (item,)).result()
+        except BrokenProcessPool:
+            rows[item.index] = (
+                item.index,
+                "crashed",
+                None,
+                f"WorkerCrash: worker process died while running item "
+                f"{item.index} ({item.task})",
+            )
+            pool.shutdown(wait=False)
+            continue
+        finally:
+            pool.shutdown(wait=False)
+        for row in chunk_rows:
+            rows[row[0]] = row
+        snapshots.append(snapshot)
+    return rows, snapshots
+
+
+class _ResultStream:
+    """Streams item results to ``on_result`` exactly once each.
+
+    ``ordered=True`` buffers completed chunks until every earlier chunk has
+    been flushed (plan order); ``ordered=False`` forwards chunks in
+    completion order.  Within a chunk, items always stream in plan order.
+    """
+
+    def __init__(
+        self,
+        on_result: Optional[Callable[["ItemResult"], None]],
+        ordered: bool,
+    ) -> None:
+        self._on_result = on_result
+        self._ordered = ordered
+        self._pending: Dict[int, List[ItemResult]] = {}
+        self._next_chunk = 0
+        self.emitted: Set[int] = set()
+
+    def chunk_done(self, chunk_index: int, results: List[ItemResult]) -> None:
+        if self._on_result is None:
+            return
+        if not self._ordered:
+            self._emit(results)
+            return
+        self._pending[chunk_index] = results
+        while self._next_chunk in self._pending:
+            self._emit(self._pending.pop(self._next_chunk))
+            self._next_chunk += 1
+
+    def flush_remaining(self, results: Sequence["ItemResult"]) -> None:
+        """Emit whatever never streamed (retried/cancelled), in plan order."""
+        if self._on_result is None:
+            return
+        self._emit([r for r in results if r.index not in self.emitted])
+
+    def _emit(self, results: List["ItemResult"]) -> None:
+        for result in results:
+            if result.index not in self.emitted:
+                self.emitted.add(result.index)
+                self._on_result(result)
+
+
+def run_sweep(
+    plan: SweepPlan,
+    n_jobs: int = 1,
+    chunksize: int = 1,
+    start_method: Optional[str] = None,
+    on_result: Optional[Callable[[ItemResult], None]] = None,
+    ordered: bool = True,
+) -> SweepReport:
+    """Execute ``plan`` on ``n_jobs`` processes; see the module contract.
+
+    ``on_result`` streams item results as chunks finish — in plan order
+    when ``ordered=True``, in completion order when ``ordered=False``.  The
+    returned report is identical (and in plan order) either way.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    t0 = time.perf_counter()
+    chunks = plan.chunks(chunksize)
+    items_by_index = {item.index: item for item in plan}
+    interrupted = False
+    stream = _ResultStream(on_result, ordered)
+
+    results_by_index: Dict[int, ItemResult] = {}
+    chunk_snapshots: Dict[int, Dict[str, Any]] = {}
+    extra_snapshots: List[Dict[str, Any]] = []
+
+    def absorb(rows: List[_Row]) -> List[ItemResult]:
+        out = []
+        for index, status, value, error in rows:
+            item = items_by_index[index]
+            result = ItemResult(index, item.task, item.group, status, value, error)
+            results_by_index[index] = result
+            out.append(result)
+        return out
+
+    if n_jobs == 1:
+        for ci, chunk in enumerate(chunks):
+            try:
+                rows, snapshot = _execute_chunk(chunk)
+            except KeyboardInterrupt:
+                interrupted = True
+                break
+            chunk_snapshots[ci] = snapshot
+            stream.chunk_done(ci, absorb(rows))
+    else:
+        mp_context = _default_context(start_method)
+        broken_chunks: List[int] = []
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_jobs, mp_context=mp_context, initializer=_init_worker
+        )
+        try:
+            futures = {
+                pool.submit(_execute_chunk, chunk): ci
+                for ci, chunk in enumerate(chunks)
+            }
+            try:
+                for future in concurrent.futures.as_completed(futures):
+                    ci = futures[future]
+                    try:
+                        rows, snapshot = future.result()
+                    except BrokenProcessPool:
+                        broken_chunks.append(ci)
+                        continue
+                    except concurrent.futures.CancelledError:
+                        continue
+                    chunk_snapshots[ci] = snapshot
+                    stream.chunk_done(ci, absorb(rows))
+            except KeyboardInterrupt:
+                # Report partial results instead of hanging on the join.
+                interrupted = True
+                pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            if not interrupted:
+                pool.shutdown(wait=True)
+        if broken_chunks and not interrupted:
+            # The pool died under these chunks: re-run their items isolated
+            # so exactly the killer is blamed and the rest are recovered.
+            for ci in sorted(broken_chunks):
+                rows, snapshots = _isolated_retry(chunks[ci], mp_context)
+                absorb(list(rows.values()))
+                extra_snapshots.extend(snapshots)
+                _obs.incr("runner.worker_crashes")
+
+    # -- deterministic assembly (plan order throughout) -----------------------
+    results: List[ItemResult] = []
+    for item in plan:
+        result = results_by_index.get(item.index)
+        if result is None:
+            result = ItemResult(
+                item.index, item.task, item.group, "cancelled",
+                None, "sweep interrupted",
+            )
+        results.append(result)
+
+    registry = Registry()
+    for ci in sorted(chunk_snapshots):
+        merge_snapshot_into(registry, chunk_snapshots[ci])
+    for snapshot in extra_snapshots:
+        merge_snapshot_into(registry, snapshot)
+
+    n_errors = sum(1 for r in results if r.status == "error")
+    n_crashed = sum(1 for r in results if r.status == "crashed")
+    n_cancelled = sum(1 for r in results if r.status == "cancelled")
+    registry.on_counter("runner.items", len(plan.items), {})
+    registry.on_counter("runner.chunks", len(chunks), {})
+    if n_errors:
+        registry.on_counter("runner.errors", n_errors, {})
+    if n_crashed:
+        registry.on_counter("runner.crashes", n_crashed, {})
+    if n_cancelled:
+        registry.on_counter("runner.cancelled", n_cancelled, {})
+
+    if n_jobs != 1:
+        # Ambient sinks saw none of the workers' streams: replay the merged
+        # totals so `repro stats` / `--trace` keep working under parallelism.
+        replay_into_ambient(registry.snapshot())
+    else:
+        # Serial: the raw stream already reached ambient sinks; top up only
+        # the runner's own bookkeeping so both paths report it identically.
+        _obs.incr("runner.items", len(plan.items))
+        _obs.incr("runner.chunks", len(chunks))
+        for name, count in (
+            ("runner.errors", n_errors),
+            ("runner.crashes", n_crashed),
+            ("runner.cancelled", n_cancelled),
+        ):
+            if count:
+                _obs.incr(name, count)
+
+    stream.flush_remaining(results)
+
+    return SweepReport(
+        results=tuple(results),
+        registry=registry,
+        n_jobs=n_jobs,
+        n_chunks=len(chunks),
+        chunksize=chunksize,
+        wall_seconds=time.perf_counter() - t0,
+        interrupted=interrupted,
+    )

@@ -211,8 +211,41 @@ def differential_sweep(
     speeds: Sequence[Numeric] = (1,),
     backends: Sequence[str] = BACKENDS,
     use_lp: bool = True,
+    n_jobs: int = 1,
+    chunksize: int = 1,
 ) -> DifferentialReport:
-    """Run :func:`differential_optimum` over a corpus of instances/speeds."""
+    """Run :func:`differential_optimum` over a corpus of instances/speeds.
+
+    With ``n_jobs != 1`` the probes fan out through :mod:`repro.runner`
+    (one work item per instance × speed); the record order and contents are
+    bit-identical to the serial path for every worker count.
+    """
+    if n_jobs != 1:
+        from ..runner import SweepPlan, run_sweep
+
+        plan = SweepPlan.build(
+            (
+                "differential_optimum",
+                instance,
+                {
+                    "speed": str(to_fraction(speed)),
+                    "use_lp": use_lp,
+                    "backends": tuple(backends),
+                },
+            )
+            for instance in instances
+            for speed in speeds
+        )
+        sweep = run_sweep(plan, n_jobs=n_jobs, chunksize=chunksize)
+        failed = sweep.errors + sweep.crashes + sweep.cancelled
+        if failed:
+            raise RuntimeError(
+                f"differential sweep failed on item {failed[0].index}: "
+                f"{failed[0].error}"
+            )
+        return DifferentialReport(
+            tuple(record for records in sweep.values() for record in records)
+        )
     records: List[DifferentialRecord] = []
     for instance in instances:
         for speed in speeds:

@@ -1,0 +1,143 @@
+"""Tests for the engine's machine → job-id commitment index.
+
+``machine_jobs`` / ``machine_active_jobs`` / ``used_machines`` used to scan
+every job the engine had ever seen on each call; they are now served from an
+index maintained by ``commit``/first-processing binding and ``_step``.  These
+tests pin the rewrite two ways:
+
+* equivalence — at every policy decision point the index-backed accessors
+  must return exactly what the old full scans returned, in the same order
+  (release order), checked by a cross-examining wrapper policy;
+* exact counters — a deterministic FirstFitEDF run has a pinned
+  ``engine.machine_queries`` value, so an accidental reintroduction of
+  per-call scans (or a policy starting to hammer the accessors) shows up
+  as a counter diff even while results stay correct.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro import obs
+from repro.model import Instance, Job
+from repro.online.base import Policy
+from repro.online.edf import EDF
+from repro.online.engine import OnlineEngine, simulate
+from repro.online.nonmigratory import FirstFitEDF
+
+from tests.strategies import instances_st
+
+
+def brute_machine_jobs(eng, machine):
+    return [s for s in eng.jobs.values() if s.committed == machine]
+
+
+def brute_active_jobs(eng, machine):
+    return [s for s in eng._active.values() if s.committed == machine]
+
+
+def brute_used_machines(eng):
+    used = set()
+    for s in eng.jobs.values():
+        if s.committed is not None:
+            used.add(s.committed)
+        used.update(s.machines)
+    return used
+
+
+def assert_index_matches(eng):
+    for machine in range(eng.machines):
+        assert eng.machine_jobs(machine) == brute_machine_jobs(eng, machine)
+        assert eng.machine_active_jobs(machine) == brute_active_jobs(eng, machine)
+    assert eng.used_machines == brute_used_machines(eng)
+
+
+class CrossExamining(Policy):
+    """Delegates to an inner policy, auditing the index before each choice."""
+
+    def __init__(self, inner: Policy):
+        self.inner = inner
+        self.migratory = inner.migratory
+        self.audits = 0
+
+    def select(self, engine):
+        assert_index_matches(engine)
+        self.audits += 1
+        return self.inner.select(engine)
+
+
+STAIRCASE = Instance(
+    [
+        Job(0, 4, 4, id=0),
+        Job(0, 4, 4, id=1),
+        Job(1, 2, 4, id=2),
+        Job(2, 6, 9, id=3),
+        Job(4, 1, 6, id=4),
+        Job(4, 3, 8, id=5),
+    ]
+)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("machines", [2, 3, 4])
+    def test_firstfit_staircase(self, machines):
+        policy = CrossExamining(FirstFitEDF())
+        eng = simulate(policy, STAIRCASE, machines=machines, on_miss="record")
+        assert policy.audits > 0
+        assert_index_matches(eng)
+
+    def test_migratory_policy_commits_nothing(self):
+        policy = CrossExamining(EDF())
+        eng = simulate(policy, STAIRCASE, machines=3)
+        assert_index_matches(eng)
+        # migratory runs never commit, but processing still marks machines used
+        assert all(s.committed is None for s in eng.jobs.values())
+        assert eng.used_machines == brute_used_machines(eng) != set()
+
+    def test_explicit_commit_before_processing(self):
+        eng = OnlineEngine(EDF(), machines=2)
+        eng.release([Job(0, 2, 5, id=0), Job(0, 2, 5, id=1)])
+        eng.commit(0, 1)
+        # committed but not yet processed: visible via index and used_machines
+        assert [s.job.id for s in eng.machine_jobs(1)] == [0]
+        assert eng.used_machines >= {1}
+        assert_index_matches(eng)
+
+    def test_order_is_release_order(self):
+        eng = OnlineEngine(EDF(), machines=1)
+        eng.release([Job(0, 1, 10, id=7), Job(0, 1, 10, id=3), Job(0, 1, 10, id=5)])
+        for jid in (5, 7, 3):
+            eng.commit(jid, 0)
+        # enumeration order matches the old full scan: release order, not id
+        assert [s.job.id for s in eng.machine_jobs(0)] == [7, 3, 5]
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances_st(max_size=6))
+    def test_random_instances_firstfit(self, instance):
+        policy = CrossExamining(FirstFitEDF())
+        eng = simulate(policy, instance, machines=3, on_miss="record")
+        assert_index_matches(eng)
+
+
+class TestExactCounters:
+    def test_machine_queries_pinned(self):
+        with obs.capture() as reg:
+            simulate(FirstFitEDF(), STAIRCASE, machines=3, on_miss="record")
+        snap = reg.snapshot()["counters"]
+        # FirstFitEDF probes machine_active_jobs per machine per decision;
+        # this pins both the accessor call volume and the event count of the
+        # deterministic run.  A behavior change in either moves the number.
+        assert snap["engine.machine_queries"] == 32
+        assert snap["engine.steps"] == 7
+        assert snap["engine.releases"] == 6
+        assert snap["engine.completions"] == 6
+        assert "engine.misses" not in snap
+
+    def test_queries_free_when_disabled(self):
+        eng = simulate(FirstFitEDF(), STAIRCASE, machines=3, on_miss="record")
+        # no capture active: accessors still work, nothing is recorded
+        assert eng.used_machines
+        with obs.capture() as reg:
+            pass
+        assert "engine.machine_queries" not in reg.snapshot()["counters"]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Distill and diff benchmark trajectories.
+
+The committed trajectory (``benchmarks/trajectory/BENCH_<k>.json``) is a
+compact per-benchmark summary of a ``--benchmark-json`` artifact: mean,
+stddev, rounds, plus the machine's CPU count so absolute numbers can be
+read in context.  Two modes:
+
+* ``--distill OUT``: write the compact trajectory for a raw artifact —
+  how ``BENCH_4.json`` was produced::
+
+      python tools/bench_diff.py raw.json --distill benchmarks/trajectory/BENCH_4.json
+
+* default: diff a fresh raw artifact against a committed trajectory and
+  exit 1 when any shared benchmark's mean regressed beyond ``--threshold``
+  (CI runs this step with ``continue-on-error``, so the diff informs
+  without blocking — shared runners are noisy)::
+
+      python tools/bench_diff.py new-raw.json --baseline benchmarks/trajectory/BENCH_4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def distill(raw: dict) -> dict:
+    return {
+        "schema": "repro-bench-trajectory/1",
+        "cpu_count": os.cpu_count(),
+        "benchmarks": {
+            b["name"]: {
+                "mean_s": round(b["stats"]["mean"], 6),
+                "stddev_s": round(b["stats"]["stddev"], 6),
+                "rounds": b["stats"]["rounds"],
+            }
+            for b in raw["benchmarks"]
+        },
+    }
+
+
+def diff(raw: dict, baseline: dict, threshold: float) -> int:
+    new = distill(raw)["benchmarks"]
+    old = baseline["benchmarks"]
+    shared = sorted(set(new) & set(old))
+    regressions = []
+    width = max((len(n) for n in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'old mean':>10}  {'new mean':>10}  ratio")
+    for name in shared:
+        ratio = new[name]["mean_s"] / old[name]["mean_s"] if old[name]["mean_s"] else 1.0
+        flag = "  <-- regression" if ratio > threshold else ""
+        print(
+            f"{name:<{width}}  {old[name]['mean_s']:>10.4f}  "
+            f"{new[name]['mean_s']:>10.4f}  {ratio:5.2f}x{flag}"
+        )
+        if ratio > threshold:
+            regressions.append(name)
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{width}}  missing from new run")
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{width}}  not in baseline")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond {threshold:.2f}x")
+        return 1
+    print(f"no regressions beyond {threshold:.2f}x across {len(shared)} benchmark(s)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("raw", help="pytest-benchmark --benchmark-json artifact")
+    parser.add_argument("--baseline", help="committed trajectory to diff against")
+    parser.add_argument("--distill", help="write the compact trajectory here instead")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="mean-ratio beyond which a benchmark counts as regressed")
+    args = parser.parse_args(argv)
+    with open(args.raw, encoding="utf-8") as fh:
+        raw = json.load(fh)
+    if args.distill:
+        with open(args.distill, "w", encoding="utf-8") as fh:
+            json.dump(distill(raw), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.distill} ({len(raw['benchmarks'])} benchmarks)")
+        return 0
+    if not args.baseline:
+        parser.error("either --baseline or --distill is required")
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    return diff(raw, baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
