@@ -68,6 +68,48 @@ def test_parallel_bit_identical_to_serial():
     assert counters["cache.verdict_hits"] > 0
 
 
+def test_sweep_journal_overhead(tmp_path):
+    """Journaling the fault-free 200-instance sweep costs < 10% wall-clock.
+
+    The durability layer (ISSUE 5) appends one checksummed JSONL record per
+    completed item; on a sweep whose items do real solver work that must be
+    noise.  Both runs happen back-to-back in this process, so machine load
+    cancels out; a small absolute slack absorbs timer jitter on the
+    sub-second serial path.
+    """
+    from repro.runner import canonical_report_view, read_journal
+
+    plan = sweep_plan()
+    run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE)  # warm imports/caches
+    t0 = time.perf_counter()
+    plain = run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE)
+    t_plain = time.perf_counter() - t0
+    journal_path = str(tmp_path / "sweep-journal.jsonl")
+    t0 = time.perf_counter()
+    journaled = run_sweep(
+        plan, n_jobs=1, chunksize=CHUNKSIZE, journal=journal_path
+    )
+    t_journaled = time.perf_counter() - t0
+    # durability must not change a single comparable byte of the report
+    assert canonical_report_view(journaled.snapshot()) == canonical_report_view(
+        plain.snapshot()
+    )
+    _, records, dropped = read_journal(journal_path)
+    assert len(records) == N_INSTANCES and dropped == 0
+    overhead = t_journaled / t_plain - 1.0
+    print_table(
+        f"E-PAR · journal overhead on {N_INSTANCES} items",
+        ["variant", "seconds", "overhead"],
+        [
+            ("plain", round(t_plain, 3), "-"),
+            ("journaled", round(t_journaled, 3), f"{overhead:+.1%}"),
+        ],
+    )
+    assert t_journaled <= t_plain * 1.10 + 0.05, (
+        f"journaling overhead {overhead:+.1%} exceeds the 10% budget"
+    )
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4, reason="speedup gate needs >= 4 cores"
 )

@@ -43,7 +43,7 @@ from .generators import (
     uniform_random_instance,
 )
 from .model import Instance, Schedule
-from .model.io import load, save
+from .model.io import InstanceFormatError, load, save
 from .offline.flow import BACKENDS, DEFAULT_BACKEND
 from .offline.nonmigratory import nonmigratory_optimum_bounds
 from .offline.optimum import migratory_optimum
@@ -78,7 +78,10 @@ GENERATORS = {
 
 
 def _load_instance(path: str) -> Instance:
-    obj = load(path)
+    try:
+        obj = load(path)
+    except InstanceFormatError as exc:
+        raise SystemExit(str(exc)) from None
     if not isinstance(obj, Instance):
         raise SystemExit(f"{path} does not contain an instance")
     return obj
@@ -339,9 +342,19 @@ def cmd_sweep(args) -> int:
 
     from .analysis.competitive import profiles_from_samples
     from .analysis.report import print_table
-    from .runner import FAMILIES, InstanceSpec, SweepPlan, run_sweep, split_seed
+    from .runner import (
+        FAMILIES,
+        FaultPlan,
+        InstanceSpec,
+        SweepPlan,
+        run_sweep,
+        split_seed,
+    )
     from .runner.tasks import POLICIES as SWEEP_POLICIES
     from .verify.differential import DifferentialReport
+
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal")
 
     policies = [p for p in args.policies.split(",") if p]
     families = [f for f in args.families.split(",") if f]
@@ -370,13 +383,30 @@ def cmd_sweep(args) -> int:
             specs,
             speeds=[s for s in args.speeds.split(",") if s],
             use_lp=not args.no_lp,
+            lp_deadline=args.item_timeout,
         )
     elif args.kind == "corpus":
         plan = SweepPlan.corpus(args.dir)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown sweep kind {args.kind}")
 
-    report = run_sweep(plan, n_jobs=args.workers, chunksize=args.chunksize)
+    faults = None
+    if args.chaos:
+        try:
+            faults = FaultPlan.parse(args.chaos)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    report = run_sweep(
+        plan,
+        n_jobs=args.workers,
+        chunksize=args.chunksize,
+        item_timeout=args.item_timeout,
+        retry=args.retries,
+        faults=faults,
+        journal=args.journal,
+        resume=args.resume,
+    )
 
     if args.snapshot:
         with open(args.snapshot, "w", encoding="utf-8") as fh:
@@ -418,8 +448,11 @@ def cmd_sweep(args) -> int:
         print(report.summary())
         if not all(v["ok"] for v in report.values()):
             exit_code = 1
-    for bad in (report.errors + report.crashes + report.cancelled)[:10]:
+    bad_items = report.errors + report.failed + report.crashes + report.cancelled
+    for bad in bad_items[:10]:
         print(f"  item {bad.index} [{bad.task}] {bad.status}: {bad.error}")
+    if bad_items and args.journal:
+        print(f"  journal: {args.journal} (re-run with --resume to retry)")
     return exit_code
 
 
@@ -590,6 +623,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit results + merged counter snapshot as JSON")
     p.add_argument("--snapshot", metavar="OUT.json",
                    help="also write the merged snapshot to this file")
+    p.add_argument("--journal", metavar="OUT.jsonl", default=None,
+                   help="append every completed item to this durable, "
+                        "checksummed journal as the sweep runs")
+    p.add_argument("--resume", action="store_true",
+                   help="restore settled groups from --journal and run only "
+                        "the rest (requires --journal)")
+    p.add_argument("--retries", type=int, default=None, metavar="K",
+                   help="transient-failure retry budget per item "
+                        "(default 2; exhausted items are quarantined as "
+                        "'failed', not fatal)")
+    p.add_argument("--item-timeout", type=float, default=None, metavar="SEC",
+                   help="per-item deadline in seconds (timeouts are "
+                        "transient: retried, then quarantined); also bounds "
+                        "the advisory LP leg of differential sweeps")
+    p.add_argument("--chaos", metavar="SPEC", default=None,
+                   help="inject deterministic faults for chaos testing, "
+                        "e.g. 'sigkill:2,transient:4,hang:0@1' "
+                        "(kind:item-index[@attempt])")
     p.set_defaults(func=cmd_sweep)
 
     p = add_parser("adversary", help="run a lower-bound adversary")

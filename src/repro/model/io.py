@@ -3,19 +3,34 @@
 Exact rationals are stored as ``"num/den"`` strings so round-trips are
 lossless — a requirement for archiving adversarial instances, whose data
 has denominators that no float can represent (see DESIGN.md §4).
+
+Malformed input never escapes as a bare ``KeyError``/``TypeError``: every
+structural problem — invalid JSON, wrong/missing ``kind``, a missing or
+unparsable field — raises :class:`InstanceFormatError` carrying the source
+(file path when known) and the offending location (``jobs[3]: missing
+field 'deadline'``).  Corpus files and user-supplied instances are exactly
+the inputs one fat-fingers; the error must say *where*, not just *that*.
 """
 
 from __future__ import annotations
 
 import json
 from fractions import Fraction
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from .instance import Instance
 from .job import Job
 from .schedule import Schedule, Segment
 
 FORMAT_VERSION = 1
+
+
+class InstanceFormatError(ValueError):
+    """A payload is structurally invalid; the message pins file and field."""
+
+    def __init__(self, message: str, source: Optional[str] = None) -> None:
+        self.source = source
+        super().__init__(f"{source}: {message}" if source else message)
 
 
 def _enc(x: Fraction) -> Union[int, str]:
@@ -26,6 +41,34 @@ def _enc(x: Fraction) -> Union[int, str]:
 
 def _dec(x: Union[int, str]) -> Fraction:
     return Fraction(x)
+
+
+def _field(item: Dict[str, Any], name: str, where: str, source: Optional[str]):
+    """``item[name]`` or an :class:`InstanceFormatError` naming the spot."""
+    if not isinstance(item, dict):
+        raise InstanceFormatError(
+            f"{where}: expected an object, got {type(item).__name__}", source
+        )
+    try:
+        return item[name]
+    except KeyError:
+        raise InstanceFormatError(
+            f"{where}: missing field {name!r}", source
+        ) from None
+
+
+def _dec_field(
+    item: Dict[str, Any], name: str, where: str, source: Optional[str]
+) -> Fraction:
+    value = _field(item, name, where, source)
+    try:
+        return _dec(value)
+    except (ValueError, TypeError, ZeroDivisionError) as exc:
+        raise InstanceFormatError(
+            f"{where}: field {name!r} is not a valid rational "
+            f"({value!r}): {exc}",
+            source,
+        ) from None
 
 
 def instance_to_dict(instance: Instance) -> Dict[str, Any]:
@@ -46,19 +89,42 @@ def instance_to_dict(instance: Instance) -> Dict[str, Any]:
     }
 
 
-def instance_from_dict(data: Dict[str, Any]) -> Instance:
-    if data.get("kind") != "instance":
-        raise ValueError(f"not an instance payload: kind={data.get('kind')!r}")
-    jobs = [
-        Job(
-            _dec(item["release"]),
-            _dec(item["processing"]),
-            _dec(item["deadline"]),
-            id=item["id"],
-            label=item.get("label", ""),
+def instance_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> Instance:
+    if not isinstance(data, dict):
+        raise InstanceFormatError(
+            f"expected a JSON object, got {type(data).__name__}", source
         )
-        for item in data["jobs"]
-    ]
+    if data.get("kind") != "instance":
+        raise InstanceFormatError(
+            f"not an instance payload: kind={data.get('kind')!r}", source
+        )
+    raw_jobs = data.get("jobs")
+    if not isinstance(raw_jobs, list):
+        raise InstanceFormatError(
+            "missing field 'jobs' (expected a list)"
+            if raw_jobs is None
+            else f"field 'jobs' must be a list, got {type(raw_jobs).__name__}",
+            source,
+        )
+    jobs: List[Job] = []
+    for i, item in enumerate(raw_jobs):
+        where = f"jobs[{i}]"
+        try:
+            job = Job(
+                _dec_field(item, "release", where, source),
+                _dec_field(item, "processing", where, source),
+                _dec_field(item, "deadline", where, source),
+                id=_field(item, "id", where, source),
+                label=item.get("label", ""),
+            )
+        except InstanceFormatError:
+            raise
+        except (ValueError, TypeError) as exc:
+            # Job's own validation (deadline < release + processing, ...)
+            raise InstanceFormatError(f"{where}: {exc}", source) from None
+        jobs.append(job)
     return Instance(jobs)
 
 
@@ -79,13 +145,42 @@ def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
     }
 
 
-def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+def schedule_from_dict(
+    data: Dict[str, Any], source: Optional[str] = None
+) -> Schedule:
+    if not isinstance(data, dict):
+        raise InstanceFormatError(
+            f"expected a JSON object, got {type(data).__name__}", source
+        )
     if data.get("kind") != "schedule":
-        raise ValueError(f"not a schedule payload: kind={data.get('kind')!r}")
-    return Schedule(
-        Segment(item["job"], item["machine"], _dec(item["start"]), _dec(item["end"]))
-        for item in data["segments"]
-    )
+        raise InstanceFormatError(
+            f"not a schedule payload: kind={data.get('kind')!r}", source
+        )
+    raw_segments = data.get("segments")
+    if not isinstance(raw_segments, list):
+        raise InstanceFormatError(
+            "missing field 'segments' (expected a list)"
+            if raw_segments is None
+            else "field 'segments' must be a list, got "
+            + type(raw_segments).__name__,
+            source,
+        )
+    segments: List[Segment] = []
+    for i, item in enumerate(raw_segments):
+        where = f"segments[{i}]"
+        try:
+            segment = Segment(
+                _field(item, "job", where, source),
+                _field(item, "machine", where, source),
+                _dec_field(item, "start", where, source),
+                _dec_field(item, "end", where, source),
+            )
+        except InstanceFormatError:
+            raise
+        except (ValueError, TypeError) as exc:
+            raise InstanceFormatError(f"{where}: {exc}", source) from None
+        segments.append(segment)
+    return Schedule(segments)
 
 
 def dumps(obj: Union[Instance, Schedule], indent: int = None) -> str:
@@ -97,15 +192,27 @@ def dumps(obj: Union[Instance, Schedule], indent: int = None) -> str:
     raise TypeError(f"cannot serialize {type(obj).__name__}")
 
 
-def loads(text: str) -> Union[Instance, Schedule]:
-    """Deserialize a JSON string produced by :func:`dumps`."""
-    data = json.loads(text)
+def loads(text: str, source: Optional[str] = None) -> Union[Instance, Schedule]:
+    """Deserialize a JSON string produced by :func:`dumps`.
+
+    All malformed input — bad JSON, wrong kind, missing or unparsable
+    fields — raises :class:`InstanceFormatError` (a ``ValueError``) whose
+    message names ``source`` and the offending field.
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InstanceFormatError(f"invalid JSON: {exc}", source) from None
+    if not isinstance(data, dict):
+        raise InstanceFormatError(
+            f"expected a JSON object, got {type(data).__name__}", source
+        )
     kind = data.get("kind")
     if kind == "instance":
-        return instance_from_dict(data)
+        return instance_from_dict(data, source)
     if kind == "schedule":
-        return schedule_from_dict(data)
-    raise ValueError(f"unknown payload kind {kind!r}")
+        return schedule_from_dict(data, source)
+    raise InstanceFormatError(f"unknown payload kind {kind!r}", source)
 
 
 def save(obj: Union[Instance, Schedule], path: str) -> None:
@@ -115,4 +222,4 @@ def save(obj: Union[Instance, Schedule], path: str) -> None:
 
 def load(path: str) -> Union[Instance, Schedule]:
     with open(path, "r", encoding="utf-8") as fh:
-        return loads(fh.read())
+        return loads(fh.read(), source=path)

@@ -1,4 +1,4 @@
-"""Deterministic process-pool fan-out for sweeps (the batching layer).
+"""Deterministic, crash-only process-pool fan-out for sweeps.
 
 Every empirical result in this repo — competitive-ratio profiles,
 differential verification, corpus re-checks — is a batch of independent
@@ -23,39 +23,94 @@ How the guarantee is kept (details in ``docs/ARCHITECTURE.md``):
 * chunk boundaries depend only on the plan and ``chunksize``,
 * items sharing an instance are grouped into the same chunk, so warm
   :class:`~repro.offline.feascache.FeasibilityCache` hits are scheduling-independent,
-* worker snapshots merge in chunk order, never completion order.
+* per-item snapshots merge in plan order, never completion order.
+
+The guarantee extends through failures — *crash-only* operation:
+
+* per-item deadlines (:func:`~repro.runner.faults.time_limit`) and bounded
+  :class:`~repro.runner.faults.RetryPolicy` retries quarantine flaky items
+  as ``"failed"`` records instead of stalling or poisoning the sweep,
+* dead workers degrade pool → per-group pool → per-item pool → in-process,
+  blaming exactly the crasher (:class:`~repro.runner.pool.WorkerCrash`),
+* with ``journal=`` every outcome lands in a checksummed JSONL journal
+  (:mod:`repro.runner.journal`) the moment it completes; ``resume=True``
+  (or :func:`~repro.runner.journal.resume`) restores settled groups and
+  re-runs the rest, converging to the clean report byte-for-byte,
+* a seeded :class:`~repro.runner.faults.FaultPlan` injects SIGKILLs,
+  hangs, transient errors, and torn journal writes for chaos testing
+  (``repro sweep --chaos``); :func:`~repro.runner.merge.canonical_report_view`
+  is the equivalence judge.
 
 ``n_jobs=1`` is a true serial fast path: no pool, no pickling.  The CLI
 front-end is ``repro sweep``.
 """
 
-from .merge import merge_snapshot_into, merge_snapshots, replay_into_ambient
+from .faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    ItemTimeout,
+    RetryPolicy,
+    TransientError,
+    time_limit,
+)
+from .journal import (
+    Journal,
+    JournalError,
+    JournalMismatch,
+    JournalRecord,
+    read_journal,
+    resume,
+)
+from .merge import (
+    canonical_report_view,
+    merge_snapshot_into,
+    merge_snapshots,
+    replay_into_ambient,
+)
 from .plan import (
     FAMILIES,
     InstanceSpec,
     SweepPlan,
     WorkItem,
+    chunk_items,
     instance_key,
     split_seed,
 )
-from .pool import ItemResult, SweepReport, WorkerCrash, run_sweep
+from .pool import ExecPolicy, ItemResult, SweepReport, WorkerCrash, run_sweep
 from .tasks import POLICIES, TASKS, register_task
 
 __all__ = [
     "FAMILIES",
+    "FAULT_KINDS",
+    "ExecPolicy",
+    "Fault",
+    "FaultPlan",
     "InstanceSpec",
     "ItemResult",
+    "ItemTimeout",
+    "Journal",
+    "JournalError",
+    "JournalMismatch",
+    "JournalRecord",
     "POLICIES",
+    "RetryPolicy",
     "SweepPlan",
     "SweepReport",
     "TASKS",
+    "TransientError",
     "WorkItem",
     "WorkerCrash",
+    "canonical_report_view",
+    "chunk_items",
     "instance_key",
     "merge_snapshot_into",
     "merge_snapshots",
+    "read_journal",
     "register_task",
     "replay_into_ambient",
+    "resume",
     "run_sweep",
     "split_seed",
+    "time_limit",
 ]

@@ -1,0 +1,284 @@
+"""Durable sweep journal: append-only, checksummed, resumable.
+
+A journal makes a sweep *crash-only*: every completed item is appended to
+a JSONL file the moment the parent learns its outcome, so a killed or
+Ctrl-C'd run can be resumed from whatever prefix survived — nothing is
+ever recomputed that was already paid for, and nothing half-written is
+ever trusted.
+
+Format (one JSON object per line):
+
+* line 1 — a ``header`` record carrying the journal format version, the
+  plan's SHA-256 :meth:`~repro.runner.plan.SweepPlan.fingerprint`, and the
+  item count.  Resume refuses a journal whose fingerprint does not match
+  the plan (:class:`JournalMismatch`) — a stale journal silently applied
+  to a different sweep would be a correctness bug, not a convenience.
+* one ``item`` record per completed item: index, task, status, error,
+  attempt count, the item's obs snapshot, and its result value.  Values
+  are pickled (base64) rather than JSON-coerced: results round-trip
+  **byte-identically** (``Fraction`` stays ``Fraction``, dataclasses stay
+  dataclasses), which is what lets a resumed report equal the
+  uninterrupted one.  A journal is a local, trusted resume artifact — the
+  same trust boundary as the process pool's own pickle stream — not an
+  interchange format.
+
+Every record ends with a ``check`` field: SHA-256 (truncated) over the
+record's canonical JSON.  The reader verifies each line and **stops at the
+first bad record**: an append-only file corrupts only at its tail (a crash
+mid-write), so the valid prefix is exactly the trustworthy part.  Dropped
+records are simply re-run on resume.
+
+Resume skips *settled groups*, not settled items: items of one group share
+a warm :class:`~repro.offline.feascache.FeasibilityCache` inside a worker,
+so replaying only the missing half of a group from a cold cache would
+shift cache counters away from the clean run.  Re-running incomplete
+groups whole reproduces the exact hit/miss pattern — the determinism proof
+in ``docs/ARCHITECTURE.md`` § Failure model leans on this.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, IO, Optional, Tuple
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalError",
+    "JournalMismatch",
+    "JournalRecord",
+    "read_journal",
+    "resume",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable (bad header, wrong version)."""
+
+
+class JournalMismatch(JournalError):
+    """The journal belongs to a different plan than the one being run."""
+
+
+def _checksum(payload: Dict[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def _encode_value(value: Any) -> Optional[str]:
+    if value is None:
+        return None
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def _decode_value(blob: Optional[str]) -> Any:
+    if blob is None:
+        return None
+    return pickle.loads(base64.b64decode(blob))
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled item outcome (the durable twin of an ``ItemResult``)."""
+
+    index: int
+    task: str
+    status: str
+    value: Any
+    error: Optional[str]
+    attempts: int
+    snapshot: Dict[str, Any]
+
+    @property
+    def settled(self) -> bool:
+        """True if re-running could not improve the outcome.
+
+        ``ok`` is done; ``error`` is a deterministic task exception that
+        would reproduce.  ``failed``/``crashed`` stay *unsettled* so a
+        resume retries them — the crash-only story: whatever the fault,
+        run the sweep again and it converges to the clean report.
+        """
+        return self.status in ("ok", "error")
+
+
+class Journal:
+    """Single-writer append handle for a sweep journal.
+
+    The parent process is the only writer (workers ship rows back over the
+    pool's result channel), so appends need no cross-process locking; each
+    record is one ``write`` of one line, flushed immediately so the file
+    is complete up to the last finished item even if the parent is killed
+    next instruction.
+    """
+
+    def __init__(self, path: str, fh: IO[str]) -> None:
+        self.path = path
+        self._fh = fh
+
+    # -- opening -------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str, plan_fingerprint: str, n_items: int) -> "Journal":
+        """Start a fresh journal (truncates any previous file at ``path``)."""
+        fh = open(path, "w", encoding="utf-8")
+        journal = cls(path, fh)
+        journal._append(
+            {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "plan": plan_fingerprint,
+                "n_items": n_items,
+            }
+        )
+        return journal
+
+    @classmethod
+    def append_to(cls, path: str, plan_fingerprint: str) -> "Journal":
+        """Open an existing journal for appending (resume path).
+
+        Validates the header against ``plan_fingerprint`` first, and cuts
+        any torn tail off the file: records appended *after* a corrupt line
+        would be invisible to the prefix-validating reader, so the invalid
+        suffix must go before new outcomes land.
+        """
+        header, _, dropped = read_journal(path)
+        if header is None:
+            raise JournalError(f"{path}: missing or corrupt journal header")
+        if header.get("plan") != plan_fingerprint:
+            raise JournalMismatch(
+                f"{path}: journal was written for a different plan "
+                f"(journal {header.get('plan')!r} != plan {plan_fingerprint!r})"
+            )
+        if dropped:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.writelines(lines[: len(lines) - dropped])
+        return cls(path, open(path, "a", encoding="utf-8"))
+
+    # -- writing -------------------------------------------------------------
+
+    def _append(self, payload: Dict[str, Any], corrupt: bool = False) -> None:
+        payload = dict(payload)
+        payload["check"] = _checksum(payload)
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        if corrupt:
+            # Fault injection: simulate the parent dying mid-append — the
+            # record loses its tail (including the checksum) on disk.
+            line = line[: max(1, len(line) - 12)]
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def append_item(
+        self,
+        index: int,
+        task: str,
+        status: str,
+        value: Any,
+        error: Optional[str],
+        attempts: int,
+        snapshot: Dict[str, Any],
+        corrupt: bool = False,
+    ) -> None:
+        """Append one completed item; ``corrupt=True`` injects a torn write."""
+        self._append(
+            {
+                "kind": "item",
+                "index": index,
+                "task": task,
+                "status": status,
+                "value": _encode_value(value),
+                "error": error,
+                "attempts": attempts,
+                "snapshot": snapshot,
+            },
+            corrupt=corrupt,
+        )
+
+    def sync(self) -> None:
+        """Flush and fsync — called before returning an interrupted report."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        try:
+            self.sync()
+        finally:
+            self._fh.close()
+
+
+def read_journal(
+    path: str,
+) -> Tuple[Optional[Dict[str, Any]], Dict[int, JournalRecord], int]:
+    """Load a journal: ``(header, records by index, dropped line count)``.
+
+    Validation is prefix-based: reading stops at the first record whose
+    checksum (or JSON) does not verify, and every line after it is counted
+    as dropped.  If the same index appears twice (a resumed run appended a
+    fresh outcome), the **last** record wins.  A missing file yields
+    ``(None, {}, 0)``.
+    """
+    if not os.path.exists(path):
+        return None, {}, 0
+    header: Optional[Dict[str, Any]] = None
+    records: Dict[int, JournalRecord] = {}
+    dropped = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            check = payload.pop("check")
+            if check != _checksum(payload):
+                raise ValueError("checksum mismatch")
+            kind = payload["kind"]
+            if kind == "header":
+                if payload.get("version") != JOURNAL_VERSION:
+                    raise JournalError(
+                        f"{path}: unsupported journal version "
+                        f"{payload.get('version')!r}"
+                    )
+                header = payload
+            elif kind == "item":
+                records[payload["index"]] = JournalRecord(
+                    index=payload["index"],
+                    task=payload["task"],
+                    status=payload["status"],
+                    value=_decode_value(payload["value"]),
+                    error=payload["error"],
+                    attempts=payload["attempts"],
+                    snapshot=payload["snapshot"],
+                )
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except JournalError:
+            raise
+        except Exception:
+            # Torn tail (crash mid-append) or bit rot: the valid prefix is
+            # the trustworthy part — drop this line and everything after.
+            dropped += len(lines) - lineno
+            break
+    return header, records, dropped
+
+
+def resume(plan, journal: str, **kwargs) -> Any:
+    """Resume a journaled sweep: ``run_sweep(plan, journal=…, resume=True)``.
+
+    Settled groups are restored from the journal; everything else —
+    never-run, failed, crashed, or torn-record items — is (re)executed.
+    The merged report and counters provably equal the uninterrupted run's
+    (``tests/test_chaos.py`` pins this for every journal prefix).
+    """
+    from .pool import run_sweep
+
+    return run_sweep(plan, journal=journal, resume=True, **kwargs)

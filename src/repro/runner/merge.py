@@ -27,7 +27,12 @@ from typing import Any, Dict, Iterable
 from ..obs import core as _obs
 from ..obs.sinks import Registry, SpanStat
 
-__all__ = ["merge_snapshot_into", "merge_snapshots", "replay_into_ambient"]
+__all__ = [
+    "canonical_report_view",
+    "merge_snapshot_into",
+    "merge_snapshots",
+    "replay_into_ambient",
+]
 
 
 def merge_snapshot_into(registry: Registry, snapshot: Dict[str, Any]) -> Registry:
@@ -57,6 +62,52 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Registry:
     for snapshot in snapshots:
         merge_snapshot_into(registry, snapshot)
     return registry
+
+
+def canonical_report_view(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The determinism-comparable core of a ``SweepReport.snapshot()``.
+
+    Two sweep runs of the same plan are *equivalent* iff their canonical
+    views are equal — this is what the chaos suite and the CI chaos job
+    compare, byte for byte, between a fault-free serial run and a
+    faulted/resumed parallel run.  The view keeps every task-level fact
+    (per-item status/value/error, all task counters, gauges, event counts)
+    and strips only what legitimately varies between equivalent runs:
+
+    * ``runner.*`` counters/events — the runner's own bookkeeping (chunk
+      counts, retries, crash/degradation accounting) describes *how* the
+      work got done, not *what* was computed,
+    * span timing and wall-clock fields — genuine wall time,
+    * per-item ``attempts`` — a retried item is still the same result.
+    """
+    def keep(name: str) -> bool:
+        return not name.startswith("runner.")
+
+    return {
+        "results": [
+            {
+                "index": r["index"],
+                "task": r["task"],
+                "status": r["status"],
+                "value": r["value"],
+                "error": r.get("error"),
+            }
+            for r in snapshot.get("results", [])
+        ],
+        "counters": {
+            k: v for k, v in snapshot.get("counters", {}).items() if keep(k)
+        },
+        "gauges": {
+            k: v for k, v in snapshot.get("gauges", {}).items() if keep(k)
+        },
+        "events": {
+            k: v for k, v in snapshot.get("events", {}).items() if keep(k)
+        },
+        "span_counts": {
+            path: {"count": s["count"], "errors": s["errors"]}
+            for path, s in snapshot.get("spans", {}).items()
+        },
+    }
 
 
 def replay_into_ambient(snapshot: Dict[str, Any]) -> None:

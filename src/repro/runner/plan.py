@@ -44,6 +44,7 @@ __all__ = [
     "InstanceSpec",
     "SweepPlan",
     "WorkItem",
+    "chunk_items",
     "instance_key",
     "split_seed",
 ]
@@ -145,6 +146,34 @@ class WorkItem:
         return dict(self.params)
 
 
+def chunk_items(
+    items: Sequence[WorkItem], chunksize: int = 1
+) -> List[Tuple[WorkItem, ...]]:
+    """Group-preserving chunks of at least ``chunksize`` items.
+
+    Consecutive items of the same group always land in the same chunk.
+    Shared by :meth:`SweepPlan.chunks` and the journal-resume path (which
+    chunks only the *pending* items — skipping settled groups keeps the
+    remaining groups whole, so the rule still holds).
+    """
+    if chunksize < 1:
+        raise ValueError("chunksize must be >= 1")
+    chunks: List[Tuple[WorkItem, ...]] = []
+    current: List[WorkItem] = []
+    for item in items:
+        if (
+            current
+            and len(current) >= chunksize
+            and item.group != current[-1].group
+        ):
+            chunks.append(tuple(current))
+            current = []
+        current.append(item)
+    if current:
+        chunks.append(tuple(current))
+    return chunks
+
+
 @dataclass(frozen=True)
 class SweepPlan:
     """An ordered, immutable batch of work items."""
@@ -173,22 +202,22 @@ class SweepPlan:
         counters cannot depend on how chunks are distributed).  The split is
         a pure function of the plan and ``chunksize`` — never of ``n_jobs``.
         """
-        if chunksize < 1:
-            raise ValueError("chunksize must be >= 1")
-        chunks: List[Tuple[WorkItem, ...]] = []
-        current: List[WorkItem] = []
+        return chunk_items(self.items, chunksize)
+
+    def fingerprint(self) -> str:
+        """SHA-256 identity of the plan's work content.
+
+        Covers every item's index, task, group key (instance content or
+        generator recipe), and task parameters — everything that determines
+        what a sweep computes.  The journal header pins this value so a
+        resume cannot silently apply another plan's results.
+        """
+        h = hashlib.sha256()
         for item in self.items:
-            if (
-                current
-                and len(current) >= chunksize
-                and item.group != current[-1].group
-            ):
-                chunks.append(tuple(current))
-                current = []
-            current.append(item)
-        if current:
-            chunks.append(tuple(current))
-        return chunks
+            h.update(
+                f"{item.index}|{item.task}|{item.group}|{item.params!r}\n".encode()
+            )
+        return h.hexdigest()
 
     # -- builders ------------------------------------------------------------
 
@@ -245,18 +274,20 @@ class SweepPlan:
         targets: Sequence[Union[InstanceSpec, Instance]],
         speeds: Sequence[Any] = ("1",),
         use_lp: bool = True,
+        lp_deadline: Optional[float] = None,
     ) -> "SweepPlan":
-        """Differential verification of each target at each speed."""
+        """Differential verification of each target at each speed.
+
+        ``lp_deadline`` bounds the advisory LP leg of every probe (seconds);
+        a stalled LP records a timeout leg instead of blocking the item.
+        """
         entries = []
         for target in targets:
             for speed in speeds:
-                entries.append(
-                    (
-                        "differential_optimum",
-                        target,
-                        {"speed": str(speed), "use_lp": use_lp},
-                    )
-                )
+                params: Dict[str, Any] = {"speed": str(speed), "use_lp": use_lp}
+                if lp_deadline is not None:
+                    params["lp_deadline"] = lp_deadline
+                entries.append(("differential_optimum", target, params))
         return cls.build(entries)
 
     @classmethod

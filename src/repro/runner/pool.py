@@ -1,4 +1,4 @@
-"""Chunked, deterministic process-pool execution of sweep plans.
+"""Chunked, deterministic, crash-only process-pool execution of sweep plans.
 
 :func:`run_sweep` fans a :class:`~repro.runner.plan.SweepPlan` out across
 ``n_jobs`` worker processes and merges everything back into a single
@@ -7,9 +7,10 @@
 * **Bit-identical results.**  ``run_sweep(plan, n_jobs=k)`` returns the
   same results in the same order with the same merged counter totals for
   every ``k`` and every chunking.  Work is cut into group-preserving chunks
-  up front (a function of the plan and ``chunksize`` only), each chunk runs
-  under its own :func:`repro.obs.capture`, and snapshots merge in chunk
-  order — never completion order.
+  up front (a function of the plan and ``chunksize`` only), every item
+  attempt runs under its own :func:`repro.obs.capture`, and only the
+  *successful* attempt's snapshot is kept — merged in plan order — so
+  faults, retries, and resumes cannot shift a single task-level counter.
 * **Serial fast path.**  ``n_jobs=1`` executes the same chunk loop inline:
   no pool is spawned, no pickling happens, ambient obs sinks see the raw
   event stream exactly as before this module existed.
@@ -17,40 +18,77 @@
   item of the group shares the instance's
   :class:`~repro.offline.feascache.FeasibilityCache` (verdict memo + warm
   flow networks) inside its worker.
-* **Failure containment.**  A task exception becomes an ``"error"`` record
-  for that item (the sweep continues).  A worker process that dies
-  mid-chunk (OOM-killed, segfault) breaks the pool; every unresolved item
-  is then retried in an isolated single-worker pool, and an item that kills
-  its worker again is reported as a ``"crashed"`` record carrying a
-  :class:`WorkerCrash` message — never silently dropped.
-  ``KeyboardInterrupt`` cancels outstanding work and returns the partial
-  report with the remaining items marked ``"cancelled"``.
+* **Failure containment.**  Transient failures (injected faults, item
+  deadlines, ``OSError``) are retried up to the
+  :class:`~repro.runner.faults.RetryPolicy` budget; exhausted items are
+  quarantined as ``"failed"`` records.  Deterministic task exceptions
+  become ``"error"`` records immediately (retrying cannot change them).
+  Either way the sweep continues.
+* **Graceful degradation.**  A worker that dies mid-chunk (OOM-killed,
+  segfault) breaks the pool; the runner walks a ladder — pool → fresh pool
+  per *group* → fresh pool per *item* → in-process serial — re-running the
+  unresolved work at each rung until exactly the crasher is blamed with a
+  ``"crashed"``/:class:`WorkerCrash` record.  Each transition is logged as
+  a ``runner.degraded`` obs event; a sweep always terminates with a
+  complete report, never silently dropping an item.
+* **Durability.**  With ``journal=`` every completed item is appended to a
+  checksummed JSONL journal (:mod:`repro.runner.journal`) as it lands;
+  ``resume=True`` restores settled groups from the journal and executes
+  only the rest.  ``KeyboardInterrupt`` cancels outstanding work, fsyncs
+  the journal, and returns the partial report with remaining items marked
+  ``"cancelled"`` — a Ctrl-C'd sweep is always resumable.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import multiprocessing
+import os
 import time
 import traceback
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..obs import core as _obs
 from ..obs.sinks import Registry, jsonable
+from .faults import FaultPlan, RetryPolicy, time_limit
+from .journal import Journal, JournalError, JournalRecord, read_journal
 from .merge import merge_snapshot_into, replay_into_ambient
-from .plan import SweepPlan, WorkItem
+from .plan import SweepPlan, WorkItem, chunk_items
 from .tasks import TASKS
 
-__all__ = ["ItemResult", "SweepReport", "WorkerCrash", "run_sweep"]
+__all__ = ["ExecPolicy", "ItemResult", "SweepReport", "WorkerCrash", "run_sweep"]
 
-#: (index, status, value, error) — the wire format a chunk ships back.
-_Row = Tuple[int, str, Any, Optional[str]]
+#: (index, status, value, error, attempts, snapshot) — the wire format an
+#: executed item ships back.  The snapshot is the successful attempt's obs
+#: registry dump ({} for quarantined items: their attempts left no trace).
+_Row = Tuple[int, str, Any, Optional[str], int, Dict[str, Any]]
 
 
 class WorkerCrash(RuntimeError):
     """A worker process died while executing an item (e.g. OOM-killed)."""
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """Per-item execution policy shipped to the workers (picklable).
+
+    ``deadline`` is the per-item time budget in seconds (``None`` = no
+    limit); ``retry`` bounds transient retries; ``faults`` is an optional
+    chaos :class:`~repro.runner.faults.FaultPlan` consulted before each
+    attempt.
+    """
+
+    deadline: Optional[float] = None
+    retry: RetryPolicy = RetryPolicy()
+    faults: Optional[FaultPlan] = None
+
+    def without_kills(self) -> "ExecPolicy":
+        if self.faults is None:
+            return self
+        return dataclasses.replace(self, faults=self.faults.without_kills())
 
 
 @dataclass(frozen=True)
@@ -60,9 +98,10 @@ class ItemResult:
     index: int
     task: str
     group: str
-    status: str  # "ok" | "error" | "crashed" | "cancelled"
+    status: str  # "ok" | "error" | "failed" | "crashed" | "cancelled"
     value: Any = None
     error: Optional[str] = None
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -80,6 +119,7 @@ class SweepReport:
     chunksize: int
     wall_seconds: float
     interrupted: bool = False
+    resumed: int = 0  # items restored from the journal instead of re-run
 
     @property
     def ok(self) -> bool:
@@ -94,6 +134,10 @@ class SweepReport:
         return [r for r in self.results if r.status == "error"]
 
     @property
+    def failed(self) -> List[ItemResult]:
+        return [r for r in self.results if r.status == "failed"]
+
+    @property
     def crashes(self) -> List[ItemResult]:
         return [r for r in self.results if r.status == "crashed"]
 
@@ -106,11 +150,14 @@ class SweepReport:
         parts = [f"sweep: {n_ok}/{len(self.results)} items ok"]
         for label, items in (
             ("errors", self.errors),
+            ("failed", self.failed),
             ("crashed", self.crashes),
             ("cancelled", self.cancelled),
         ):
             if items:
                 parts.append(f"{len(items)} {label}")
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed from journal")
         parts.append(
             f"{self.n_chunks} chunks on {self.n_jobs} worker(s) "
             f"in {self.wall_seconds:.2f}s"
@@ -125,12 +172,14 @@ class SweepReport:
             "chunksize": self.chunksize,
             "wall_seconds": self.wall_seconds,
             "interrupted": self.interrupted,
+            "resumed": self.resumed,
             "results": [
                 {
                     "index": r.index,
                     "task": r.task,
                     "status": r.status,
                     "value": jsonable(r.value),
+                    "attempts": r.attempts,
                     **({"error": r.error} if r.error else {}),
                 }
                 for r in self.results
@@ -145,37 +194,75 @@ def _init_worker() -> None:
     Under the fork start method the child inherits the parent's attached
     sinks — including open ``--trace`` file descriptors, which concurrent
     workers would interleave garbage into.  Workers report exclusively
-    through their chunk snapshot, so all inherited sinks are dropped.
+    through their row snapshots, so all inherited sinks are dropped.
     """
     _obs._sinks.clear()
 
 
-def _execute_chunk(
-    items: Sequence[WorkItem],
-) -> Tuple[List[_Row], Dict[str, Any]]:
-    """Run one chunk under a fresh capture; returns (row tuples, snapshot).
+def _run_item(
+    item: WorkItem,
+    instances: Dict[str, Any],
+    policy: ExecPolicy,
+    base_attempt: int,
+) -> _Row:
+    """Execute one item under the policy; returns its finished row.
 
-    This is the single execution path for both the serial loop and the pool
-    workers — which is precisely why their counter totals agree.  The chunk
-    materializes each instance group once; all items of the group share its
-    warm :class:`~repro.offline.feascache.FeasibilityCache`.
+    Each attempt runs under a fresh :func:`repro.obs.capture`; a failed
+    attempt's snapshot is *discarded* so retried items contribute exactly
+    one attempt's worth of counters — the same as a fault-free run.
+    Injected faults fire before any task work (inside the deadline scope),
+    so a struck attempt leaves no trace at all.
     """
     from .. import obs
 
-    rows: List[_Row] = []
-    instances: Dict[str, Any] = {}
-    with obs.capture() as registry:
-        for item in items:
+    attempt = base_attempt
+    while True:
+        with obs.capture() as registry:
             try:
-                instance = item.materialize(instances)
-                fn = TASKS[item.task]
-                value = fn(instance, **item.kwargs)
-                rows.append((item.index, "ok", value, None))
+                with time_limit(
+                    policy.deadline, label=f"item {item.index} ({item.task})"
+                ):
+                    if policy.faults is not None:
+                        policy.faults.fire(item.index, attempt, policy.deadline)
+                    instance = item.materialize(instances)
+                    value = TASKS[item.task](instance, **item.kwargs)
+                return (item.index, "ok", value, None, attempt, registry.snapshot())
             except Exception as exc:  # noqa: BLE001 — contained per item
                 detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
-                rows.append((item.index, "error", None, detail))
-                obs.incr("runner.task_errors")
-    return rows, registry.snapshot()
+                transient = policy.retry.is_transient(exc)
+        if transient and (attempt - base_attempt) < policy.retry.max_retries:
+            attempt += 1
+            continue
+        status = "failed" if transient else "error"
+        return (item.index, status, None, detail, attempt, {})
+
+
+def _execute_chunk(
+    items: Sequence[WorkItem],
+    policy: Optional[ExecPolicy] = None,
+    base_attempt: int = 1,
+    on_row: Optional[Callable[[_Row], None]] = None,
+) -> List[_Row]:
+    """Run one chunk; returns finished rows in item order.
+
+    This is the single execution path for the serial loop, the pool
+    workers, and every degradation rung — which is precisely why their
+    counter totals agree.  The chunk materializes each instance group once;
+    all items of the group share its warm
+    :class:`~repro.offline.feascache.FeasibilityCache`.  ``on_row`` (serial
+    path only) streams each row the moment it finishes, which is what makes
+    an interrupted chunk's completed items durable in the journal.
+    """
+    if policy is None:
+        policy = ExecPolicy()
+    rows: List[_Row] = []
+    instances: Dict[str, Any] = {}
+    for item in items:
+        row = _run_item(item, instances, policy, base_attempt)
+        rows.append(row)
+        if on_row is not None:
+            on_row(row)
+    return rows
 
 
 def _default_context(start_method: Optional[str]):
@@ -185,40 +272,85 @@ def _default_context(start_method: Optional[str]):
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def _isolated_retry(
-    chunk: Sequence[WorkItem], mp_context
-) -> Tuple[Dict[int, _Row], List[Dict[str, Any]]]:
-    """Re-run a crashed chunk's items one at a time, each in a fresh pool.
+def _crash_row(item: WorkItem, attempts: int) -> _Row:
+    return (
+        item.index,
+        "crashed",
+        None,
+        f"WorkerCrash: worker process died while running item "
+        f"{item.index} ({item.task})",
+        attempts,
+        {},
+    )
 
-    Isolation pins the blame: an item that breaks its private single-worker
-    pool is the crasher and gets a ``"crashed"`` record; its innocent
-    chunk-mates recover their results.  Snapshots come back in item order,
-    so the surviving items' merged counters stay deterministic.
+
+def _isolated_retry(
+    chunk: Sequence[WorkItem],
+    mp_context,
+    policy: ExecPolicy,
+    degradations: List[Tuple[str, str]],
+) -> Dict[int, _Row]:
+    """Degradation rungs below a broken pool; see the module docstring.
+
+    First each *group* of the dead chunk is re-run whole in a fresh
+    single-worker pool (``base_attempt=2``): innocent groups — and groups
+    whose injected crash struck attempt 1 — recover with the exact warm-
+    cache counter pattern of a clean run.  A group whose fresh pool breaks
+    again holds a genuine crasher: its items re-run one per pool
+    (``base_attempt=3``) so exactly the killer is blamed and its mates
+    still recover.  If pools cannot be created at all (fork failure), the
+    remaining work runs in-process — with ``sigkill`` faults demoted, since
+    an in-process SIGKILL would take the parent down.
     """
     rows: Dict[int, _Row] = {}
-    snapshots: List[Dict[str, Any]] = []
-    for item in chunk:
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=1, mp_context=mp_context, initializer=_init_worker
-        )
-        try:
-            chunk_rows, snapshot = pool.submit(_execute_chunk, (item,)).result()
-        except BrokenProcessPool:
-            rows[item.index] = (
-                item.index,
-                "crashed",
-                None,
-                f"WorkerCrash: worker process died while running item "
-                f"{item.index} ({item.task})",
-            )
-            pool.shutdown(wait=False)
-            continue
-        finally:
-            pool.shutdown(wait=False)
-        for row in chunk_rows:
+    serial = False
+
+    def run_serial(items: Sequence[WorkItem], base_attempt: int) -> None:
+        for row in _execute_chunk(items, policy.without_kills(), base_attempt):
             rows[row[0]] = row
-        snapshots.append(snapshot)
-    return rows, snapshots
+
+    def run_pooled(
+        items: Sequence[WorkItem], base_attempt: int
+    ) -> Optional[List[_Row]]:
+        """One fresh single-worker pool; None means the pool broke."""
+        nonlocal serial
+        pool = None
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=1, mp_context=mp_context, initializer=_init_worker
+            )
+            return pool.submit(_execute_chunk, items, policy, base_attempt).result()
+        except BrokenProcessPool:
+            return None
+        except OSError:
+            # Couldn't even stand a pool up (fork/resource exhaustion):
+            # last rung — run the rest of the ladder in-process.
+            degradations.append(("isolated", "serial"))
+            serial = True
+            run_serial(items, base_attempt)
+            return list()  # handled; nothing further to do for these items
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    for group in chunk_items(chunk, 1):  # chunksize=1 splits at group bounds
+        if serial:
+            run_serial(group, 2)
+            continue
+        group_rows = run_pooled(group, base_attempt=2)
+        if group_rows is None:
+            # The group still kills its worker: isolate item by item.
+            for item in group:
+                if serial:
+                    run_serial((item,), 3)
+                    continue
+                item_rows = run_pooled((item,), base_attempt=3)
+                if item_rows is None:
+                    rows[item.index] = _crash_row(item, attempts=3)
+        else:
+            for row in group_rows:
+                rows[row[0]] = row
+    return rows
 
 
 class _ResultStream:
@@ -227,6 +359,7 @@ class _ResultStream:
     ``ordered=True`` buffers completed chunks until every earlier chunk has
     been flushed (plan order); ``ordered=False`` forwards chunks in
     completion order.  Within a chunk, items always stream in plan order.
+    Journal-restored items are emitted by the final flush, in plan order.
     """
 
     def __init__(
@@ -252,7 +385,7 @@ class _ResultStream:
             self._next_chunk += 1
 
     def flush_remaining(self, results: Sequence["ItemResult"]) -> None:
-        """Emit whatever never streamed (retried/cancelled), in plan order."""
+        """Emit whatever never streamed (resumed/retried/cancelled), in plan order."""
         if self._on_result is None:
             return
         self._emit([r for r in results if r.index not in self.emitted])
@@ -271,81 +404,208 @@ def run_sweep(
     start_method: Optional[str] = None,
     on_result: Optional[Callable[[ItemResult], None]] = None,
     ordered: bool = True,
+    item_timeout: Optional[float] = None,
+    retry: Union[RetryPolicy, int, None] = None,
+    faults: Optional[FaultPlan] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Execute ``plan`` on ``n_jobs`` processes; see the module contract.
 
     ``on_result`` streams item results as chunks finish — in plan order
     when ``ordered=True``, in completion order when ``ordered=False``.  The
     returned report is identical (and in plan order) either way.
+
+    ``item_timeout`` is the per-item deadline in seconds; ``retry`` a
+    :class:`~repro.runner.faults.RetryPolicy` (or an int budget of
+    transient retries); ``faults`` an injected chaos plan.  ``journal``
+    names a durable JSONL result journal; with ``resume=True`` an existing
+    journal's settled groups are restored instead of re-run (a journal for
+    a different plan raises
+    :class:`~repro.runner.journal.JournalMismatch`).
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
+    if isinstance(retry, int):
+        retry = RetryPolicy(max_retries=retry)
+    policy = ExecPolicy(
+        deadline=item_timeout, retry=retry or RetryPolicy(), faults=faults
+    )
     t0 = time.perf_counter()
-    chunks = plan.chunks(chunksize)
     items_by_index = {item.index: item for item in plan}
     interrupted = False
     stream = _ResultStream(on_result, ordered)
+    degradations: List[Tuple[str, str]] = []
 
     results_by_index: Dict[int, ItemResult] = {}
-    chunk_snapshots: Dict[int, Dict[str, Any]] = {}
-    extra_snapshots: List[Dict[str, Any]] = []
+    snapshots_by_index: Dict[int, Dict[str, Any]] = {}
 
-    def absorb(rows: List[_Row]) -> List[ItemResult]:
+    # -- journal: restore settled groups, open for append --------------------
+    journal_obj: Optional[Journal] = None
+    resumed_records: Dict[int, JournalRecord] = {}
+    journal_dropped = 0
+    if journal is not None:
+        fingerprint = plan.fingerprint()
+        header = None
+        if resume and os.path.exists(journal):
+            try:
+                header, records, journal_dropped = read_journal(journal)
+            except JournalError:
+                header, records = None, {}
+            if header is not None:
+                # Journal.append_to below re-validates the fingerprint and
+                # raises JournalMismatch before any restored result is used.
+                settled = {
+                    idx: rec
+                    for idx, rec in records.items()
+                    if rec.settled
+                    and idx in items_by_index
+                    and items_by_index[idx].task == rec.task
+                }
+                members: Dict[str, List[int]] = {}
+                for item in plan:
+                    members.setdefault(item.group, []).append(item.index)
+                whole = {
+                    group
+                    for group, idxs in members.items()
+                    if all(i in settled for i in idxs)
+                }
+                resumed_records = {
+                    idx: rec
+                    for idx, rec in settled.items()
+                    if items_by_index[idx].group in whole
+                }
+        if header is not None:
+            journal_obj = Journal.append_to(journal, fingerprint)
+        else:
+            journal_obj = Journal.create(journal, fingerprint, len(plan))
+
+    def record_row(row: _Row) -> None:
+        """Make one finished row durable the moment the parent learns it."""
+        if journal_obj is None:
+            return
+        index = row[0]
+        corrupt = faults is not None and faults.should("corrupt", index, 1)
+        journal_obj.append_item(
+            index=index,
+            task=items_by_index[index].task,
+            status=row[1],
+            value=row[2],
+            error=row[3],
+            attempts=row[4],
+            snapshot=row[5],
+            corrupt=corrupt,
+        )
+
+    def absorb(rows: Sequence[_Row]) -> List[ItemResult]:
         out = []
-        for index, status, value, error in rows:
+        for index, status, value, error, attempts, snapshot in rows:
             item = items_by_index[index]
-            result = ItemResult(index, item.task, item.group, status, value, error)
+            result = ItemResult(
+                index, item.task, item.group, status, value, error, attempts
+            )
             results_by_index[index] = result
+            snapshots_by_index[index] = snapshot
             out.append(result)
         return out
 
-    if n_jobs == 1:
-        for ci, chunk in enumerate(chunks):
-            try:
-                rows, snapshot = _execute_chunk(chunk)
-            except KeyboardInterrupt:
-                interrupted = True
-                break
-            chunk_snapshots[ci] = snapshot
-            stream.chunk_done(ci, absorb(rows))
-    else:
-        mp_context = _default_context(start_method)
-        broken_chunks: List[int] = []
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=n_jobs, mp_context=mp_context, initializer=_init_worker
+    for index, rec in resumed_records.items():
+        item = items_by_index[index]
+        results_by_index[index] = ItemResult(
+            index, item.task, item.group, rec.status,
+            rec.value, rec.error, rec.attempts,
         )
-        try:
-            futures = {
-                pool.submit(_execute_chunk, chunk): ci
-                for ci, chunk in enumerate(chunks)
-            }
+        snapshots_by_index[index] = rec.snapshot
+
+    pending = [item for item in plan if item.index not in resumed_records]
+    chunks = chunk_items(pending, chunksize) if pending else []
+    n_worker_crashes = 0
+
+    # -- execution ------------------------------------------------------------
+    try:
+        if n_jobs == 1:
+            for ci, chunk in enumerate(chunks):
+                streamed: List[_Row] = []
+
+                def on_row(row: _Row, _acc: List[_Row] = streamed) -> None:
+                    _acc.append(row)
+                    record_row(row)
+
+                try:
+                    rows = _execute_chunk(chunk, policy, on_row=on_row)
+                except KeyboardInterrupt:
+                    # Completed items of the cut-short chunk are already
+                    # journaled and kept; the rest become "cancelled".
+                    interrupted = True
+                    absorb(streamed)
+                    break
+                stream.chunk_done(ci, absorb(rows))
+        else:
+            mp_context = _default_context(start_method)
+            broken_chunks: List[int] = []
             try:
-                for future in concurrent.futures.as_completed(futures):
-                    ci = futures[future]
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=n_jobs,
+                    mp_context=mp_context,
+                    initializer=_init_worker,
+                )
+            except OSError:
+                # Can't stand up a pool at all: degrade straight to serial.
+                degradations.append(("pool", "serial"))
+                serial_policy = policy.without_kills()
+                for ci, chunk in enumerate(chunks):
                     try:
-                        rows, snapshot = future.result()
-                    except BrokenProcessPool:
-                        broken_chunks.append(ci)
-                        continue
-                    except concurrent.futures.CancelledError:
-                        continue
-                    chunk_snapshots[ci] = snapshot
+                        rows = _execute_chunk(chunk, serial_policy, on_row=record_row)
+                    except KeyboardInterrupt:
+                        interrupted = True
+                        break
                     stream.chunk_done(ci, absorb(rows))
-            except KeyboardInterrupt:
-                # Report partial results instead of hanging on the join.
-                interrupted = True
-                pool.shutdown(wait=False, cancel_futures=True)
-        finally:
-            if not interrupted:
-                pool.shutdown(wait=True)
-        if broken_chunks and not interrupted:
-            # The pool died under these chunks: re-run their items isolated
-            # so exactly the killer is blamed and the rest are recovered.
-            for ci in sorted(broken_chunks):
-                rows, snapshots = _isolated_retry(chunks[ci], mp_context)
-                absorb(list(rows.values()))
-                extra_snapshots.extend(snapshots)
-                _obs.incr("runner.worker_crashes")
+                pool = None
+            if pool is not None:
+                try:
+                    futures = {
+                        pool.submit(_execute_chunk, chunk, policy): ci
+                        for ci, chunk in enumerate(chunks)
+                    }
+                    try:
+                        for future in concurrent.futures.as_completed(futures):
+                            ci = futures[future]
+                            try:
+                                rows = future.result()
+                            except BrokenProcessPool:
+                                broken_chunks.append(ci)
+                                continue
+                            except concurrent.futures.CancelledError:
+                                continue
+                            for row in rows:
+                                record_row(row)
+                            stream.chunk_done(ci, absorb(rows))
+                    except KeyboardInterrupt:
+                        # Report partial results instead of hanging on the join.
+                        interrupted = True
+                        pool.shutdown(wait=False, cancel_futures=True)
+                finally:
+                    if not interrupted:
+                        pool.shutdown(wait=True)
+                if broken_chunks and not interrupted:
+                    # The pool died under these chunks: walk the degradation
+                    # ladder so exactly the killers are blamed and every
+                    # innocent item recovers its clean-run outcome.
+                    degradations.append(("pool", "isolated"))
+                    for ci in sorted(broken_chunks):
+                        rows_by_index = _isolated_retry(
+                            chunks[ci], mp_context, policy, degradations
+                        )
+                        ordered_rows = [
+                            rows_by_index[i] for i in sorted(rows_by_index)
+                        ]
+                        for row in ordered_rows:
+                            record_row(row)
+                        absorb(ordered_rows)
+                        n_worker_crashes += 1
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()  # flush + fsync: interrupted runs resume too
 
     # -- deterministic assembly (plan order throughout) -----------------------
     results: List[ItemResult] = []
@@ -359,37 +619,54 @@ def run_sweep(
         results.append(result)
 
     registry = Registry()
-    for ci in sorted(chunk_snapshots):
-        merge_snapshot_into(registry, chunk_snapshots[ci])
-    for snapshot in extra_snapshots:
-        merge_snapshot_into(registry, snapshot)
+    for item in plan:
+        snapshot = snapshots_by_index.get(item.index)
+        if snapshot:
+            merge_snapshot_into(registry, snapshot)
 
     n_errors = sum(1 for r in results if r.status == "error")
+    n_failed = sum(1 for r in results if r.status == "failed")
     n_crashed = sum(1 for r in results if r.status == "crashed")
     n_cancelled = sum(1 for r in results if r.status == "cancelled")
-    registry.on_counter("runner.items", len(plan.items), {})
-    registry.on_counter("runner.chunks", len(chunks), {})
-    if n_errors:
-        registry.on_counter("runner.errors", n_errors, {})
-    if n_crashed:
-        registry.on_counter("runner.crashes", n_crashed, {})
-    if n_cancelled:
-        registry.on_counter("runner.cancelled", n_cancelled, {})
+    n_retries = sum(
+        r.attempts - 1
+        for r in results
+        if r.index not in resumed_records and r.status != "cancelled"
+    )
+    bookkeeping = [
+        ("runner.items", len(plan.items)),
+        ("runner.chunks", len(chunks)),
+        ("runner.errors", n_errors),
+        ("runner.task_errors", n_errors),
+        ("runner.failed", n_failed),
+        ("runner.crashes", n_crashed),
+        ("runner.cancelled", n_cancelled),
+        ("runner.retries", n_retries),
+        ("runner.worker_crashes", n_worker_crashes),
+        ("runner.resumed", len(resumed_records)),
+        ("runner.journal_dropped", journal_dropped),
+    ]
+    for name, count in bookkeeping:
+        if count:
+            registry.on_counter(name, count, {})
+    for source, target in degradations:
+        registry.on_event("runner.degraded", {"from": source, "to": target}, "")
 
     if n_jobs != 1:
         # Ambient sinks saw none of the workers' streams: replay the merged
-        # totals so `repro stats` / `--trace` keep working under parallelism.
+        # totals so `repro stats`/`--trace` see serial-identical totals.
         replay_into_ambient(registry.snapshot())
     else:
-        # Serial: the raw stream already reached ambient sinks; top up only
+        # Serial: the raw stream already reached ambient sinks; replay only
+        # what this run did not execute (journal-restored items) and top up
         # the runner's own bookkeeping so both paths report it identically.
-        _obs.incr("runner.items", len(plan.items))
-        _obs.incr("runner.chunks", len(chunks))
-        for name, count in (
-            ("runner.errors", n_errors),
-            ("runner.crashes", n_crashed),
-            ("runner.cancelled", n_cancelled),
-        ):
+        if resumed_records and _obs.enabled():
+            restored = Registry()
+            for index in sorted(resumed_records):
+                if snapshots_by_index.get(index):
+                    merge_snapshot_into(restored, snapshots_by_index[index])
+            replay_into_ambient(restored.snapshot())
+        for name, count in bookkeeping:
             if count:
                 _obs.incr(name, count)
 
@@ -403,4 +680,5 @@ def run_sweep(
         chunksize=chunksize,
         wall_seconds=time.perf_counter() - t0,
         interrupted=interrupted,
+        resumed=len(resumed_records),
     )

@@ -7,8 +7,14 @@ Each task takes the materialized instance plus the item's keyword params and
 returns plain picklable data (numbers, strings, dataclasses of those).
 
 Tasks run inside a worker's :func:`repro.obs.capture` scope, so anything
-they count through the obs layer lands in the chunk snapshot and is merged
+they count through the obs layer lands in the item snapshot and is merged
 back into the parent's registry.
+
+Tasks must be **idempotent and deterministic**: the crash-only runner may
+execute the same item more than once — transient retries, a re-run after a
+worker crash, a journal resume re-running an unsettled group — and keeps
+exactly one outcome.  A task that mutated external state per call would
+make retried runs diverge from clean ones.
 """
 
 from __future__ import annotations
@@ -94,14 +100,28 @@ def task_min_machines(instance: Instance, *, policy: str, speed: str = "1") -> i
 
 
 def task_differential_optimum(
-    instance: Instance, *, speed: str = "1", use_lp: bool = True, backends=None
+    instance: Instance,
+    *,
+    speed: str = "1",
+    use_lp: bool = True,
+    backends=None,
+    lp_deadline: float = None,
 ):
-    """Differential cross-check at the certified optimum (records tuple)."""
+    """Differential cross-check at the certified optimum (records tuple).
+
+    ``lp_deadline`` bounds the advisory LP leg per probe; a pathological LP
+    shows up as a ``("timeout", …)`` leg in the record's timings instead of
+    eating the whole item deadline.
+    """
     from ..offline.flow import BACKENDS
     from ..verify.differential import differential_optimum
 
     report = differential_optimum(
-        instance, Fraction(speed), backends=backends or BACKENDS, use_lp=use_lp
+        instance,
+        Fraction(speed),
+        backends=backends or BACKENDS,
+        use_lp=use_lp,
+        lp_deadline=lp_deadline,
     )
     return report.records
 

@@ -95,15 +95,37 @@ class DifferentialReport:
         return f"differential: {len(self.records)} probes {status}{lp}{timing}"
 
 
-def _lp_verdict(instance: Instance, m: int, speed: Fraction) -> Optional[bool]:
+def _lp_verdict(
+    instance: Instance,
+    m: int,
+    speed: Fraction,
+    deadline: Optional[float] = None,
+) -> Tuple[Optional[bool], bool]:
+    """The advisory LP's ``(verdict, timed_out)`` for one probe.
+
+    ``deadline`` bounds the solve with :func:`repro.runner.faults.time_limit`
+    (nested safely inside any enclosing per-item deadline); a timeout yields
+    ``(None, True)``.  Solver hiccups and a missing scipy yield
+    ``(None, False)`` — the advisory leg never fails the run.
+    """
     try:
         from ..offline.lp import lp_feasible
     except ImportError:  # scipy unavailable: LP leg is advisory anyway
-        return None
+        return None, False
+    if deadline is not None:
+        from ..runner.faults import ItemTimeout, time_limit
+
+        try:
+            with time_limit(deadline, label=f"lp probe m={m}"):
+                return lp_feasible(instance, m, speed), False
+        except ItemTimeout:
+            return None, True
+        except Exception:
+            return None, False
     try:
-        return lp_feasible(instance, m, speed)
+        return lp_feasible(instance, m, speed), False
     except Exception:  # solver hiccup — advisory leg never fails the run
-        return None
+        return None, False
 
 
 def differential_check(
@@ -112,8 +134,16 @@ def differential_check(
     speed: Numeric = 1,
     backends: Sequence[str] = BACKENDS,
     use_lp: bool = True,
+    lp_deadline: Optional[float] = None,
 ) -> DifferentialRecord:
-    """Cross-check one probe: verdicts, certificates, and the LP advisory."""
+    """Cross-check one probe: verdicts, certificates, and the LP advisory.
+
+    ``lp_deadline`` (seconds) bounds the float LP leg: a pathological LP
+    records a ``("timeout", elapsed)`` leg in ``timings`` (plus a
+    ``differential.lp_timeouts`` counter) instead of stalling the probe —
+    the exact backends are never deadline-bounded here, their budget is the
+    sweep's per-item deadline.
+    """
     speed = to_fraction(speed)
     failures: List[str] = []
     verdicts: Dict[str, bool] = {}
@@ -143,8 +173,13 @@ def differential_check(
     if use_lp:
         t0 = time.perf_counter()
         with _obs.span("differential.backend", backend="lp", m=m):
-            lp = _lp_verdict(instance, m, speed)
-        timings.append(("lp", time.perf_counter() - t0))
+            lp, lp_timed_out = _lp_verdict(instance, m, speed, lp_deadline)
+        elapsed = time.perf_counter() - t0
+        if lp_timed_out:
+            timings.append(("timeout", elapsed))
+            _obs.incr("differential.lp_timeouts")
+        else:
+            timings.append(("lp", elapsed))
     lp_disagrees = lp is not None and bool(verdicts) and lp != next(iter(verdicts.values()))
     if lp_disagrees:
         _obs.incr("differential.lp_disagreements")
@@ -164,6 +199,7 @@ def differential_optimum(
     speed: Numeric = 1,
     backends: Sequence[str] = BACKENDS,
     use_lp: bool = True,
+    lp_deadline: Optional[float] = None,
 ) -> DifferentialReport:
     """Cross-check the certified optimum: probes at OPT and OPT − 1.
 
@@ -200,9 +236,13 @@ def differential_optimum(
             )
         )
     m = max(optima.values())
-    records.append(differential_check(instance, m, speed, backends, use_lp))
+    records.append(
+        differential_check(instance, m, speed, backends, use_lp, lp_deadline)
+    )
     if m > 0:
-        records.append(differential_check(instance, m - 1, speed, backends, use_lp))
+        records.append(
+            differential_check(instance, m - 1, speed, backends, use_lp, lp_deadline)
+        )
     return DifferentialReport(tuple(records))
 
 
@@ -211,6 +251,7 @@ def differential_sweep(
     speeds: Sequence[Numeric] = (1,),
     backends: Sequence[str] = BACKENDS,
     use_lp: bool = True,
+    lp_deadline: Optional[float] = None,
     n_jobs: int = 1,
     chunksize: int = 1,
 ) -> DifferentialReport:
@@ -231,13 +272,18 @@ def differential_sweep(
                     "speed": str(to_fraction(speed)),
                     "use_lp": use_lp,
                     "backends": tuple(backends),
+                    **(
+                        {"lp_deadline": lp_deadline}
+                        if lp_deadline is not None
+                        else {}
+                    ),
                 },
             )
             for instance in instances
             for speed in speeds
         )
         sweep = run_sweep(plan, n_jobs=n_jobs, chunksize=chunksize)
-        failed = sweep.errors + sweep.crashes + sweep.cancelled
+        failed = sweep.errors + sweep.failed + sweep.crashes + sweep.cancelled
         if failed:
             raise RuntimeError(
                 f"differential sweep failed on item {failed[0].index}: "
@@ -249,6 +295,8 @@ def differential_sweep(
     records: List[DifferentialRecord] = []
     for instance in instances:
         for speed in speeds:
-            report = differential_optimum(instance, speed, backends, use_lp)
+            report = differential_optimum(
+                instance, speed, backends, use_lp, lp_deadline
+            )
             records.extend(report.records)
     return DifferentialReport(tuple(records))

@@ -1,0 +1,595 @@
+"""Chaos tests for the crash-only sweep runner (ISSUE 5).
+
+The headline contract: **for every fault plan, the sweep terminates and the
+resumed/retried merged report + counter snapshot are byte-identical to the
+fault-free serial run** (modulo the runner's own ``runner.*`` bookkeeping,
+which `canonical_report_view` strips — chunk counts legitimately differ
+between a clean run and a resumed one).
+
+Covers:
+
+* FaultPlan parsing/sampling determinism, `time_limit` (incl. nesting),
+  RetryPolicy semantics,
+* the journal: checksummed round-trip, prefix validation of torn tails,
+  fingerprint mismatch refusal, last-record-wins,
+* chaos determinism for every fault kind (sigkill / hang / transient /
+  corrupt), including a hypothesis sweep over *every* journal prefix,
+* retry accounting (attempts in the report, `runner.retries` mirrored to
+  ambient obs) and quarantine (`"failed"` records, retried on resume),
+* the KeyboardInterrupt journal-flush regression (a Ctrl-C'd sweep is
+  resumable, including completed items of a cut-short chunk),
+* the degradation ladder (pool-creation failure → serial, logged as a
+  ``runner.degraded`` event),
+* the advisory-LP deadline (`("timeout", …)` leg in differential timings),
+* the `repro sweep --journal/--resume/--retries/--item-timeout/--chaos` CLI.
+"""
+
+import json
+import multiprocessing
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.cli import main
+from repro.model import Instance, Job
+from repro.runner import (
+    Fault,
+    FaultPlan,
+    ItemTimeout,
+    Journal,
+    JournalMismatch,
+    RetryPolicy,
+    SweepPlan,
+    TransientError,
+    canonical_report_view,
+    read_journal,
+    register_task,
+    resume,
+    run_sweep,
+    time_limit,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+HAS_ALARM = hasattr(signal, "SIGALRM")
+
+fork_only = pytest.mark.skipif(
+    not HAS_FORK, reason="runtime-registered tasks need fork inheritance"
+)
+alarm_only = pytest.mark.skipif(
+    not HAS_ALARM, reason="deadlines need SIGALRM (POSIX)"
+)
+
+
+def _counting_task(instance, *, tag: str = ""):
+    obs.incr("test.work", len(instance))
+    obs.event("test.visited")
+    return len(instance)
+
+
+#: Which item index the "interrupter" task Ctrl-C's on (None = disarmed).
+#: A module global, not a task param: the Ctrl-C must not change the plan
+#: fingerprint between the interrupted run and its resume.
+_INTERRUPT_AT = {"index": None}
+
+
+def _interrupt_task(instance, *, index: int = 0):
+    if index == _INTERRUPT_AT["index"]:
+        raise KeyboardInterrupt
+    return len(instance)
+
+
+register_task("counting", _counting_task)
+register_task("interrupter", _interrupt_task)
+
+
+def _grouped_plan(n_items: int = 8) -> SweepPlan:
+    """n_items cheap items in groups of two (same inline instance)."""
+    instances = [
+        Instance([Job(0, 1, 2, id=j) for j in range(i // 2 + 1)])
+        for i in range(n_items)
+    ]
+    return SweepPlan.build(
+        ("counting", instances[i - i % 2], {"tag": str(i % 2)})
+        for i in range(n_items)
+    )
+
+
+def _canon(report):
+    return canonical_report_view(report.snapshot())
+
+
+# ---------------------------------------------------------------------------
+# faults: plans, deadlines, retry policy
+
+
+class TestFaultPlan:
+    def test_parse_roundtrip(self):
+        plan = FaultPlan.parse("sigkill:2,transient:4,hang:0@2")
+        assert plan.should("sigkill", 2)
+        assert plan.should("transient", 4, attempt=1)
+        assert plan.should("hang", 0, attempt=2)
+        assert not plan.should("hang", 0, attempt=1)
+        assert not plan.should("sigkill", 3)
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("sigkill", "sigkill:x", "explode:1", "hang:1@0"):
+            with pytest.raises(ValueError):
+                FaultPlan.parse(bad)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meteor", 0)
+
+    def test_sample_deterministic(self):
+        a = FaultPlan.sample(100, seed=7, rate=0.2)
+        b = FaultPlan.sample(100, seed=7, rate=0.2)
+        assert a == b and len(a.faults) > 0
+        assert FaultPlan.sample(100, seed=8, rate=0.2) != a
+
+    def test_without_kills_demotes(self):
+        plan = FaultPlan.parse("sigkill:1,hang:2")
+        demoted = plan.without_kills()
+        assert demoted.should("transient", 1)
+        assert not demoted.should("sigkill", 1)
+        assert demoted.should("hang", 2)
+
+    def test_transient_fault_raises(self):
+        with pytest.raises(TransientError, match="item 3"):
+            FaultPlan.parse("transient:3").fire(3, 1)
+
+
+@alarm_only
+class TestTimeLimit:
+    def test_cuts_off_a_sleep(self):
+        t0 = time.monotonic()
+        with pytest.raises(ItemTimeout, match="deadline"):
+            with time_limit(0.1, label="sleepy"):
+                time.sleep(5)
+        assert time.monotonic() - t0 < 2
+
+    def test_no_limit_is_free(self):
+        with time_limit(None):
+            pass
+
+    def test_nested_outer_deadline_survives_inner_block(self):
+        # The inner (longer) limit must not disarm the outer one.
+        with pytest.raises(ItemTimeout):
+            with time_limit(0.2, label="outer"):
+                with time_limit(10.0, label="inner"):
+                    time.sleep(5)
+
+    def test_nested_inner_fires_first(self):
+        t0 = time.monotonic()
+        with pytest.raises(ItemTimeout):
+            with time_limit(10.0, label="outer"):
+                with time_limit(0.1, label="inner"):
+                    time.sleep(5)
+        assert time.monotonic() - t0 < 2
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_transient_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_transient(TransientError("x"))
+        assert policy.is_transient(ItemTimeout("x"))
+        assert policy.is_transient(OSError("x"))
+        assert not policy.is_transient(ValueError("x"))
+        assert RetryPolicy(retry_errors=True).is_transient(ValueError("x"))
+
+
+# ---------------------------------------------------------------------------
+# journal
+
+
+class TestJournal:
+    def test_roundtrip_preserves_exact_values(self, tmp_path):
+        from fractions import Fraction
+
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal.create(path, "fp", 2)
+        journal.append_item(0, "t", "ok", Fraction(22, 7), None, 1, {"counters": {}})
+        journal.append_item(1, "t", "error", None, "nope", 1, {})
+        journal.close()
+        header, records, dropped = read_journal(path)
+        assert header["plan"] == "fp" and header["n_items"] == 2
+        assert dropped == 0
+        assert records[0].value == Fraction(22, 7)  # exact, not a float/str
+        assert records[0].settled and records[1].settled
+        assert records[1].error == "nope"
+
+    def test_torn_tail_keeps_valid_prefix(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal.create(path, "fp", 3)
+        for i in range(3):
+            journal.append_item(i, "t", "ok", i, None, 1, {})
+        journal.close()
+        lines = open(path).readlines()
+        # tear the middle record: it and everything after must be dropped
+        lines[2] = lines[2][:20] + "\n"
+        open(path, "w").writelines(lines)
+        header, records, dropped = read_journal(path)
+        assert header is not None
+        assert sorted(records) == [0]
+        assert dropped == 2
+
+    def test_corrupt_flag_simulates_torn_write(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal.create(path, "fp", 2)
+        journal.append_item(0, "t", "ok", 1, None, 1, {}, corrupt=True)
+        journal.append_item(1, "t", "ok", 2, None, 1, {})
+        journal.close()
+        _, records, dropped = read_journal(path)
+        assert records == {} and dropped == 2  # prefix semantics
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        Journal.create(path, "plan-a", 1).close()
+        with pytest.raises(JournalMismatch):
+            Journal.append_to(path, "plan-b")
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = Journal.create(path, "fp", 1)
+        journal.append_item(0, "t", "failed", None, "flaky", 1, {})
+        journal.append_item(0, "t", "ok", 42, None, 2, {})
+        journal.close()
+        _, records, _ = read_journal(path)
+        assert records[0].status == "ok" and records[0].value == 42
+
+    def test_resume_refuses_foreign_plan(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        plan_a = _grouped_plan(4)
+        run_sweep(plan_a, journal=path)
+        plan_b = SweepPlan.competitive(["edf"], ["uniform"], n=5, seeds=1)
+        with pytest.raises(JournalMismatch):
+            resume(plan_b, path)
+
+
+# ---------------------------------------------------------------------------
+# chaos determinism: every fault kind converges to the clean report
+
+
+@fork_only
+class TestChaosDeterminism:
+    def _clean(self, plan):
+        return _canon(run_sweep(plan, n_jobs=1))
+
+    def test_transient_fault_retried_to_clean_report(self):
+        plan = _grouped_plan()
+        clean = self._clean(plan)
+        report = run_sweep(plan, n_jobs=2, chunksize=2,
+                           faults=FaultPlan.parse("transient:3"))
+        assert _canon(report) == clean
+        assert report.results[3].attempts == 2
+
+    def test_sigkill_fault_recovers_in_run(self, tmp_path):
+        plan = _grouped_plan()
+        clean = self._clean(plan)
+        path = str(tmp_path / "j.jsonl")
+        report = run_sweep(plan, n_jobs=2, chunksize=2, journal=path,
+                           faults=FaultPlan.parse("sigkill:2"))
+        # the killed worker's chunk recovered through the isolated re-run
+        assert report.ok
+        assert _canon(report) == clean
+        counters = report.registry.snapshot()["counters"]
+        assert counters["runner.worker_crashes"] >= 1
+
+    @alarm_only
+    def test_hang_fault_cut_by_deadline_then_clean(self):
+        plan = _grouped_plan()
+        clean = self._clean(plan)
+        report = run_sweep(plan, n_jobs=1, item_timeout=0.3,
+                           faults=FaultPlan.parse("hang:1"))
+        assert report.ok and _canon(report) == clean
+        assert report.results[1].attempts == 2
+
+    def test_corrupt_journal_record_rerun_on_resume(self, tmp_path):
+        plan = _grouped_plan()
+        clean = self._clean(plan)
+        path = str(tmp_path / "j.jsonl")
+        run_sweep(plan, n_jobs=1, journal=path,
+                  faults=FaultPlan.parse("corrupt:4"))
+        _, records, dropped = read_journal(path)
+        assert dropped >= 1  # the torn record and everything after
+        resumed = resume(plan, path, n_jobs=1)
+        assert _canon(resumed) == clean
+
+    def test_quarantine_then_resume_converges(self, tmp_path):
+        """Exhausted retries -> 'failed' record; resume retries and heals."""
+        plan = _grouped_plan()
+        clean = self._clean(plan)
+        path = str(tmp_path / "j.jsonl")
+        report = run_sweep(plan, n_jobs=1, journal=path, retry=0,
+                           faults=FaultPlan.parse("transient:5"))
+        assert report.results[5].status == "failed"
+        assert "injected transient" in report.results[5].error
+        assert report.registry.snapshot()["counters"]["runner.failed"] == 1
+        healed = resume(plan, path, n_jobs=1)
+        assert healed.ok and _canon(healed) == clean
+        # every settled group restored; item 4, though journaled ok, rides
+        # along with its quarantined group-mate 5 (cold-cache determinism)
+        assert healed.resumed == 6
+
+    def test_real_tasks_chaos_matches_clean(self, tmp_path):
+        """The acceptance scenario on real solver tasks, not toy counters."""
+        plan = SweepPlan.competitive(
+            ["edf", "firstfit"], ["uniform"], n=10, seeds=2
+        )
+        clean = _canon(run_sweep(plan, n_jobs=1))
+        path = str(tmp_path / "j.jsonl")
+        chaotic = run_sweep(
+            plan, n_jobs=2, chunksize=2, journal=path,
+            faults=FaultPlan.parse("sigkill:1,transient:2"),
+        )
+        assert chaotic.ok and _canon(chaotic) == clean
+        resumed = resume(plan, path, n_jobs=2, chunksize=2)
+        assert _canon(resumed) == clean
+        assert resumed.resumed == len(plan)
+
+
+# ---------------------------------------------------------------------------
+# resume-after-any-prefix (the hypothesis property of ISSUE 5)
+
+
+_PREFIX_CACHE = {}
+
+
+def _prefix_fixture():
+    """(plan, clean canonical view, full clean journal lines) — computed once."""
+    if not _PREFIX_CACHE:
+        import os
+        import tempfile
+
+        plan = _grouped_plan(8)
+        clean = _canon(run_sweep(plan, n_jobs=1))
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        try:
+            run_sweep(plan, n_jobs=1, journal=path)
+            with open(path) as fh:
+                lines = fh.readlines()
+        finally:
+            os.unlink(path)
+        _PREFIX_CACHE["value"] = (plan, clean, lines)
+    return _PREFIX_CACHE["value"]
+
+
+class TestResumeAfterAnyPrefix:
+    @settings(max_examples=25, deadline=None)
+    @given(k=st.integers(0, 9), tear=st.booleans(), n_jobs=st.sampled_from([1, 2]))
+    def test_any_prefix_resumes_to_clean_report(self, k, tear, n_jobs, tmp_path_factory):
+        if n_jobs != 1 and not HAS_FORK:
+            n_jobs = 1
+        plan, clean, lines = _prefix_fixture()
+        k = min(k, len(lines))
+        path = str(tmp_path_factory.mktemp("prefix") / "j.jsonl")
+        with open(path, "w") as fh:
+            fh.writelines(lines[:k])
+            if tear and k < len(lines):
+                # a torn half-record at the point the "crash" hit
+                fh.write(lines[k][: max(1, len(lines[k]) // 2)])
+        resumed = run_sweep(plan, n_jobs=n_jobs, chunksize=2,
+                            journal=path, resume=True)
+        assert _canon(resumed) == clean
+        # and the journal is now complete: a second resume restores everything
+        again = resume(plan, path, n_jobs=1)
+        assert again.resumed == len(plan) and _canon(again) == clean
+
+
+# ---------------------------------------------------------------------------
+# retry accounting and ambient mirroring
+
+
+class TestRetryAccounting:
+    def test_attempts_and_retries_counted(self):
+        plan = _grouped_plan(4)
+        with obs.capture() as ambient:
+            report = run_sweep(
+                plan, n_jobs=1, faults=FaultPlan.parse("transient:0,transient:2")
+            )
+        assert [r.attempts for r in report.results] == [2, 1, 2, 1]
+        counters = report.registry.snapshot()["counters"]
+        assert counters["runner.retries"] == 2
+        # mirrored into the ambient capture exactly (serial top-up path)
+        assert ambient.snapshot()["counters"]["runner.retries"] == 2
+        snap = report.snapshot()
+        assert [r["attempts"] for r in snap["results"]] == [2, 1, 2, 1]
+
+    def test_deterministic_errors_never_retried(self):
+        inst = Instance([Job(0, 1, 2, id=0)])
+        plan = SweepPlan.build(
+            ("fragile", inst, {"explode": i == 1}) for i in range(3)
+        )
+        report = run_sweep(plan, n_jobs=1, retry=5)
+        assert report.results[1].status == "error"
+        assert report.results[1].attempts == 1  # ValueError is not transient
+
+    def test_exhausted_budget_quarantines(self):
+        plan = _grouped_plan(2)
+        faults = FaultPlan(
+            tuple(Fault("transient", 0, attempt) for attempt in (1, 2, 3))
+        )
+        report = run_sweep(plan, n_jobs=1, retry=2, faults=faults)
+        assert report.results[0].status == "failed"
+        assert report.results[0].attempts == 3
+        assert report.results[1].ok  # quarantine never poisons the sweep
+        assert not report.ok
+        assert "1 failed" in report.summary()
+
+
+# ---------------------------------------------------------------------------
+# KeyboardInterrupt: the journal-flush regression (satellite fix)
+
+
+class TestInterruptDurability:
+    def test_interrupted_sweep_flushes_journal_and_resumes(self, tmp_path):
+        instances = [Instance([Job(0, 1, 2, id=i)]) for i in range(6)]
+        plan = SweepPlan.build(
+            ("interrupter", instances[i], {"index": i}) for i in range(6)
+        )
+        path = str(tmp_path / "j.jsonl")
+        _INTERRUPT_AT["index"] = 4
+        try:
+            report = run_sweep(plan, n_jobs=1, chunksize=3, journal=path)
+        finally:
+            _INTERRUPT_AT["index"] = None
+        assert report.interrupted
+        statuses = [r.status for r in report.results]
+        # item 3 finished inside the cut-short chunk and must be durable
+        assert statuses == ["ok", "ok", "ok", "ok", "cancelled", "cancelled"]
+        _, records, dropped = read_journal(path)
+        assert dropped == 0 and sorted(records) == [0, 1, 2, 3]
+        # the user re-runs the same sweep after the Ctrl-C
+        clean = _canon(run_sweep(plan, n_jobs=1))
+        resumed = resume(plan, path, n_jobs=1)
+        assert resumed.resumed == 4
+        assert _canon(resumed) == clean
+
+    def test_interrupted_partial_report_is_complete(self):
+        instances = [Instance([Job(0, 1, 2, id=i)]) for i in range(4)]
+        plan = SweepPlan.build(
+            ("interrupter", instances[i], {"index": i}) for i in range(4)
+        )
+        _INTERRUPT_AT["index"] = 1
+        try:
+            report = run_sweep(plan, n_jobs=1)  # no journal: still terminates
+        finally:
+            _INTERRUPT_AT["index"] = None
+        assert report.interrupted and len(report.results) == len(plan)
+        assert report.registry.snapshot()["counters"]["runner.cancelled"] == 3
+
+
+# ---------------------------------------------------------------------------
+# degradation ladder
+
+
+class TestDegradation:
+    def test_pool_creation_failure_degrades_to_serial(self, monkeypatch):
+        import concurrent.futures
+
+        def no_pool(*args, **kwargs):
+            raise OSError("fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", no_pool
+        )
+        plan = _grouped_plan(6)
+        clean = _canon(run_sweep(plan, n_jobs=1))
+        report = run_sweep(plan, n_jobs=4, chunksize=2)
+        assert report.ok
+        assert _canon(report) == clean
+        assert report.registry.snapshot()["events"]["runner.degraded"] == 1
+
+    def test_degraded_serial_demotes_sigkill(self, monkeypatch):
+        """An injected SIGKILL must not take the parent down in-process."""
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures,
+            "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no pool")),
+        )
+        plan = _grouped_plan(4)
+        report = run_sweep(
+            plan, n_jobs=2, faults=FaultPlan.parse("sigkill:1")
+        )
+        # demoted to transient -> retried -> recovered; parent survived
+        assert report.ok
+        assert report.results[1].attempts == 2
+
+
+# ---------------------------------------------------------------------------
+# advisory LP deadline (satellite)
+
+
+@alarm_only
+class TestLpDeadline:
+    def test_pathological_lp_records_timeout_leg(self, monkeypatch):
+        from repro.offline import lp as lp_module
+        from repro.verify.differential import differential_check
+
+        def stuck_lp(instance, m, speed=1):
+            time.sleep(30)
+
+        monkeypatch.setattr(lp_module, "lp_feasible", stuck_lp)
+        inst = Instance([Job(0, 1, 2, id=0), Job(0, 1, 2, id=1)])
+        with obs.capture() as reg:
+            record = differential_check(inst, 2, use_lp=True, lp_deadline=0.2)
+        legs = dict(record.timings)
+        assert "timeout" in legs and legs["timeout"] < 5
+        assert record.lp_verdict is None
+        assert record.ok  # advisory leg never fails the probe
+        assert reg.snapshot()["counters"]["differential.lp_timeouts"] == 1
+
+    def test_fast_lp_unaffected_by_deadline(self):
+        from repro.verify.differential import differential_check
+
+        inst = Instance([Job(0, 1, 2, id=0)])
+        record = differential_check(inst, 1, use_lp=True, lp_deadline=30.0)
+        legs = dict(record.timings)
+        assert "timeout" not in legs
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestChaosCLI:
+    def test_chaos_transient_retried(self, capsys):
+        assert main([
+            "sweep", "ratio", "--policies", "edf", "--families", "uniform",
+            "-n", "5", "--seeds", "2", "--chaos", "transient:1",
+            "--retries", "2",
+        ]) == 0
+        assert "2/2 items ok" in capsys.readouterr().out
+
+    def test_journal_then_resume_heals_quarantine(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        clean_snap = str(tmp_path / "clean.json")
+        chaos_snap = str(tmp_path / "chaos.json")
+        resumed_snap = str(tmp_path / "resumed.json")
+        base = [
+            "sweep", "ratio", "--policies", "edf,firstfit",
+            "--families", "uniform", "-n", "5", "--seeds", "2",
+        ]
+        assert main(base + ["--snapshot", clean_snap]) == 0
+        # fault with no retry budget -> quarantined item -> exit 1
+        assert main(base + [
+            "--journal", journal, "--chaos", "transient:1", "--retries", "0",
+            "--snapshot", chaos_snap,
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out and "--resume" in out
+        # resume heals it and the canonical views agree byte-for-byte
+        assert main(base + [
+            "--journal", journal, "--resume", "--snapshot", resumed_snap,
+        ]) == 0
+        clean = canonical_report_view(json.loads(open(clean_snap).read()))
+        resumed = canonical_report_view(json.loads(open(resumed_snap).read()))
+        assert clean == resumed
+        chaos = canonical_report_view(json.loads(open(chaos_snap).read()))
+        assert chaos != resumed  # the quarantined item really was different
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--resume requires --journal"):
+            main(["sweep", "ratio", "--resume"])
+
+    def test_bad_chaos_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad fault spec"):
+            main(["sweep", "ratio", "--chaos", "meteor"])
+
+    @alarm_only
+    def test_item_timeout_flag_accepted(self, capsys):
+        assert main([
+            "sweep", "ratio", "--policies", "edf", "--families", "uniform",
+            "-n", "5", "--seeds", "1", "--item-timeout", "60",
+        ]) == 0
+        assert "1/1 items ok" in capsys.readouterr().out

@@ -208,5 +208,8 @@ class TestErrorPaths:
     def test_corrupt_json(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")
-        with pytest.raises(Exception):
+        # a user input problem exits cleanly, naming the file — no traceback
+        with pytest.raises(SystemExit) as exc_info:
             main(["classify", str(path)])
+        assert str(path) in str(exc_info.value)
+        assert "invalid JSON" in str(exc_info.value)

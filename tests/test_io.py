@@ -90,3 +90,98 @@ class TestFileIO:
         inst = Instance([Job(0, 1, 2, id=0)])
         text = dumps(inst)
         assert '"release": 0' in text  # ints stay ints, not "0/1"
+
+
+class TestMalformedInput:
+    """Every structural defect raises InstanceFormatError with location context."""
+
+    def _err(self, fn, *args, **kwargs):
+        from repro.model.io import InstanceFormatError
+
+        with pytest.raises(InstanceFormatError) as excinfo:
+            fn(*args, **kwargs)
+        return str(excinfo.value)
+
+    def test_invalid_json(self):
+        msg = self._err(loads, "{not json", source="bad.json")
+        assert "bad.json" in msg and "invalid JSON" in msg
+
+    def test_non_object_payload(self):
+        msg = self._err(loads, "[1, 2, 3]")
+        assert "expected a JSON object" in msg
+
+    def test_missing_job_field_names_index_and_field(self):
+        payload = {
+            "kind": "instance",
+            "jobs": [
+                {"id": 0, "release": 0, "processing": 1, "deadline": 2},
+                {"id": 1, "release": 0, "processing": 1},  # no deadline
+            ],
+        }
+        msg = self._err(instance_from_dict, payload, "corpus/x.json")
+        assert "corpus/x.json" in msg
+        assert "jobs[1]" in msg and "'deadline'" in msg
+
+    def test_unparsable_rational_named(self):
+        payload = {
+            "kind": "instance",
+            "jobs": [{"id": 0, "release": "one half", "processing": 1, "deadline": 2}],
+        }
+        msg = self._err(instance_from_dict, payload)
+        assert "jobs[0]" in msg and "'release'" in msg
+
+    def test_jobs_not_a_list(self):
+        msg = self._err(instance_from_dict, {"kind": "instance", "jobs": "nope"})
+        assert "'jobs'" in msg and "list" in msg
+
+    def test_missing_jobs(self):
+        msg = self._err(instance_from_dict, {"kind": "instance"})
+        assert "missing field 'jobs'" in msg
+
+    def test_job_entry_not_an_object(self):
+        payload = {"kind": "instance", "jobs": [17]}
+        msg = self._err(instance_from_dict, payload)
+        assert "jobs[0]" in msg and "expected an object" in msg
+
+    def test_semantic_job_violation_located(self):
+        # deadline before release+processing: Job's own validation, relocated
+        payload = {
+            "kind": "instance",
+            "jobs": [{"id": 0, "release": 0, "processing": 5, "deadline": 1}],
+        }
+        msg = self._err(instance_from_dict, payload)
+        assert "jobs[0]" in msg
+
+    def test_schedule_missing_segment_field(self):
+        payload = {
+            "kind": "schedule",
+            "segments": [{"job": 0, "machine": 0, "start": 0}],  # no end
+        }
+        msg = self._err(schedule_from_dict, payload, "sched.json")
+        assert "sched.json" in msg and "segments[0]" in msg and "'end'" in msg
+
+    def test_load_names_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"kind": "instance", "jobs": [{"id": 0}]}')
+        msg = self._err(load, str(path))
+        assert "broken.json" in msg and "jobs[0]" in msg
+
+    def test_format_error_is_a_value_error(self):
+        from repro.model.io import InstanceFormatError
+
+        assert issubclass(InstanceFormatError, ValueError)
+
+    def test_no_bare_keyerror_ever(self):
+        """The class of bug this guards against: bare KeyError escaping."""
+        payloads = [
+            {"kind": "instance", "jobs": [{}]},
+            {"kind": "schedule", "segments": [{}]},
+            {"kind": "instance", "jobs": [None]},
+            {"kind": "instance", "jobs": {}},
+        ]
+        from repro.model.io import InstanceFormatError
+
+        for payload in payloads:
+            fn = instance_from_dict if payload["kind"] == "instance" else schedule_from_dict
+            with pytest.raises(InstanceFormatError):
+                fn(payload)
