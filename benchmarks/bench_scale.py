@@ -94,6 +94,25 @@ def test_flow_optimum_speedup_n1000(benchmark):
     assert speedup >= 5
 
 
+@pytest.mark.parametrize("backend", ["dinic", "dinic_np"])
+def test_flow_optimum_kernels_n1000(benchmark, backend):
+    """Both Dinic level-graph kernels on the flat-buffer solver, cold cache.
+
+    The numpy BFS (``dinic_np``) produces bit-identical flows (differential-
+    tested in ``tests/test_sparsify.py``); this benchmark tracks whether the
+    vectorized level build pays for its buffer-view overhead at n = 1000.
+    """
+    if backend == "dinic_np":
+        pytest.importorskip("numpy")
+    jobs = list(uniform_random_instance(1000, horizon=2000, seed=1000))
+    m = benchmark.pedantic(
+        lambda: migratory_optimum(Instance(jobs), backend=backend),
+        rounds=5,
+        iterations=1,
+    )
+    assert m == 5
+
+
 @pytest.mark.parametrize("n", [2000, 10000])
 def test_vectorized_profile_scaling(benchmark, n):
     inst = uniform_random_instance(n, horizon=n, seed=n)

@@ -180,7 +180,24 @@ def cmd_svg(args) -> int:
 def cmd_profile(args) -> int:
     import json as _json
 
+    from .offline.feascache import cache_for
+
     instance = _load_instance(args.instance)
+    network = None
+    if args.network:
+        sparse = cache_for(instance).tables
+        full = cache_for(instance, sparsify=False).tables
+        n = len(instance)
+        network = {
+            "intervals_elementary": sparse.elementary_count,
+            "intervals_kept": len(sparse.intervals),
+            "intervals_dropped": sparse.dropped,
+            "intervals_merged": sparse.merged,
+            "nodes_before": 2 + n + full.elementary_count,
+            "nodes_after": sparse.n_nodes,
+            "edges_before": full.n_edges,
+            "edges_after": sparse.n_edges,
+        }
     times, density = load_profile(instance, samples=args.samples)
     winner = grid_winner(instance)
     bound = winner["bound"]
@@ -199,11 +216,20 @@ def cmd_profile(args) -> int:
                 "grid_density": winner["grid_density"],
                 **winner["grid"],
             },
+            **({"network": network} if network else {}),
         }
         print(_json.dumps(payload, indent=2))
         return 0
     print(f"n = {len(instance)}, mandatory-load peak = {peak:.2f}, "
           f"certified lower bound on m = {bound}")
+    if network:
+        print("feasibility network (event-interval sparsification):")
+        print(f"  intervals: {network['intervals_elementary']} elementary → "
+              f"{network['intervals_kept']} kept "
+              f"({network['intervals_dropped']} dropped, "
+              f"{network['intervals_merged']} merged)")
+        print(f"  nodes:     {network['nodes_before']} → {network['nodes_after']}")
+        print(f"  edges:     {network['edges_before']} → {network['edges_after']}")
     # ASCII sparkline of the load profile
     blocks = " ▁▂▃▄▅▆▇█"
     if peak > 0:
@@ -554,6 +580,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_svg)
 
     p = add_parser("profile", help="mandatory-load profile of an instance")
+    p.add_argument("--network", action="store_true",
+                   help="also report feasibility-network size before/after "
+                        "event-interval sparsification")
     p.add_argument("instance")
     p.add_argument("--samples", type=int, default=256)
     p.add_argument("--width", type=int, default=80)

@@ -17,15 +17,23 @@ All rational data is scaled by the common denominator so the flow problem is
 explicit migratory :class:`~repro.model.schedule.Schedule` by McNaughton's
 wrap-around rule inside each elementary interval.
 
-Two interchangeable solver backends answer the flow question:
+Three interchangeable solver backends answer the flow question:
 
 * ``"dinic"`` (default) — the flat-array solver in
   :mod:`repro.offline.dinic`, fed by the per-instance memo in
   :mod:`repro.offline.feascache` (event intervals, scales, and verdicts are
   computed once per instance; feasibility probes warm-start each other);
+* ``"dinic_np"`` — the same solver with a numpy-vectorized BFS level build
+  (bit-identical levels, hence bit-identical flows); opt-in and
+  differential-tested against the pure-stdlib kernel;
 * ``"networkx"`` — the original generic ``nx.maximum_flow`` formulation,
   kept as an independent implementation for differential testing and as the
   baseline in ``benchmarks/bench_scale.py``.
+
+All backends consume the *sparsified* event intervals by default (zero-
+demand elementary intervals dropped before the network is built — see
+:mod:`repro.offline.feascache`); ``sparsify=False`` rebuilds over the full
+elementary structure, with provably identical results.
 """
 
 from __future__ import annotations
@@ -45,8 +53,11 @@ _SOURCE = "s"
 _SINK = "t"
 
 #: Solver backends accepted by :func:`max_flow_assignment` and friends.
-BACKENDS = ("dinic", "networkx")
+BACKENDS = ("dinic", "dinic_np", "networkx")
 DEFAULT_BACKEND = "dinic"
+
+#: Dinic-family backends and the level-graph kernel each one selects.
+_DINIC_KERNELS = {"dinic": "py", "dinic_np": "np"}
 
 
 def _check_backend(backend: str) -> None:
@@ -98,17 +109,18 @@ def _build_network(
 
 
 def _scaled_inputs(
-    instance: Instance, speed: Fraction
+    instance: Instance, speed: Fraction, sparsify: bool = True
 ) -> Tuple[List[Tuple[Fraction, Fraction]], int]:
-    """Memoized ``(intervals, scale)`` for one ``(instance, speed)`` pair.
+    """Memoized ``(network intervals, scale)`` for one ``(instance, speed)``.
 
-    Capacities ``(b−a)·speed·scale`` and ``p_j·scale`` must be integral:
-    take the LCM of all data denominators and one extra factor of
+    The interval list is the one the networks are built over (sparsified by
+    default).  Capacities ``(b−a)·speed·scale`` and ``p_j·scale`` must be
+    integral: take the LCM of all data denominators and one extra factor of
     ``speed.denominator`` (the LCM alone does not guarantee divisibility of
     the *product* of two fractional factors).
     """
-    cache = cache_for(instance)
-    return cache.intervals, cache.scale_for(speed)
+    cache = cache_for(instance, sparsify=sparsify)
+    return cache.network_intervals, cache.scale_for(speed)
 
 
 def max_flow_assignment(
@@ -116,12 +128,15 @@ def max_flow_assignment(
     m: int,
     speed: Numeric = 1,
     backend: str = DEFAULT_BACKEND,
+    sparsify: bool = True,
 ) -> Tuple[bool, Dict[int, Dict[int, Fraction]], List[Tuple[Fraction, Fraction]]]:
     """Solve the feasibility flow for ``m`` speed-``speed`` machines.
 
     Returns ``(feasible, work, intervals)`` where ``work[job_id][k]`` is the
-    amount of *machine time* job ``job_id`` spends in elementary interval
-    ``k`` in a maximum flow (work equals machine time times speed).
+    amount of *machine time* job ``job_id`` spends in interval ``k`` of the
+    returned interval list in a maximum flow (work equals machine time
+    times speed).  The interval list is the (sparsified, by default) event
+    structure the network was built over.
     """
     _check_backend(backend)
     if len(instance) == 0:
@@ -129,9 +144,11 @@ def max_flow_assignment(
     if m <= 0:
         return False, {}, []
     speed = to_fraction(speed)
-    intervals, scale = _scaled_inputs(instance, speed)
-    if backend == "dinic":
-        network = cache_for(instance).solved_network(m, speed)
+    intervals, scale = _scaled_inputs(instance, speed, sparsify)
+    kernel = _DINIC_KERNELS.get(backend)
+    if kernel is not None:
+        cache = cache_for(instance, sparsify=sparsify)
+        network = cache.solved_network(m, speed, kernel)
         return network.feasible, network.work_by_job(speed, scale), intervals
     graph = _build_network(instance, m, speed, intervals, scale)
     total = sum(int(j.processing * scale) for j in instance)
@@ -155,21 +172,27 @@ def migratory_feasible(
     m: int,
     speed: Numeric = 1,
     backend: str = DEFAULT_BACKEND,
+    sparsify: bool = True,
 ) -> bool:
     """Exact test: does a feasible migratory schedule on ``m`` machines exist?
 
-    The dinic backend answers through the per-instance cache: repeated
+    The dinic backends answer through the per-instance cache: repeated
     probes on the same instance reuse the built network, warm-start from
     each other's residual flows, and memoize ``(m, speed)`` verdicts.
     """
     _check_backend(backend)
-    if backend == "dinic":
+    kernel = _DINIC_KERNELS.get(backend)
+    if kernel is not None:
         if len(instance) == 0:
             return True
         if m <= 0:
             return False
-        return cache_for(instance).feasible(m, to_fraction(speed))
-    feasible, _, _ = max_flow_assignment(instance, m, speed, backend=backend)
+        return cache_for(instance, sparsify=sparsify).feasible(
+            m, to_fraction(speed), kernel
+        )
+    feasible, _, _ = max_flow_assignment(
+        instance, m, speed, backend=backend, sparsify=sparsify
+    )
     return feasible
 
 
@@ -245,16 +268,19 @@ def migratory_schedule(
     m: int,
     speed: Numeric = 1,
     backend: str = DEFAULT_BACKEND,
+    sparsify: bool = True,
 ) -> Optional[Schedule]:
     """An explicit feasible migratory schedule on ``m`` machines, or ``None``."""
-    feasible, work, intervals = max_flow_assignment(instance, m, speed, backend=backend)
+    feasible, work, intervals = max_flow_assignment(
+        instance, m, speed, backend=backend, sparsify=sparsify
+    )
     if not feasible:
         return None
     return schedule_from_work(work, intervals, m)
 
 
 def networkx_min_cut(
-    instance: Instance, m: int, speed: Numeric = 1
+    instance: Instance, m: int, speed: Numeric = 1, sparsify: bool = True
 ) -> Tuple[List[int], List[int]]:
     """Source side of a minimum cut of the networkx-built feasibility network.
 
@@ -266,7 +292,7 @@ def networkx_min_cut(
         # No network to cut: every job (with its whole window) is a witness.
         return [j.id for j in instance], []
     speed = to_fraction(speed)
-    intervals, scale = _scaled_inputs(instance, speed)
+    intervals, scale = _scaled_inputs(instance, speed, sparsify)
     graph = _build_network(instance, m, speed, intervals, scale)
     _, (reachable, _) = nx.minimum_cut(
         graph, _SOURCE, _SINK, flow_func=nx.algorithms.flow.dinitz

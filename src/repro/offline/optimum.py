@@ -11,6 +11,7 @@ from ..obs import core as _obs
 from .feascache import cache_for
 from .flow import (
     DEFAULT_BACKEND,
+    _DINIC_KERNELS,
     migratory_feasible,
     migratory_schedule,
     schedule_from_work,
@@ -22,22 +23,18 @@ def window_concurrency(instance: Instance) -> int:
     """Max number of windows alive at once — a feasible machine count.
 
     With this many machines every active job can run during its entire
-    window, so it always upper-bounds the migratory optimum.
+    window, so it always upper-bounds the migratory optimum.  Answered from
+    the per-instance cache: the value is a free byproduct of the interval
+    sweep that also sparsifies the feasibility network.
     """
-    events = []
-    for j in instance:
-        events.append((j.release, 1))
-        events.append((j.deadline, -1))
-    events.sort()
-    best = cur = 0
-    for _, delta in events:
-        cur += delta
-        best = max(best, cur)
-    return best
+    return cache_for(instance).window_concurrency
 
 
 def migratory_optimum(
-    instance: Instance, speed: Numeric = 1, backend: str = DEFAULT_BACKEND
+    instance: Instance,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
+    sparsify: bool = True,
 ) -> int:
     """The exact minimum number of speed-``speed`` machines (migratory).
 
@@ -69,7 +66,9 @@ def migratory_optimum(
     def probe(m: int, kind: str) -> bool:
         _obs.incr("search.probes")
         with _obs.span("optimum.probe", m=m, kind=kind):
-            return migratory_feasible(instance, m, speed, backend=backend)
+            return migratory_feasible(
+                instance, m, speed, backend=backend, sparsify=sparsify
+            )
 
     with _obs.span("optimum.search", n=len(instance), speed=str(speed),
                    backend=backend):
@@ -93,25 +92,32 @@ def migratory_optimum(
 
 
 def optimal_migratory_schedule(
-    instance: Instance, speed: Numeric = 1, backend: str = DEFAULT_BACKEND
+    instance: Instance,
+    speed: Numeric = 1,
+    backend: str = DEFAULT_BACKEND,
+    sparsify: bool = True,
 ) -> Tuple[int, Optional[Schedule]]:
     """``(OPT, schedule)`` for the migratory problem.
 
-    With the dinic backend the binary search leaves the per-instance cache
+    With the dinic backends the binary search leaves the per-instance cache
     holding a solved snapshot at the optimum, so the schedule is extracted
     straight from that residual flow — no fresh feasibility solve (pinned by
     a :class:`~repro.offline.feascache.CacheStats` regression test).  The
     networkx backend stays a deliberately independent implementation and
     re-solves at the optimum.
     """
-    m = migratory_optimum(instance, speed, backend=backend)
+    m = migratory_optimum(instance, speed, backend=backend, sparsify=sparsify)
     if m == 0:
         return 0, Schedule([])
-    if backend == "dinic":
+    kernel = _DINIC_KERNELS.get(backend)
+    if kernel is not None:
         speed = to_fraction(speed)
-        cache = cache_for(instance)
+        cache = cache_for(instance, sparsify=sparsify)
         with _obs.span("optimum.extract_schedule", m=m):
-            network = cache.solved_network(m, speed)  # snapshot restore, no probe
+            # snapshot restore, no probe
+            network = cache.solved_network(m, speed, kernel)
             work = network.work_by_job(speed, cache.scale_for(speed))
-            return m, schedule_from_work(work, cache.intervals, m)
-    return m, migratory_schedule(instance, m, speed, backend=backend)
+            return m, schedule_from_work(work, cache.network_intervals, m)
+    return m, migratory_schedule(
+        instance, m, speed, backend=backend, sparsify=sparsify
+    )

@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Tuple
 from ..model.instance import Instance
 from ..model.intervals import Interval, IntervalUnion, Numeric, to_fraction
 from ..model.job import Job
+from .feascache import cache_for
 
 
 def contribution(job: Job, region: IntervalUnion) -> Fraction:
@@ -158,10 +159,14 @@ def scaled_lower_bound(instance: Instance, speed: Numeric = 1) -> int:
     if len(instance) == 0:
         return 0
     speed = to_fraction(speed)
-    span = instance.span
+    # Both components come from the per-instance cache's integer tables
+    # (semantically identical to instance.total_work / instance.span /
+    # instance.zero_laxity_concurrency, but computed once per instance).
+    cache = cache_for(instance)
+    span_length = cache.span_length
     bound = 1
-    if span.length > 0:
-        bound = max(bound, ceil(instance.total_work / (speed * span.length)))
+    if span_length > 0:
+        bound = max(bound, ceil(cache.total_work / (speed * span_length)))
     if speed <= 1:
-        bound = max(bound, instance.zero_laxity_concurrency())
+        bound = max(bound, cache.zero_laxity_concurrency)
     return bound

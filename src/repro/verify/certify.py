@@ -30,6 +30,7 @@ from ..obs import core as _obs
 from ..offline.feascache import cache_for
 from ..offline.flow import (
     DEFAULT_BACKEND,
+    _DINIC_KERNELS,
     _check_backend,
     max_flow_assignment,
     networkx_min_cut,
@@ -76,6 +77,7 @@ def certify(
     speed: Numeric = 1,
     backend: str = DEFAULT_BACKEND,
     check: bool = True,
+    sparsify: bool = True,
 ) -> Certificate:
     """Feasibility verdict at ``m`` machines with an attached witness."""
     _check_backend(backend)
@@ -95,20 +97,23 @@ def certify(
             cert = InfeasibleCertificate(
                 0, speed, tuple(j.id for j in instance), instance.intervals()
             )
-        elif backend == "dinic":
-            cache = cache_for(instance)
-            network = cache.solved_network(m, speed)
+        elif backend in _DINIC_KERNELS:
+            kernel = _DINIC_KERNELS[backend]
+            cache = cache_for(instance, sparsify=sparsify)
+            network = cache.solved_network(m, speed, kernel)
+            # Work maps and cut indices refer to the interval list the
+            # network was built over (sparsified by default).
+            intervals = cache.network_intervals
             if network.feasible:
                 work = network.work_by_job(speed, cache.scale_for(speed))
                 cert = FeasibleCertificate(
                     m,
                     speed,
-                    schedule_from_work(work, cache.intervals, m),
+                    schedule_from_work(work, intervals, m),
                     cache_stats=cache.stats.snapshot(),
                 )
             else:
                 job_ids, iv_idx = network.min_cut()
-                intervals = cache.intervals
                 cert = InfeasibleCertificate(
                     m,
                     speed,
@@ -118,14 +123,16 @@ def certify(
                 )
         else:
             feasible, work, intervals = max_flow_assignment(
-                instance, m, speed, backend=backend
+                instance, m, speed, backend=backend, sparsify=sparsify
             )
             if feasible:
                 cert = FeasibleCertificate(
                     m, speed, schedule_from_work(work, intervals, m)
                 )
             else:
-                job_ids, iv_idx = networkx_min_cut(instance, m, speed)
+                job_ids, iv_idx = networkx_min_cut(
+                    instance, m, speed, sparsify=sparsify
+                )
                 cert = InfeasibleCertificate(
                     m,
                     speed,
@@ -149,6 +156,7 @@ def certified_optimum(
     speed: Numeric = 1,
     backend: str = DEFAULT_BACKEND,
     check: bool = True,
+    sparsify: bool = True,
 ) -> CertifiedOptimum:
     """The exact optimum with certificates on both sides.
 
@@ -166,16 +174,21 @@ def certified_optimum(
             unsat,
         )
     with _obs.span("verify.certified_optimum", backend=backend, speed=str(speed)):
-        m = migratory_optimum(instance, speed, backend=backend)
-        feasible = certify(instance, m, speed, backend=backend, check=check)
+        m = migratory_optimum(instance, speed, backend=backend, sparsify=sparsify)
+        feasible = certify(
+            instance, m, speed, backend=backend, check=check, sparsify=sparsify
+        )
         assert isinstance(feasible, FeasibleCertificate)
         infeasible: Optional[InfeasibleCertificate] = None
         if m > 0:
-            below = certify(instance, m - 1, speed, backend=backend, check=check)
+            below = certify(
+                instance, m - 1, speed, backend=backend, check=check,
+                sparsify=sparsify,
+            )
             assert isinstance(below, InfeasibleCertificate)
             infeasible = below
     stats = None
-    if backend == "dinic" and len(instance) > 0:
+    if backend in _DINIC_KERNELS and len(instance) > 0:
         # Snapshot *after* both sandwich probes: the total solver effort.
-        stats = cache_for(instance).stats.snapshot()
+        stats = cache_for(instance, sparsify=sparsify).stats.snapshot()
     return CertifiedOptimum(m, feasible, infeasible, cache_stats=stats)

@@ -184,6 +184,25 @@ class TestObservability:
         assert winner["grid_density"] > 0
         assert winner["start"] is not None and winner["end"] is not None
         assert winner["starts"] > 0 and winner["widths"] > 0
+        assert "network" not in payload  # only reported with --network
+
+    def test_profile_network_mode(self, loose_file, capsys):
+        assert main(["profile", loose_file, "--network"]) == 0
+        out = capsys.readouterr().out
+        assert "event-interval sparsification" in out
+        assert "elementary" in out and "kept" in out
+
+    def test_profile_network_json(self, loose_file, capsys):
+        assert main(["profile", loose_file, "--network", "--json"]) == 0
+        net = json.loads(capsys.readouterr().out)["network"]
+        assert net["intervals_kept"] == (
+            net["intervals_elementary"]
+            - net["intervals_dropped"]
+            - net["intervals_merged"]
+        )
+        assert net["nodes_after"] <= net["nodes_before"]
+        assert net["edges_after"] <= net["edges_before"]
+        assert net["edges_after"] > 0
 
 
 class TestErrorPaths:

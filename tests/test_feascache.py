@@ -151,3 +151,59 @@ class TestScaledLowerBound:
         with pytest.raises(ValueError):
             migratory_optimum(inst, speed=Fraction(1, 2))
         assert migratory_optimum(inst, speed=1) == 1
+
+
+class TestSnapshotRestore:
+    """Copy-on-write snapshots: one memcpy to capture, zero allocations to
+    restore, and the live capacity buffer object is never replaced."""
+
+    def test_snapshots_are_immutable_bytes(self):
+        inst = uniform_random_instance(12, horizon=24, seed=5)
+        cache = cache_for(inst)
+        network = cache.solved_network(window_concurrency(inst), Fraction(1))
+        machines, blob, flow = network.snapshot()
+        assert isinstance(blob, bytes)  # immutable: restores can share it
+        assert machines == network.machines
+        assert flow == network.flow
+
+    def test_restore_reuses_the_live_buffer(self):
+        inst = uniform_random_instance(12, horizon=24, seed=5)
+        cache = cache_for(inst)
+        hi = window_concurrency(inst)
+        network = cache.solved_network(hi, Fraction(1))
+        cap_before = network.dinic.cap
+        snap = network.snapshot()
+        cache.solved_network(max(1, hi - 1), Fraction(1))
+        network.restore(snap)
+        # Same array object: restore writes through a memoryview in place.
+        assert network.dinic.cap is cap_before
+        assert network.snapshot()[1] == snap[1]
+
+    def test_restored_state_is_byte_identical(self):
+        inst = uniform_random_instance(15, horizon=30, seed=9)
+        cache = cache_for(inst)
+        hi = window_concurrency(inst)
+        opt = migratory_optimum(inst)
+        state = cache._state_for(Fraction(1))
+        # Every probed m has a snapshot; restoring and re-snapshotting any
+        # of them is lossless.
+        for m, snap in list(state.snapshots.items()):
+            state.network.restore(snap)
+            assert state.network.snapshot() == snap
+            assert state.network.machines == m
+
+    def test_shrinking_drains_instead_of_rebuilding(self):
+        """A fresh probe below the current state must not rebuild or restore:
+        the solver drains the excess flow in place (pinned by stats)."""
+        inst = uniform_random_instance(20, horizon=30, seed=11)
+        cache = cache_for(inst)
+        hi = window_concurrency(inst)
+        assert cache.feasible(hi, Fraction(1))
+        lower = max(1, hi - 1)
+        cache.feasible(lower, Fraction(1))
+        assert cache.stats.network_builds == 1
+        assert cache.stats.restores == 0  # drain, not snapshot-restore
+        # Revisiting an already-probed m *is* a snapshot restore.
+        net = cache.solved_network(hi, Fraction(1))
+        assert cache.stats.restores == 1
+        assert net.feasible

@@ -163,19 +163,24 @@ class TestCounterRegression:
         return m, reg.snapshot()
 
     def test_mcnaughton3(self):
+        # The EDF greedy blocking pass routes the whole demand at both
+        # probes (the m = 2 probe drains from 3 and re-places in one pass),
+        # so no dinic.* phase counters appear: Dinic never runs.
         m, snap = self.optimum_counters("mcnaughton3")
         assert m == 2
         assert snap["counters"] == {
             "cache.network_builds": 1,
             "cache.probes": 2,
-            "cache.restores": 1,
-            "dinic.aug_paths": 6,
-            "dinic.bfs_phases": 4,
-            "dinic.flow_pushed": 12,
-            "dinic.retreats": 0,
+            "dinic.greedy_pushed": 6,
+            "network.edges": 7,
+            "network.intervals_dropped": 0,
+            "network.intervals_merged": 0,
+            "network.nodes": 6,
             "search.probes": 2,
         }
         assert snap["gauges"] == {
+            "network.intervals_elementary": 1,
+            "network.intervals_kept": 1,
             "search.lower_bound_start": 2,
             "search.optimum": 2,
             "search.upper_bound_start": 3,
@@ -187,10 +192,11 @@ class TestCounterRegression:
         assert snap["counters"] == {
             "cache.network_builds": 1,
             "cache.probes": 1,
-            "dinic.aug_paths": 7,
-            "dinic.bfs_phases": 2,
-            "dinic.flow_pushed": 13,
-            "dinic.retreats": 0,
+            "dinic.greedy_pushed": 13,
+            "network.edges": 16,
+            "network.intervals_dropped": 0,
+            "network.intervals_merged": 0,
+            "network.nodes": 11,
             "search.probes": 1,
         }
         assert snap["gauges"]["search.lower_bound_start"] == 6

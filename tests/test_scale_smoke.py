@@ -1,0 +1,47 @@
+"""Scale smoke test: one feasibility probe at n = 100,000 under a deadline.
+
+The flat-buffer kernel's contract is that a single warm probe stays linear
+in the network size — no quadratic interval indexing, no per-edge Python
+object graphs.  This test is the canary: it builds a 100k-job instance,
+answers one feasibility question at the window-concurrency upper bound, and
+must finish inside a hard wall-clock budget enforced by
+:func:`repro.runner.faults.time_limit` (SIGALRM where available).  A
+regression to quadratic behaviour blows the budget by an order of
+magnitude rather than shaving a margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import uniform_random_instance
+from repro.model import Instance
+from repro.offline.feascache import cache_for
+from repro.offline.flow import migratory_feasible
+from repro.runner.faults import ItemTimeout, time_limit
+
+#: Generous wall-clock budget (seconds) for build + tables + one probe.
+#: The observed time on a development machine is ~5 s; the budget leaves
+#: >10× headroom for slow CI boxes while still catching superlinear blowups
+#: (the pre-flat-buffer implementation would need several minutes).
+SMOKE_BUDGET_S = 90
+
+
+@pytest.mark.slow
+def test_100k_probe_within_budget():
+    jobs = list(uniform_random_instance(100_000, horizon=200_000, seed=42))
+    try:
+        with time_limit(SMOKE_BUDGET_S, label="n=100k probe"):
+            instance = Instance(jobs)
+            cache = cache_for(instance)
+            hi = cache.window_concurrency
+            assert hi > 0
+            assert migratory_feasible(instance, hi)
+    except ItemTimeout:  # pragma: no cover - the failure mode under test
+        pytest.fail(
+            f"n=100,000 feasibility probe exceeded {SMOKE_BUDGET_S}s budget"
+        )
+    # The probe really ran at scale through the sparsified network.
+    tables = cache.tables
+    assert tables.n_edges >= 100_000  # ≥ one source arc per job
+    assert cache.stats.probes == 1
