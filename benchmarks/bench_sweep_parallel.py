@@ -5,7 +5,10 @@ instances) is the acceptance workload: 4 workers must beat the serial path
 by ≥3× wall-clock while returning bit-identical results — same order, same
 values, same merged counter totals.  The identity assertions run on every
 machine; the speedup gate needs real parallel hardware and is skipped below
-4 cores (CI runners have them).
+4 cores (CI runners have them).  Durability and sharding ride the same
+workload: journaling must cost < 10% wall-clock, and folding 3 shard
+journals back into the canonical report (``merge_journals``) must cost
+< 10% of the unsharded sweep.
 """
 
 import os
@@ -107,6 +110,50 @@ def test_sweep_journal_overhead(tmp_path):
     )
     assert t_journaled <= t_plain * 1.10 + 0.05, (
         f"journaling overhead {overhead:+.1%} exceeds the 10% budget"
+    )
+
+
+def test_sweep_shard_merge_overhead(tmp_path):
+    """Merging 3 shard journals costs < 10% of the sweep itself (ISSUE 7).
+
+    The multi-host story only pays off if reassembly is cheap: the 200-
+    instance sweep runs as 3 journaled shards, and ``merge_journals`` must
+    fold them into the canonical report — byte-identical to the unsharded
+    run — in under 10% of the unsharded serial wall-clock.  A small
+    absolute slack absorbs timer jitter, as in the journal-overhead gate.
+    """
+    from repro.runner import canonical_report_view, merge_journals
+
+    plan = sweep_plan()
+    run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE)  # warm imports/caches
+    t0 = time.perf_counter()
+    clean = run_sweep(plan, n_jobs=1, chunksize=CHUNKSIZE)
+    t_sweep = time.perf_counter() - t0
+    journals = []
+    for k in range(3):
+        path = str(tmp_path / f"shard{k}.jsonl")
+        report = run_sweep(
+            plan.shard(k, 3), n_jobs=1, chunksize=CHUNKSIZE, journal=path
+        )
+        assert report.ok
+        journals.append(path)
+    t0 = time.perf_counter()
+    merged = merge_journals(journals, plan=plan)
+    t_merge = time.perf_counter() - t0
+    assert canonical_report_view(merged) == canonical_report_view(
+        clean.snapshot()
+    )
+    ratio = t_merge / t_sweep
+    print_table(
+        f"E-PAR · 3-shard merge of {N_INSTANCES} items",
+        ["step", "seconds", "vs sweep"],
+        [
+            ("unsharded sweep", round(t_sweep, 3), "1.000"),
+            ("merge_journals", round(t_merge, 3), f"{ratio:.3f}"),
+        ],
+    )
+    assert t_merge <= 0.10 * t_sweep + 0.05, (
+        f"merge took {ratio:.1%} of the sweep; the budget is 10%"
     )
 
 

@@ -12,7 +12,10 @@ Subcommands (``python -m repro <cmd> …`` or the ``repro`` entry point):
 * ``verify``    — certified feasibility verdicts and backend cross-checks
 * ``stats``     — one-shot observability report (counters + span timings)
 * ``sweep``     — parallel seeded sweeps (ratio / differential / corpus)
-  across worker processes, bit-identical to the serial run
+  across worker processes, bit-identical to the serial run; ``--shard k/n``
+  runs one group-preserving shard for multi-host fan-out, and
+  ``sweep merge j0.jsonl j1.jsonl …`` folds the shard journals back into
+  the canonical unsharded report
 
 Every subcommand accepts ``--trace OUT.jsonl``: the run's full span/counter
 event stream (see :mod:`repro.obs`) is written as JSON lines for offline
@@ -372,13 +375,54 @@ def cmd_sweep(args) -> int:
         FAMILIES,
         FaultPlan,
         InstanceSpec,
+        JournalError,
         SweepPlan,
+        merge_journals,
         run_sweep,
         split_seed,
     )
     from .runner.tasks import POLICIES as SWEEP_POLICIES
     from .verify.differential import DifferentialReport
 
+    if args.kind == "merge":
+        # Fold N shard journals into the canonical unsharded report.  The
+        # journals are self-describing (fingerprint, shard identity, parent
+        # item count), so no plan flags are needed — or allowed.
+        if not args.journals:
+            raise SystemExit(
+                "sweep merge requires at least one shard journal, e.g. "
+                "repro sweep merge shard0.jsonl shard1.jsonl shard2.jsonl"
+            )
+        if args.shard:
+            raise SystemExit("--shard does not apply to 'sweep merge'")
+        try:
+            report = merge_journals(args.journals)
+        except JournalError as exc:
+            raise SystemExit(str(exc))
+        if args.snapshot:
+            with open(args.snapshot, "w", encoding="utf-8") as fh:
+                _json.dump(report.snapshot(), fh, indent=2)
+        if args.json:
+            print(_json.dumps(report.snapshot(), indent=2))
+        elif report.results and all(
+            r.task == "ratio_sample" for r in report.results
+        ):
+            profiles = profiles_from_samples(report.values())
+            print_table(
+                f"repro sweep merge ({len(args.journals)} shard journal(s))",
+                ["policy", "family", "samples", "worst", "avg", "median"],
+                [p.row() for p in profiles],
+            )
+            print()
+            print(report.summary())
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.journals:
+        raise SystemExit(
+            "positional journal arguments only apply to 'sweep merge'"
+        )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
 
@@ -415,6 +459,19 @@ def cmd_sweep(args) -> int:
         plan = SweepPlan.corpus(args.dir)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown sweep kind {args.kind}")
+
+    if args.shard:
+        try:
+            k_text, n_text = args.shard.split("/", 1)
+            k, n = int(k_text), int(n_text)
+        except ValueError:
+            raise SystemExit(
+                f"--shard expects K/N (e.g. 1/3); got {args.shard!r}"
+            )
+        try:
+            plan = plan.shard(k, n)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
 
     faults = None
     if args.chaos:
@@ -629,7 +686,15 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="deterministic parallel sweep (process-pool fan-out)",
     )
-    p.add_argument("kind", choices=["ratio", "differential", "corpus"])
+    p.add_argument("kind", choices=["ratio", "differential", "corpus", "merge"])
+    p.add_argument("journals", nargs="*", metavar="JOURNAL",
+                   help="shard journals to fold ('merge' kind only): "
+                        "repro sweep merge shard0.jsonl shard1.jsonl ...")
+    p.add_argument("--shard", metavar="K/N", default=None,
+                   help="run only the deterministic, group-preserving shard "
+                        "K of N (0 <= K < N); every host computes the same "
+                        "partition, journals stamp the shard identity, and "
+                        "'sweep merge' folds the journals back together")
     p.add_argument("--policies", default="edf,firstfit",
                    help="comma-separated policy names (ratio sweeps)")
     p.add_argument("--families", default="uniform",

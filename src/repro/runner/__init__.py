@@ -41,6 +41,15 @@ The guarantee extends through failures — *crash-only* operation:
   (``repro sweep --chaos``); :func:`~repro.runner.merge.canonical_report_view`
   is the equivalence judge.
 
+The guarantee also extends across hosts — *sharded* operation:
+:meth:`SweepPlan.shard(k, n) <repro.runner.plan.SweepPlan.shard>` cuts a
+plan into ``n`` disjoint, group-preserving
+:class:`~repro.runner.plan.SweepShard`\\s (a pure function of the plan, so
+every host computes the same partition), each shard journals under its own
+``(k, n)`` identity, and :func:`~repro.runner.merge.merge_journals` folds
+the N journals back into one report byte-identical to the unsharded run —
+``repro sweep ... --shard k/n`` plus ``repro sweep merge j*.jsonl``.
+
 ``n_jobs=1`` is a true serial fast path: no pool, no pickling.  The CLI
 front-end is ``repro sweep``.
 """
@@ -63,7 +72,9 @@ from .journal import (
     resume,
 )
 from .merge import (
+    MergeError,
     canonical_report_view,
+    merge_journals,
     merge_snapshot_into,
     merge_snapshots,
     replay_into_ambient,
@@ -72,6 +83,7 @@ from .plan import (
     FAMILIES,
     InstanceSpec,
     SweepPlan,
+    SweepShard,
     WorkItem,
     chunk_items,
     instance_key,
@@ -93,10 +105,12 @@ __all__ = [
     "JournalError",
     "JournalMismatch",
     "JournalRecord",
+    "MergeError",
     "POLICIES",
     "RetryPolicy",
     "SweepPlan",
     "SweepReport",
+    "SweepShard",
     "TASKS",
     "TransientError",
     "WorkItem",
@@ -104,6 +118,7 @@ __all__ = [
     "canonical_report_view",
     "chunk_items",
     "instance_key",
+    "merge_journals",
     "merge_snapshot_into",
     "merge_snapshots",
     "read_journal",

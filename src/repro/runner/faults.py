@@ -22,6 +22,13 @@ Three pieces, all picklable so they travel to pool workers:
   attempt leaves no trace in the merged counters — which is what makes
   chaos runs byte-comparable to fault-free runs (see
   ``docs/ARCHITECTURE.md`` § Failure model).
+
+Fault indices are **parent-plan-global**: a :class:`~repro.runner.plan.SweepShard`
+keeps its items' original plan indices, so the same ``FaultPlan`` spec
+(``sigkill:2``) strikes the same logical item whether the plan runs whole
+or as ``--shard k/n`` on another host — chaos specs need no per-shard
+translation, and a fault aimed at an item another shard owns simply never
+fires there.
 """
 
 from __future__ import annotations

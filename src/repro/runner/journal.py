@@ -9,10 +9,14 @@ ever trusted.
 Format (one JSON object per line):
 
 * line 1 — a ``header`` record carrying the journal format version, the
-  plan's SHA-256 :meth:`~repro.runner.plan.SweepPlan.fingerprint`, and the
-  item count.  Resume refuses a journal whose fingerprint does not match
-  the plan (:class:`JournalMismatch`) — a stale journal silently applied
-  to a different sweep would be a correctness bug, not a convenience.
+  plan's SHA-256 :meth:`~repro.runner.plan.SweepPlan.fingerprint`, the
+  item count, the shard identity ``(k, n)`` (``(0, 1)`` for an unsharded
+  sweep), and the parent plan's total item count.  Resume refuses a
+  journal whose fingerprint **or shard identity** does not match the plan
+  being run (:class:`JournalMismatch`, reporting expected vs. found for
+  both) — a stale journal silently applied to a different sweep, or a
+  shard journal applied to a sibling shard, would be a correctness bug,
+  not a convenience.
 * one ``item`` record per completed item: index, task, status, error,
   attempt count, the item's obs snapshot, and its result value.  Values
   are pickled (base64) rather than JSON-coerced: results round-trip
@@ -65,6 +69,12 @@ class JournalError(RuntimeError):
 
 class JournalMismatch(JournalError):
     """The journal belongs to a different plan than the one being run."""
+
+
+def _identity(fingerprint: Optional[str], shard: Tuple[int, int]) -> str:
+    """Human-readable sweep identity: plan fingerprint + ``k/n`` shard."""
+    k, n = shard
+    return f"plan {fingerprint!r} shard {k}/{n}"
 
 
 def _checksum(payload: Dict[str, Any]) -> str:
@@ -125,8 +135,23 @@ class Journal:
     # -- opening -------------------------------------------------------------
 
     @classmethod
-    def create(cls, path: str, plan_fingerprint: str, n_items: int) -> "Journal":
-        """Start a fresh journal (truncates any previous file at ``path``)."""
+    def create(
+        cls,
+        path: str,
+        plan_fingerprint: str,
+        n_items: int,
+        shard: Tuple[int, int] = (0, 1),
+        plan_items: Optional[int] = None,
+    ) -> "Journal":
+        """Start a fresh journal (truncates any previous file at ``path``).
+
+        ``shard`` is the sweep's shard identity ``(k, n)`` — ``(0, 1)``
+        for an unsharded run — and ``plan_items`` the *parent* plan's item
+        count (defaults to ``n_items``); both are stamped into the header
+        so resume and :func:`~repro.runner.merge.merge_journals` can
+        validate journals without access to the original plan object.
+        """
+        k, n = shard
         fh = open(path, "w", encoding="utf-8")
         journal = cls(path, fh)
         journal._append(
@@ -135,26 +160,38 @@ class Journal:
                 "version": JOURNAL_VERSION,
                 "plan": plan_fingerprint,
                 "n_items": n_items,
+                "shard": [int(k), int(n)],
+                "plan_items": int(n_items if plan_items is None else plan_items),
             }
         )
         return journal
 
     @classmethod
-    def append_to(cls, path: str, plan_fingerprint: str) -> "Journal":
+    def append_to(
+        cls,
+        path: str,
+        plan_fingerprint: str,
+        shard: Tuple[int, int] = (0, 1),
+    ) -> "Journal":
         """Open an existing journal for appending (resume path).
 
-        Validates the header against ``plan_fingerprint`` first, and cuts
-        any torn tail off the file: records appended *after* a corrupt line
-        would be invisible to the prefix-validating reader, so the invalid
-        suffix must go before new outcomes land.
+        Validates the header against ``plan_fingerprint`` *and* the shard
+        identity first — the error reports expected vs. found for both, so
+        a resume pointed at the wrong journal (stale plan, sibling shard)
+        names exactly what disagrees.  Also cuts any torn tail off the
+        file: records appended *after* a corrupt line would be invisible
+        to the prefix-validating reader, so the invalid suffix must go
+        before new outcomes land.
         """
         header, _, dropped = read_journal(path)
         if header is None:
             raise JournalError(f"{path}: missing or corrupt journal header")
-        if header.get("plan") != plan_fingerprint:
+        found = (header.get("plan"), tuple(header.get("shard") or (0, 1)))
+        expected = (plan_fingerprint, tuple(shard))
+        if found != expected:
             raise JournalMismatch(
-                f"{path}: journal was written for a different plan "
-                f"(journal {header.get('plan')!r} != plan {plan_fingerprint!r})"
+                f"{path}: journal belongs to a different sweep: expected "
+                f"{_identity(*expected)}, found {_identity(*found)}"
             )
         if dropped:
             with open(path, "r", encoding="utf-8") as fh:

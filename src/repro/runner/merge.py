@@ -18,21 +18,37 @@ a ``--trace`` JSONL stream), so observability consumers keep working when
 the work itself happened in other processes.  Counters, gauges, and event
 counts replay faithfully (events as ``replayed=True`` emissions, one per
 occurrence); the workers' per-event attributes stay worker-local.
+
+:func:`merge_journals` is the multi-host half of the same story: it folds
+the journals of N :meth:`~repro.runner.plan.SweepPlan.shard` runs — any
+mix of clean, chaos-struck, and resumed — into one canonical
+:class:`~repro.runner.pool.SweepReport` whose results, counters, and obs
+replay are byte-identical to the unsharded run's.  Journals that cannot
+merge soundly (foreign fingerprint, duplicate/missing/overlapping shards,
+torn tails, unsettled items) are rejected with a precise
+:class:`MergeError` naming exactly what disagrees.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, Optional, Sequence
 
 from ..obs import core as _obs
 from ..obs.sinks import Registry, SpanStat
+from .journal import JournalError, JournalRecord, read_journal
 
 __all__ = [
+    "MergeError",
     "canonical_report_view",
+    "merge_journals",
     "merge_snapshot_into",
     "merge_snapshots",
     "replay_into_ambient",
 ]
+
+
+class MergeError(JournalError):
+    """The given journals cannot be merged into one sound report."""
 
 
 def merge_snapshot_into(registry: Registry, snapshot: Dict[str, Any]) -> Registry:
@@ -64,8 +80,12 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Registry:
     return registry
 
 
-def canonical_report_view(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+def canonical_report_view(snapshot: Any) -> Dict[str, Any]:
     """The determinism-comparable core of a ``SweepReport.snapshot()``.
+
+    Accepts either the snapshot dict or a ``SweepReport``-like object (its
+    ``snapshot()`` is taken), so merged and live reports compare directly:
+    ``canonical_report_view(merge_journals(paths))``.
 
     Two sweep runs of the same plan are *equivalent* iff their canonical
     views are equal — this is what the chaos suite and the CI chaos job
@@ -80,6 +100,9 @@ def canonical_report_view(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     * span timing and wall-clock fields — genuine wall time,
     * per-item ``attempts`` — a retried item is still the same result.
     """
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+
     def keep(name: str) -> bool:
         return not name.startswith("runner.")
 
@@ -123,3 +146,160 @@ def replay_into_ambient(snapshot: Dict[str, Any]) -> None:
         # serial path exactly; the workers' per-event attrs stay worker-local.
         for _ in range(count):
             _obs.event(name, replayed=True)
+
+
+def merge_journals(paths: Sequence[str], plan: Any = None) -> Any:
+    """Fold N shard journals into one canonical ``SweepReport``.
+
+    ``paths`` name the journals of the shards of **one** parent plan —
+    produced by ``run_sweep(plan.shard(k, n), journal=...)`` on any mix of
+    hosts, in any order, each possibly chaos-struck and resumed.  The
+    merged report's results (plan order), counters, gauges, event counts,
+    and ambient obs replay are byte-identical to the unsharded run's:
+    ``canonical_report_view(merge_journals(paths)) ==
+    canonical_report_view(clean_run.snapshot())``.
+
+    ``plan`` is optional — the journals carry everything needed (parent
+    fingerprint, shard identity, parent item count, per-item outcomes).
+    When given, it is cross-checked against the headers and used to
+    restore per-result group keys.
+
+    Soundness is enforced before anything is folded; each violation
+    raises :class:`MergeError` naming the offending journal and exactly
+    what disagrees:
+
+    * a missing/corrupt header, or a journal of a foreign plan
+      (expected vs. found fingerprints reported),
+    * inconsistent shard counts, a duplicate shard, missing shards,
+    * overlapping item indices between journals,
+    * a torn tail (the shard must be resumed to completion first),
+    * uncovered or unsettled items (``failed``/``crashed``/``cancelled``
+      records mean the shard needs a ``--resume`` pass).
+    """
+    from .pool import ItemResult, SweepReport
+
+    paths = list(paths)
+    if not paths:
+        raise MergeError("nothing to merge: no journal paths given")
+    expected_fp: Optional[str] = plan.fingerprint() if plan is not None else None
+    fp_source = "the plan" if plan is not None else paths[0]
+    shard_count: Optional[int] = None
+    plan_items: Optional[int] = None
+    by_shard: Dict[int, Any] = {}
+    for path in paths:
+        header, records, dropped = read_journal(path)
+        if header is None:
+            raise MergeError(f"{path}: missing or corrupt journal header")
+        fp = header.get("plan")
+        k, n = tuple(header.get("shard") or (0, 1))
+        if expected_fp is None:
+            expected_fp = fp
+        if fp != expected_fp:
+            raise MergeError(
+                f"{path}: journal of a foreign plan: expected fingerprint "
+                f"{expected_fp!r} (from {fp_source}), found {fp!r} "
+                f"(shard {k}/{n})"
+            )
+        if shard_count is None:
+            shard_count = n
+        if n != shard_count:
+            raise MergeError(
+                f"{path}: inconsistent shard count: this journal says "
+                f"shard {k}/{n}, earlier journals say a count of {shard_count}"
+            )
+        header_items = int(header.get("plan_items", header.get("n_items", 0)))
+        if plan_items is None:
+            plan_items = header_items
+        if header_items != plan_items:
+            raise MergeError(
+                f"{path}: inconsistent parent plan size: this journal says "
+                f"{header_items} items, earlier journals say {plan_items}"
+            )
+        if k in by_shard:
+            raise MergeError(
+                f"{path}: duplicate shard {k}/{n}: already merged from "
+                f"{by_shard[k][0]}"
+            )
+        if dropped:
+            raise MergeError(
+                f"{path}: torn tail ({dropped} corrupt trailing line(s)); "
+                f"re-run shard {k}/{n} with --resume to complete it before "
+                f"merging"
+            )
+        by_shard[k] = (path, records)
+    missing = sorted(set(range(shard_count)) - set(by_shard))
+    if missing:
+        raise MergeError(
+            f"missing shard(s) {missing} of a {shard_count}-shard sweep: "
+            f"only shards {sorted(by_shard)} were given"
+        )
+    if plan is not None and plan_items != len(plan.items):
+        raise MergeError(
+            f"journals describe a {plan_items}-item plan but the given plan "
+            f"has {len(plan.items)} items"
+        )
+    owner: Dict[int, str] = {}
+    merged: Dict[int, JournalRecord] = {}
+    for k in sorted(by_shard):
+        path, records = by_shard[k]
+        for index, record in records.items():
+            if index in owner:
+                raise MergeError(
+                    f"overlapping shards: item {index} appears in both "
+                    f"{owner[index]} and {path}"
+                )
+            owner[index] = path
+            merged[index] = record
+    stray = sorted(set(merged) - set(range(plan_items)))
+    if stray:
+        raise MergeError(
+            f"item index(es) {stray[:10]} lie outside the parent plan "
+            f"(plan_items = {plan_items})"
+        )
+    absent = sorted(set(range(plan_items)) - set(merged))
+    if absent:
+        raise MergeError(
+            f"incomplete merge: item(s) {absent[:10]} never completed in any "
+            f"shard; re-run the owning shard(s) with --resume first"
+        )
+    unsettled = sorted(i for i, record in merged.items() if not record.settled)
+    if unsettled:
+        statuses = {i: merged[i].status for i in unsettled[:10]}
+        raise MergeError(
+            f"unsettled item(s) {statuses}: re-run the owning shard(s) with "
+            f"--resume until every item is ok/error, then merge"
+        )
+    groups = (
+        {item.index: item.group for item in plan.items}
+        if plan is not None
+        else {}
+    )
+    results = tuple(
+        ItemResult(
+            index,
+            merged[index].task,
+            groups.get(index, ""),
+            merged[index].status,
+            merged[index].value,
+            merged[index].error,
+            merged[index].attempts,
+        )
+        for index in range(plan_items)
+    )
+    registry = Registry()
+    for index in range(plan_items):
+        if merged[index].snapshot:
+            merge_snapshot_into(registry, merged[index].snapshot)
+    # The same ambient replay a parallel run performs: `repro stats` /
+    # `--trace` consumers see totals identical to the unsharded sweep.
+    replay_into_ambient(registry.snapshot())
+    return SweepReport(
+        results=results,
+        registry=registry,
+        n_jobs=0,  # merged from journals, not executed here
+        n_chunks=shard_count,
+        chunksize=0,
+        # Merging is bookkeeping over already-paid-for work; wall time is
+        # the caller's concern (the benchmark gate times it externally).
+        wall_seconds=0.0,
+    )

@@ -21,6 +21,12 @@ Three properties make plans safe to parallelize:
   group across chunks.  Chunk boundaries are a function of the plan and
   ``chunksize`` alone (never of the worker count), which is what makes
   merged observability counters bit-identical for every ``n_jobs``.
+* **Group-preserving sharding** — :meth:`SweepPlan.shard` cuts the plan
+  into ``n`` disjoint :class:`SweepShard`\\ s for multi-host fan-out.  The
+  partition is a pure function of the plan and ``(k, n)`` (every host
+  computes the same split), never splits a group, and keeps parent-plan
+  item indices — so per-shard journals can later be folded back into one
+  canonical report by :func:`repro.runner.merge.merge_journals`.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ __all__ = [
     "FAMILIES",
     "InstanceSpec",
     "SweepPlan",
+    "SweepShard",
     "WorkItem",
     "chunk_items",
     "instance_key",
@@ -219,6 +226,33 @@ class SweepPlan:
             )
         return h.hexdigest()
 
+    def shard(self, k: int, n: int) -> "SweepShard":
+        """Deterministic, group-preserving shard ``k`` of ``n``.
+
+        Groups are numbered in first-appearance (plan) order, and group
+        ``g`` lands on shard ``g % n``; items keep their parent-plan
+        indices and canonical order.  The partition is a **pure function
+        of the plan** and ``(k, n)`` — every host that builds the same
+        plan computes the same split, with no coordination — and it never
+        splits a group, so each shard reproduces exactly the warm-cache
+        counter pattern its items have in the unsharded run.  That
+        invariant is what makes :func:`repro.runner.merge.merge_journals`
+        byte-identical to a single-host sweep.
+        """
+        if n < 1:
+            raise ValueError("shard count must be >= 1")
+        if not 0 <= k < n:
+            raise ValueError(
+                f"shard index must satisfy 0 <= k < n; got shard {k}/{n}"
+            )
+        ordinal: Dict[str, int] = {}
+        for item in self.items:
+            ordinal.setdefault(item.group, len(ordinal))
+        selected = tuple(
+            item for item in self.items if ordinal[item.group] % n == k
+        )
+        return SweepShard(selected, k, n, self.fingerprint(), len(self.items))
+
     # -- builders ------------------------------------------------------------
 
     @classmethod
@@ -322,3 +356,45 @@ class SweepPlan:
                 )
             )
         return cls.build(entries)
+
+
+@dataclass(frozen=True)
+class SweepShard:
+    """Shard ``k`` of ``n`` of a parent plan (see :meth:`SweepPlan.shard`).
+
+    Items keep their **parent-plan indices** and canonical order — results,
+    journals, and :class:`~repro.runner.faults.FaultPlan` indices all speak
+    the parent's index space, so one fault spec or one merged report covers
+    every shard uniformly.  :meth:`fingerprint` returns the *parent* plan's
+    fingerprint: a shard journal is identified by the pair
+    ``(parent fingerprint, shard identity)``, which is what both the resume
+    path and :func:`repro.runner.merge.merge_journals` validate.
+
+    A shard runs anywhere a plan does: ``run_sweep(plan.shard(k, n), ...)``.
+    """
+
+    items: Tuple[WorkItem, ...]
+    shard_index: int
+    shard_count: int
+    plan_fingerprint: str
+    #: item count of the parent plan (shards of it may be smaller)
+    plan_items: int
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    @property
+    def shard_id(self) -> Tuple[int, int]:
+        """``(k, n)`` — this shard's identity within the parent plan."""
+        return (self.shard_index, self.shard_count)
+
+    def chunks(self, chunksize: int = 1) -> List[Tuple[WorkItem, ...]]:
+        """Group-preserving chunks of the shard (see :meth:`SweepPlan.chunks`)."""
+        return chunk_items(self.items, chunksize)
+
+    def fingerprint(self) -> str:
+        """The **parent** plan's fingerprint (shard identity travels separately)."""
+        return self.plan_fingerprint

@@ -56,7 +56,7 @@ from ..obs.sinks import Registry, jsonable
 from .faults import FaultPlan, RetryPolicy, time_limit
 from .journal import Journal, JournalError, JournalRecord, read_journal
 from .merge import merge_snapshot_into, replay_into_ambient
-from .plan import SweepPlan, WorkItem, chunk_items
+from .plan import SweepPlan, SweepShard, WorkItem, chunk_items
 from .tasks import TASKS
 
 __all__ = ["ExecPolicy", "ItemResult", "SweepReport", "WorkerCrash", "run_sweep"]
@@ -120,6 +120,7 @@ class SweepReport:
     wall_seconds: float
     interrupted: bool = False
     resumed: int = 0  # items restored from the journal instead of re-run
+    shard: Optional[Tuple[int, int]] = None  # (k, n) when a SweepShard ran
 
     @property
     def ok(self) -> bool:
@@ -148,6 +149,11 @@ class SweepReport:
     def summary(self) -> str:
         n_ok = sum(1 for r in self.results if r.ok)
         parts = [f"sweep: {n_ok}/{len(self.results)} items ok"]
+        if self.shard is not None:
+            parts[0] = (
+                f"sweep (shard {self.shard[0]}/{self.shard[1]}): "
+                f"{n_ok}/{len(self.results)} items ok"
+            )
         for label, items in (
             ("errors", self.errors),
             ("failed", self.failed),
@@ -158,10 +164,13 @@ class SweepReport:
                 parts.append(f"{len(items)} {label}")
         if self.resumed:
             parts.append(f"{self.resumed} resumed from journal")
-        parts.append(
-            f"{self.n_chunks} chunks on {self.n_jobs} worker(s) "
-            f"in {self.wall_seconds:.2f}s"
-        )
+        if self.n_jobs == 0:
+            parts.append(f"merged from {self.n_chunks} shard journal(s)")
+        else:
+            parts.append(
+                f"{self.n_chunks} chunks on {self.n_jobs} worker(s) "
+                f"in {self.wall_seconds:.2f}s"
+            )
         return ", ".join(parts)
 
     def snapshot(self) -> Dict[str, Any]:
@@ -173,6 +182,7 @@ class SweepReport:
             "wall_seconds": self.wall_seconds,
             "interrupted": self.interrupted,
             "resumed": self.resumed,
+            "shard": list(self.shard) if self.shard is not None else None,
             "results": [
                 {
                     "index": r.index,
@@ -398,7 +408,7 @@ class _ResultStream:
 
 
 def run_sweep(
-    plan: SweepPlan,
+    plan: Union[SweepPlan, SweepShard],
     n_jobs: int = 1,
     chunksize: int = 1,
     start_method: Optional[str] = None,
@@ -421,8 +431,15 @@ def run_sweep(
     transient retries); ``faults`` an injected chaos plan.  ``journal``
     names a durable JSONL result journal; with ``resume=True`` an existing
     journal's settled groups are restored instead of re-run (a journal for
-    a different plan raises
+    a different plan — or a different shard of the same plan — raises
     :class:`~repro.runner.journal.JournalMismatch`).
+
+    ``plan`` may also be a :class:`~repro.runner.plan.SweepShard` from
+    :meth:`SweepPlan.shard(k, n) <repro.runner.plan.SweepPlan.shard>`:
+    the run executes just that shard's items (keeping their parent-plan
+    indices, so ``faults`` and journals speak parent-global indices) and
+    stamps the shard identity into the journal header for
+    :func:`~repro.runner.merge.merge_journals`.
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
@@ -441,6 +458,12 @@ def run_sweep(
     snapshots_by_index: Dict[int, Dict[str, Any]] = {}
 
     # -- journal: restore settled groups, open for append --------------------
+    # A SweepShard carries its parent identity; an unsharded plan journals
+    # as shard (0, 1) of itself.  Stamping both into the header is what
+    # lets merge_journals() and shard-aware resume validate without the
+    # original plan object in hand.
+    shard_id: Tuple[int, int] = getattr(plan, "shard_id", (0, 1))
+    parent_items: int = getattr(plan, "plan_items", len(plan))
     journal_obj: Optional[Journal] = None
     resumed_records: Dict[int, JournalRecord] = {}
     journal_dropped = 0
@@ -476,9 +499,15 @@ def run_sweep(
                     if items_by_index[idx].group in whole
                 }
         if header is not None:
-            journal_obj = Journal.append_to(journal, fingerprint)
+            journal_obj = Journal.append_to(journal, fingerprint, shard=shard_id)
         else:
-            journal_obj = Journal.create(journal, fingerprint, len(plan))
+            journal_obj = Journal.create(
+                journal,
+                fingerprint,
+                len(plan),
+                shard=shard_id,
+                plan_items=parent_items,
+            )
 
     def record_row(row: _Row) -> None:
         """Make one finished row durable the moment the parent learns it."""
@@ -681,4 +710,5 @@ def run_sweep(
         wall_seconds=time.perf_counter() - t0,
         interrupted=interrupted,
         resumed=len(resumed_records),
+        shard=shard_id if shard_id != (0, 1) else None,
     )

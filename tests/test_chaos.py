@@ -21,7 +21,14 @@ Covers:
 * the degradation ladder (pool-creation failure → serial, logged as a
   ``runner.degraded`` event),
 * the advisory-LP deadline (`("timeout", …)` leg in differential timings),
-* the `repro sweep --journal/--resume/--retries/--item-timeout/--chaos` CLI.
+* the `repro sweep --journal/--resume/--retries/--item-timeout/--chaos` CLI,
+* sharded sweeps (ISSUE 7): kill any shard — fault it, quarantine it, or
+  truncate its journal mid-run — resume it, and `merge_journals` folds the
+  shard journals into a report byte-identical to the unsharded clean run;
+  unsound merges (duplicate/missing/overlapping shards, foreign
+  fingerprints, torn tails, unsettled items) are refused with precise
+  errors, and journal identity mismatches report expected vs. found
+  fingerprint *and* shard identity.
 """
 
 import json
@@ -42,10 +49,12 @@ from repro.runner import (
     ItemTimeout,
     Journal,
     JournalMismatch,
+    MergeError,
     RetryPolicy,
     SweepPlan,
     TransientError,
     canonical_report_view,
+    merge_journals,
     read_journal,
     register_task,
     resume,
@@ -539,6 +548,242 @@ class TestLpDeadline:
 
 
 # ---------------------------------------------------------------------------
+# sharded sweeps: kill any shard, resume, merge — identical to the clean run
+
+
+def _shard_paths(plan, tmp_path, n=3, skip=(), **kwargs):
+    """Journal every shard of ``plan`` serially; returns the journal paths."""
+    paths = []
+    for k in range(n):
+        path = str(tmp_path / f"shard{k}.jsonl")
+        if k not in skip:
+            run_sweep(plan.shard(k, n), n_jobs=1, chunksize=2,
+                      journal=path, **kwargs)
+        paths.append(path)
+    return paths
+
+
+class TestMergeJournals:
+    def test_merge_equals_clean_run(self, tmp_path):
+        plan = _grouped_plan(8)
+        clean = _canon(run_sweep(plan, n_jobs=1, chunksize=2))
+        paths = _shard_paths(plan, tmp_path)
+        # with the plan: groups restored, canonical view byte-identical
+        merged = merge_journals(paths, plan=plan)
+        assert merged.ok
+        assert canonical_report_view(merged) == clean
+        assert [r.group for r in merged.results] == [
+            item.group for item in plan
+        ]
+        # plan-free (the CLI path): journals alone carry enough identity
+        assert canonical_report_view(merge_journals(paths)) == clean
+
+    def test_merge_replays_into_ambient_sinks(self, tmp_path):
+        plan = _grouped_plan(6)
+        with obs.capture() as clean_reg:
+            run_sweep(plan, n_jobs=1)
+        paths = _shard_paths(plan, tmp_path)
+        with obs.capture() as merged_reg:
+            merge_journals(paths)
+        assert (
+            merged_reg.snapshot()["counters"]["test.work"]
+            == clean_reg.snapshot()["counters"]["test.work"]
+        )
+        assert (
+            merged_reg.snapshot()["events"]["test.visited"]
+            == clean_reg.snapshot()["events"]["test.visited"]
+        )
+
+    def test_merged_report_summary_names_the_shards(self, tmp_path):
+        plan = _grouped_plan(4)
+        merged = merge_journals(_shard_paths(plan, tmp_path, n=2))
+        assert "merged from 2 shard journal(s)" in merged.summary()
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(MergeError, match="no journal paths"):
+            merge_journals([])
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(MergeError, match="missing or corrupt"):
+            merge_journals([str(tmp_path / "nope.jsonl")])
+
+    def test_duplicate_shard_rejected(self, tmp_path):
+        paths = _shard_paths(_grouped_plan(8), tmp_path)
+        with pytest.raises(MergeError, match="duplicate shard 0/3"):
+            merge_journals([paths[0], paths[0], paths[1], paths[2]])
+
+    def test_missing_shard_rejected(self, tmp_path):
+        paths = _shard_paths(_grouped_plan(8), tmp_path)
+        with pytest.raises(MergeError, match=r"missing shard\(s\) \[2\]"):
+            merge_journals(paths[:2])
+
+    def test_foreign_fingerprint_rejected(self, tmp_path):
+        p1 = str(tmp_path / "a.jsonl")
+        p2 = str(tmp_path / "b.jsonl")
+        Journal.create(p1, "plan-a", 1, shard=(0, 2), plan_items=2).close()
+        Journal.create(p2, "plan-b", 1, shard=(1, 2), plan_items=2).close()
+        with pytest.raises(MergeError) as exc:
+            merge_journals([p1, p2])
+        # expected vs. found, both fingerprints named
+        assert "plan-a" in str(exc.value) and "plan-b" in str(exc.value)
+        assert "expected" in str(exc.value) and "found" in str(exc.value)
+
+    def test_foreign_plan_object_rejected(self, tmp_path):
+        plan = _grouped_plan(4)
+        paths = _shard_paths(plan, tmp_path, n=2)
+        other = SweepPlan.competitive(["edf"], ["uniform"], n=5, seeds=1)
+        with pytest.raises(MergeError, match="from the plan"):
+            merge_journals(paths, plan=other)
+
+    def test_inconsistent_shard_count_rejected(self, tmp_path):
+        p1 = str(tmp_path / "a.jsonl")
+        p2 = str(tmp_path / "b.jsonl")
+        Journal.create(p1, "fp", 2, shard=(0, 2), plan_items=4).close()
+        Journal.create(p2, "fp", 2, shard=(1, 3), plan_items=4).close()
+        with pytest.raises(MergeError, match="inconsistent shard count"):
+            merge_journals([p1, p2])
+
+    def test_inconsistent_plan_size_rejected(self, tmp_path):
+        p1 = str(tmp_path / "a.jsonl")
+        p2 = str(tmp_path / "b.jsonl")
+        Journal.create(p1, "fp", 2, shard=(0, 2), plan_items=4).close()
+        Journal.create(p2, "fp", 2, shard=(1, 2), plan_items=6).close()
+        with pytest.raises(MergeError, match="inconsistent parent plan size"):
+            merge_journals([p1, p2])
+
+    def test_overlapping_shards_rejected(self, tmp_path):
+        p1 = str(tmp_path / "a.jsonl")
+        p2 = str(tmp_path / "b.jsonl")
+        j = Journal.create(p1, "fp", 2, shard=(0, 2), plan_items=4)
+        j.append_item(0, "t", "ok", 1, None, 1, {})
+        j.append_item(1, "t", "ok", 1, None, 1, {})
+        j.close()
+        j = Journal.create(p2, "fp", 3, shard=(1, 2), plan_items=4)
+        for i in (1, 2, 3):  # item 1 also claimed by shard 0
+            j.append_item(i, "t", "ok", 1, None, 1, {})
+        j.close()
+        with pytest.raises(MergeError, match="overlapping shards: item 1"):
+            merge_journals([p1, p2])
+
+    def test_torn_tail_rejected(self, tmp_path):
+        plan = _grouped_plan(8)
+        paths = _shard_paths(plan, tmp_path)
+        with open(paths[1]) as fh:
+            lines = fh.readlines()
+        with open(paths[1], "w") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])  # torn mid-record
+        with pytest.raises(MergeError, match="torn tail.*--resume"):
+            merge_journals(paths)
+
+    def test_incomplete_shard_rejected(self, tmp_path):
+        plan = _grouped_plan(8)
+        paths = _shard_paths(plan, tmp_path)
+        with open(paths[2]) as fh:
+            lines = fh.readlines()
+        with open(paths[2], "w") as fh:
+            fh.writelines(lines[:2])  # header + first item: a clean prefix
+        with pytest.raises(MergeError, match="never completed.*--resume"):
+            merge_journals(paths)
+
+    def test_unsettled_shard_rejected_then_resume_heals(self, tmp_path):
+        plan = _grouped_plan(8)
+        clean = _canon(run_sweep(plan, n_jobs=1, chunksize=2))
+        target = plan.shard(1, 3).items[0].index
+        paths = _shard_paths(plan, tmp_path, skip={1})
+        run_sweep(plan.shard(1, 3), n_jobs=1, chunksize=2, journal=paths[1],
+                  retry=0, faults=FaultPlan.parse(f"transient:{target}"))
+        with pytest.raises(MergeError, match="unsettled.*--resume"):
+            merge_journals(paths)
+        run_sweep(plan.shard(1, 3), n_jobs=1, chunksize=2,
+                  journal=paths[1], resume=True)
+        assert canonical_report_view(merge_journals(paths)) == clean
+
+
+class TestJournalIdentityErrors:
+    """Satellite bugfix: mismatch errors name expected vs. found identity."""
+
+    def test_mismatch_reports_both_fingerprints_and_shards(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        Journal.create(path, "plan-a", 1, shard=(1, 3), plan_items=6).close()
+        with pytest.raises(JournalMismatch) as exc:
+            Journal.append_to(path, "plan-b", shard=(0, 3))
+        message = str(exc.value)
+        assert "expected" in message and "found" in message
+        assert "'plan-b'" in message and "'plan-a'" in message
+        assert "0/3" in message and "1/3" in message
+
+    def test_resume_refuses_sibling_shard_journal(self, tmp_path):
+        plan = _grouped_plan(8)
+        path = str(tmp_path / "j.jsonl")
+        run_sweep(plan.shard(0, 3), n_jobs=1, journal=path)
+        with pytest.raises(JournalMismatch, match="0/3"):
+            run_sweep(plan.shard(1, 3), n_jobs=1, journal=path, resume=True)
+
+    def test_resume_refuses_unsharded_journal_for_shard(self, tmp_path):
+        plan = _grouped_plan(4)
+        path = str(tmp_path / "j.jsonl")
+        run_sweep(plan, n_jobs=1, journal=path)
+        with pytest.raises(JournalMismatch) as exc:
+            run_sweep(plan.shard(0, 2), n_jobs=1, journal=path, resume=True)
+        assert "0/2" in str(exc.value) and "0/1" in str(exc.value)
+
+
+class TestKillAnyShard:
+    """The acceptance scenario: kill any shard, resume it, merge — identical."""
+
+    @pytest.mark.parametrize("victim", [0, 1, 2])
+    def test_quarantined_shard_resumes_to_identical_merge(
+        self, victim, tmp_path
+    ):
+        plan = _grouped_plan(12)
+        clean = _canon(run_sweep(plan, n_jobs=1, chunksize=2))
+        target = plan.shard(victim, 3).items[0].index
+        paths = _shard_paths(plan, tmp_path, skip={victim})
+        struck = run_sweep(
+            plan.shard(victim, 3), n_jobs=1, chunksize=2,
+            journal=paths[victim], retry=0,
+            faults=FaultPlan.parse(f"transient:{target}"),
+        )
+        assert not struck.ok  # the shard really was wounded
+        healed = run_sweep(plan.shard(victim, 3), n_jobs=1, chunksize=2,
+                           journal=paths[victim], resume=True)
+        assert healed.ok
+        assert canonical_report_view(merge_journals(paths, plan=plan)) == clean
+
+    @pytest.mark.parametrize("victim", [0, 1, 2])
+    def test_shard_killed_mid_journal_resumes_to_identical_merge(
+        self, victim, tmp_path
+    ):
+        # Simulate SIGKILLing the shard's *driver process* partway: keep an
+        # arbitrary journal prefix (here: header + one item), then resume.
+        plan = _grouped_plan(12)
+        clean = _canon(run_sweep(plan, n_jobs=1, chunksize=2))
+        paths = _shard_paths(plan, tmp_path)
+        with open(paths[victim]) as fh:
+            lines = fh.readlines()
+        with open(paths[victim], "w") as fh:
+            fh.writelines(lines[:2])
+        run_sweep(plan.shard(victim, 3), n_jobs=1, chunksize=2,
+                  journal=paths[victim], resume=True)
+        assert canonical_report_view(merge_journals(paths)) == clean
+
+    @fork_only
+    def test_sigkilled_worker_in_shard_recovers_in_run(self, tmp_path):
+        plan = _grouped_plan(12)
+        clean = _canon(run_sweep(plan, n_jobs=1, chunksize=2))
+        target = plan.shard(1, 3).items[0].index
+        paths = _shard_paths(plan, tmp_path, skip={1})
+        report = run_sweep(
+            plan.shard(1, 3), n_jobs=2, chunksize=2, journal=paths[1],
+            faults=FaultPlan.parse(f"sigkill:{target}"),
+        )
+        # the degradation ladder healed the shard without an operator resume
+        assert report.ok
+        assert canonical_report_view(merge_journals(paths)) == clean
+
+
+# ---------------------------------------------------------------------------
 # CLI
 
 
@@ -593,3 +838,85 @@ class TestChaosCLI:
             "-n", "5", "--seeds", "1", "--item-timeout", "60",
         ]) == 0
         assert "1/1 items ok" in capsys.readouterr().out
+
+
+class TestShardCLI:
+    BASE = [
+        "sweep", "ratio", "--policies", "edf,firstfit",
+        "--families", "uniform", "-n", "5", "--seeds", "3",
+    ]
+
+    def test_shard_and_merge_roundtrip(self, tmp_path, capsys):
+        clean_snap = str(tmp_path / "clean.json")
+        merged_snap = str(tmp_path / "merged.json")
+        assert main(self.BASE + ["--snapshot", clean_snap]) == 0
+        journals = []
+        for k in range(3):
+            journal = str(tmp_path / f"shard{k}.jsonl")
+            assert main(self.BASE + [
+                "--shard", f"{k}/3", "--journal", journal,
+            ]) == 0
+            journals.append(journal)
+        out = capsys.readouterr().out
+        assert "shard 2/3" in out  # summaries carry the shard identity
+        assert main([
+            "sweep", "merge", *journals, "--snapshot", merged_snap,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "merged from 3 shard journal(s)" in out
+        assert "edf" in out and "firstfit" in out  # ratio table rendered
+        clean = canonical_report_view(json.loads(open(clean_snap).read()))
+        merged = canonical_report_view(json.loads(open(merged_snap).read()))
+        assert clean == merged
+
+    def test_chaos_struck_shard_resume_then_merge(self, tmp_path, capsys):
+        clean_snap = str(tmp_path / "clean.json")
+        merged_snap = str(tmp_path / "merged.json")
+        assert main(self.BASE + ["--snapshot", clean_snap]) == 0
+        journals = [str(tmp_path / f"shard{k}.jsonl") for k in range(3)]
+        assert main(self.BASE + ["--shard", "0/3", "--journal", journals[0]]) == 0
+        assert main(self.BASE + ["--shard", "2/3", "--journal", journals[2]]) == 0
+        # shard 1 owns item 2 (groups round-robin); strike it, no retries
+        assert main(self.BASE + [
+            "--shard", "1/3", "--journal", journals[1],
+            "--chaos", "transient:2", "--retries", "0",
+        ]) == 1
+        with pytest.raises(SystemExit, match="unsettled"):
+            main(["sweep", "merge", *journals])
+        assert main(self.BASE + [
+            "--shard", "1/3", "--journal", journals[1], "--resume",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "sweep", "merge", *journals, "--snapshot", merged_snap,
+        ]) == 0
+        clean = canonical_report_view(json.loads(open(clean_snap).read()))
+        merged = canonical_report_view(json.loads(open(merged_snap).read()))
+        assert clean == merged
+
+    def test_bad_shard_spec_rejected(self):
+        with pytest.raises(SystemExit, match="expects K/N"):
+            main(self.BASE + ["--shard", "three"])
+
+    def test_out_of_range_shard_rejected(self):
+        with pytest.raises(SystemExit, match="0 <= k < n"):
+            main(self.BASE + ["--shard", "3/3"])
+
+    def test_merge_requires_journals(self):
+        with pytest.raises(SystemExit, match="at least one shard journal"):
+            main(["sweep", "merge"])
+
+    def test_merge_rejects_shard_flag(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        with pytest.raises(SystemExit, match="does not apply"):
+            main(["sweep", "merge", journal, "--shard", "0/3"])
+
+    def test_stray_journals_rejected_for_run_kinds(self):
+        with pytest.raises(SystemExit, match="only apply to 'sweep merge'"):
+            main(["sweep", "ratio", "stray.jsonl"])
+
+    def test_merge_error_is_a_clean_exit(self, tmp_path):
+        journal = str(tmp_path / "shard0.jsonl")
+        assert main(self.BASE + ["--shard", "0/3", "--journal", journal]) == 0
+        with pytest.raises(SystemExit, match="duplicate shard 0/3"):
+            main(["sweep", "merge", journal, journal])

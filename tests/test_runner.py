@@ -130,6 +130,123 @@ class TestChunking:
 
 
 # ---------------------------------------------------------------------------
+# sharding
+
+
+def _ratio_plan(seeds=5, root=0):
+    return SweepPlan.competitive(
+        ["edf", "firstfit"], ["uniform"], n=5, seeds=seeds, root_seed=root
+    )
+
+
+class TestSharding:
+    def test_shard_arguments_validated(self):
+        plan = _ratio_plan()
+        with pytest.raises(ValueError, match=">= 1"):
+            plan.shard(0, 0)
+        with pytest.raises(ValueError, match="0 <= k < n"):
+            plan.shard(3, 3)
+        with pytest.raises(ValueError, match="0 <= k < n"):
+            plan.shard(-1, 2)
+
+    def test_single_shard_is_the_whole_plan(self):
+        plan = _ratio_plan()
+        shard = plan.shard(0, 1)
+        assert [i.index for i in shard] == [i.index for i in plan]
+        assert shard.shard_id == (0, 1)
+        assert shard.plan_items == len(plan)
+
+    def test_known_partition_is_pinned(self):
+        # 5 groups of 2 items (2 policies x 5 seeds); groups round-robin
+        # over shards in first-appearance order.  Pinned: a change here
+        # silently repartitions every multi-host sweep.
+        plan = _ratio_plan()
+        got = [[i.index for i in plan.shard(k, 3)] for k in range(3)]
+        assert got == [[0, 1, 6, 7], [2, 3, 8, 9], [4, 5]]
+
+    def test_shard_keeps_parent_identity(self):
+        plan = _ratio_plan()
+        shard = plan.shard(1, 3)
+        assert shard.shard_id == (1, 3)
+        assert shard.fingerprint() == plan.fingerprint()
+        assert shard.plan_items == len(plan)
+        # items keep their parent-plan indices (fault specs, journals, and
+        # merge all speak parent-global indices)
+        assert [i.index for i in shard] == [2, 3, 8, 9]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        policies=st.lists(
+            st.sampled_from(["edf", "llf", "firstfit", "bestfit"]),
+            min_size=1, max_size=2, unique=True,
+        ),
+        family=st.sampled_from(sorted(FAMILIES)),
+        seeds=st.integers(1, 6),
+        root=st.integers(0, 2**32),
+        n_shards=st.integers(1, 5),
+    )
+    def test_property_shards_partition_the_plan(
+        self, policies, family, seeds, root, n_shards
+    ):
+        plan = SweepPlan.competitive(
+            policies, [family], n=4, seeds=seeds, root_seed=root
+        )
+        shards = [plan.shard(k, n_shards) for k in range(n_shards)]
+        # pairwise disjoint, union to the full plan
+        indices = [i.index for s in shards for i in s]
+        assert len(indices) == len(set(indices))
+        assert sorted(indices) == [item.index for item in plan]
+        # each shard lists its items in canonical (plan) order
+        for shard in shards:
+            idx = [i.index for i in shard]
+            assert idx == sorted(idx)
+        # no group is ever split across shards
+        owner = {}
+        for k, shard in enumerate(shards):
+            for item in shard:
+                assert owner.setdefault(item.group, k) == k
+        # pure function of the plan: an independently rebuilt plan agrees
+        rebuilt = SweepPlan.competitive(
+            policies, [family], n=4, seeds=seeds, root_seed=root
+        )
+        for k in range(n_shards):
+            assert rebuilt.shard(k, n_shards).items == shards[k].items
+
+    def test_partition_stable_across_processes(self):
+        # The partition must not depend on the salted builtin hash: a fresh
+        # interpreter under PYTHONHASHSEED=random computes the same shards.
+        import subprocess
+        import sys
+
+        code = (
+            "import json; from repro.runner import SweepPlan; "
+            "p = SweepPlan.competitive(['edf', 'firstfit'], ['uniform'], "
+            "n=5, seeds=5, root_seed=0); "
+            "print(json.dumps("
+            "[[i.index for i in p.shard(k, 3)] for k in range(3)]))"
+        )
+        env = dict(os.environ, PYTHONHASHSEED="random")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert json.loads(out.stdout) == [[0, 1, 6, 7], [2, 3, 8, 9], [4, 5]]
+
+    def test_sharded_runs_cover_the_full_sweep(self):
+        plan = _ratio_plan(seeds=3)
+        clean = run_sweep(plan, n_jobs=1, chunksize=2)
+        values = {}
+        for k in range(2):
+            report = run_sweep(plan.shard(k, 2), n_jobs=1, chunksize=2)
+            assert report.ok and report.shard == (k, 2)
+            values.update({r.index: r.value for r in report.results})
+        assert values == {r.index: r.value for r in clean.results}
+
+
+# ---------------------------------------------------------------------------
 # execution: determinism across worker counts
 
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Mutation smoke gate for the feasibility core.
+"""Mutation smoke gate for the feasibility core and the sharded runner.
 
 Applies small, deterministic AST mutations (operator swaps, comparison
 negations, min/max swaps) to the solver modules under ``src/repro/offline/``
-and re-runs the certificate-backed corpus tests for each mutant.  Every
-mutant must be *killed* — a surviving mutant means the certificate layer
-would accept output from a subtly broken solver, which is exactly the
-failure mode the verification layer exists to prevent.
+— plus the sweep-sharding partition (``runner/plan.py::shard``) and the
+multi-journal merge (``runner/merge.py::merge_journals``) — and re-runs the
+kill-set tests for each mutant.  Every mutant must be *killed* — a
+surviving mutant means the certificate layer would accept output from a
+subtly broken solver (or the merge layer would accept an unsound shard
+partition), which is exactly the failure mode those layers exist to
+prevent.
 
 A mutant that makes the tests hang counts as killed (the behavioral change
 was detected); a mutant that fails to compile is skipped (nothing to test).
@@ -46,10 +49,19 @@ TARGETS: Dict[str, Optional[Set[str]]] = {
         "migratory_feasible",
     },
     "src/repro/offline/optimum.py": {"migratory_optimum"},
+    # Sharded sweeps (ISSUE 7): a mutated partition (split group, skewed
+    # round-robin) or merge validation (accepted duplicate/overlap/foreign
+    # journal) must be caught by the sharding and merge kill-sets below.
+    "src/repro/runner/plan.py": {"shard"},
+    "src/repro/runner/merge.py": {"merge_journals"},
 }
 
 #: The kill-set: fast, deterministic, certificate-backed.
-DEFAULT_TESTS = ["tests/test_corpus.py"]
+DEFAULT_TESTS = [
+    "tests/test_corpus.py",
+    "tests/test_runner.py::TestSharding",
+    "tests/test_chaos.py::TestMergeJournals",
+]
 
 COMPARE_SWAP = {
     ast.Lt: ast.GtE,
