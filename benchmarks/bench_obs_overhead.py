@@ -11,8 +11,18 @@ This file *proves* it rather than asserting it on faith:
   cold-cache runs.  This is a true no-obs baseline for the hottest code in
   the repository.
 * ``test_guard_cost_nanoseconds`` — the absolute per-call price of the
-  disabled-path primitives (``incr`` / ``span`` with no sink), so future
-  instrumentation can be budgeted: call-site count × ns/call.
+  disabled-path primitives (``incr`` / ``span`` / ``observe`` with no
+  sink), so future instrumentation can be budgeted: call-site count ×
+  ns/call.
+* ``test_observe_allocation_light`` — with a registry attached, the obs
+  v2 histogram path (``observe`` → ``Hist.observe``) must stay
+  allocation-light: dict arithmetic on ``__slots__`` state, no per-call
+  object graph.
+
+The n = 1000 A/B re-gates obs v2 as well: ``Dinic.max_flow`` now feeds
+``dinic.max_flow_ns`` / ``dinic.phases_per_call`` / ``dinic.flow_per_call``
+histograms, and the baseline copy below predates all instrumentation, so
+the measured delta includes the histogram call sites.
 
 These tests do not use the ``benchmark`` fixture on purpose: the benchmark
 conftest attaches a registry to every benchmarked test, which would defeat
@@ -20,43 +30,43 @@ the point of measuring the *no-sink* path.
 """
 
 import time
-from collections import deque
-from typing import List
+from typing import List, Optional
 
 from repro import obs
 from repro.analysis.report import print_table
 from repro.generators import uniform_random_instance
 from repro.model import Instance
-from repro.offline.dinic import Dinic
+from repro.offline.dinic import KERNELS, Dinic
 from repro.offline.optimum import migratory_optimum
 
 #: Accepted no-sink overhead on the end-to-end hot path (ISSUE 3: < 5%).
 MAX_OVERHEAD = 0.05
 
 
-def _baseline_max_flow(self, s: int, t: int) -> int:
-    """Verbatim pre-instrumentation copy of ``Dinic.max_flow`` (PR 1).
+def _baseline_max_flow(self, s: int, t: int, kernel: str = "py",
+                       limit: Optional[int] = None) -> int:
+    """Verbatim copy of the current ``Dinic.max_flow``, minus every obs call.
 
-    Kept as the measurement baseline: binding this in place of the
-    instrumented method yields a true no-obs build of the hot loop.
+    Binding this in place of the instrumented method yields a true no-obs
+    build of the hot loop — the flat-buffer CSR kernel of PR 6, without
+    the PR-3 counters or the obs v2 histogram observations.  Must be kept
+    in sync with :meth:`repro.offline.dinic.Dinic.max_flow` whenever the
+    kernel itself (not its instrumentation) changes.
     """
-    to, cap, adj = self.to, self.cap, self.adj
+    self.finalize()
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    if limit is not None and limit <= 0:
+        return 0
+    bfs = self._bfs_np if kernel == "np" else self._bfs_py
+    to, cap, head, elist = self.to, self.cap, self._head, self._elist
+    it = self._it
     added = 0
     while True:
-        level = [-1] * self.n
-        level[s] = 0
-        queue = deque((s,))
-        while queue:
-            u = queue.popleft()
-            lu = level[u] + 1
-            for e in adj[u]:
-                v = to[e]
-                if cap[e] and level[v] < 0:
-                    level[v] = lu
-                    queue.append(v)
+        level = bfs(s, t)
         if level[t] < 0:
             return added
-        it = [0] * self.n
+        it[:] = head[: self.n]
         path: List[int] = []
         u = s
         while True:
@@ -66,25 +76,26 @@ def _baseline_max_flow(self, s: int, t: int) -> int:
                 for e in path:
                     cap[e] -= aug
                     cap[e ^ 1] += aug
+                if limit is not None and added >= limit:
+                    return added
                 cut = next(i for i, e in enumerate(path) if not cap[e])
                 del path[cut + 1 :]
                 e = path.pop()
                 u = to[e ^ 1]
                 it[u] += 1
                 continue
-            edges = adj[u]
             i = it[u]
+            end = head[u + 1]
             lu = level[u] + 1
-            advanced = False
-            while i < len(edges):
-                e = edges[i]
+            e = -1
+            while i < end:
+                e = elist[i]
                 v = to[e]
                 if cap[e] and level[v] == lu:
-                    advanced = True
                     break
                 i += 1
             it[u] = i
-            if advanced:
+            if i < end:
                 path.append(e)
                 u = v
             elif path:
@@ -153,13 +164,53 @@ def test_guard_cost_nanoseconds():
         with obs.span("bench.span"):
             pass
     span_ns = (time.perf_counter() - t0) / n * 1e9
+    t0 = time.perf_counter()
+    for _ in range(n):
+        obs.observe("bench.hist", 42)
+    observe_ns = (time.perf_counter() - t0) / n * 1e9
     print_table(
         "E-OBS disabled-primitive cost",
         ["primitive", "ns/call"],
-        [("incr (no sink)", round(incr_ns, 1)), ("span (no sink)", round(span_ns, 1))],
+        [
+            ("incr (no sink)", round(incr_ns, 1)),
+            ("span (no sink)", round(span_ns, 1)),
+            ("observe (no sink)", round(observe_ns, 1)),
+        ],
     )
     # Generous sanity ceiling: a no-op guard must stay well under 1 µs.
-    assert incr_ns < 1000 and span_ns < 2000
+    assert incr_ns < 1000 and span_ns < 2000 and observe_ns < 1000
+
+
+def test_observe_allocation_light():
+    """`observe` into a live registry must not build a per-call object graph.
+
+    Warm the histogram so every bucket already exists, then trace 10k
+    observations with ``tracemalloc``: steady-state growth is a few ints
+    (count/sum bookkeeping), far below one small object per call.
+    """
+    import tracemalloc
+
+    assert not obs.enabled()
+    n = 10_000
+    with obs.capture() as registry:
+        for v in range(1, 1025):  # pre-grow every bucket the loop will hit
+            obs.observe("bench.hist", v)
+        tracemalloc.start()
+        for v in range(n):
+            obs.observe("bench.hist", v % 1024 + 1)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    hist = registry.hists["bench.hist"]
+    assert hist.count == 1024 + n
+    print_table(
+        "E-OBS observe() allocation (10k samples, warm buckets)",
+        ["metric", "bytes"],
+        [("retained", current), ("peak", peak)],
+    )
+    # One small PyObject is ~56 bytes; n of them would be ~560 KB.  The
+    # observed steady state is a handful of ints and tracemalloc's own
+    # bookkeeping — gate with plenty of slack.
+    assert peak < 64 * 1024, f"observe() allocated {peak} bytes peak over {n} calls"
 
 
 def test_sink_attached_still_reasonable():

@@ -10,12 +10,19 @@ Subcommands (``python -m repro <cmd> …`` or the ``repro`` entry point):
 * ``gantt``     — render a schedule JSON as an ASCII chart
 * ``adversary`` — run the Lemma 2 or Lemma 9 adversary against a policy
 * ``verify``    — certified feasibility verdicts and backend cross-checks
-* ``stats``     — one-shot observability report (counters + span timings)
+* ``stats``     — one-shot observability report (counters + span timings +
+  latency histogram quantiles); ``--prom`` renders the snapshot in
+  Prometheus text exposition format
+* ``trace``     — post-hoc analysis of a ``--trace`` JSONL file: hotspot
+  table (self vs. cumulative span time), folded stacks for
+  flamegraph.pl/speedscope, and ``trace diff a.jsonl b.jsonl``
 * ``sweep``     — parallel seeded sweeps (ratio / differential / corpus)
   across worker processes, bit-identical to the serial run; ``--shard k/n``
-  runs one group-preserving shard for multi-host fan-out, and
+  runs one group-preserving shard for multi-host fan-out,
   ``sweep merge j0.jsonl j1.jsonl …`` folds the shard journals back into
-  the canonical unsharded report
+  the canonical unsharded report, ``--progress`` renders a live stderr
+  ticker, and ``sweep status journal.jsonl`` reports a run's progress
+  from its durable journal alone
 
 Every subcommand accepts ``--trace OUT.jsonl``: the run's full span/counter
 event stream (see :mod:`repro.obs`) is written as JSON lines for offline
@@ -350,18 +357,77 @@ def cmd_stats(args) -> int:
                 f"; {args.policy} at m={optimum}: "
                 f"missed = {engine.missed_jobs or 'none'}"
             )
+    if args.prom:
+        print(obs.render_prometheus(registry.snapshot()), end="")
+        return 0
     if args.json:
         payload = {
             "instance": args.instance,
             "speed": str(speed),
             "backend": args.backend,
             "optimum": optimum,
+            "hist_quantiles": registry.hist_quantiles(),
             **registry.snapshot(),
         }
         print(_json.dumps(payload, indent=2))
         return 0
     print(headline)
     print(registry.summary())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Analyze (or diff) JSONL trace files written by ``--trace``."""
+    import json as _json
+
+    files = list(args.files)
+    mode = "analyze"
+    if files and files[0] in ("analyze", "diff"):
+        mode = files.pop(0)
+
+    if mode == "diff":
+        if len(files) != 2:
+            raise SystemExit(
+                "trace diff expects exactly two trace files: "
+                "repro trace diff before.jsonl after.jsonl"
+            )
+        before, after = obs.load_trace(files[0]), obs.load_trace(files[1])
+        if args.json:
+            print(_json.dumps(
+                obs.diff_traces(before, after, top=args.top), indent=2
+            ))
+        else:
+            print(obs.render_diff(before, after, top=args.top))
+        return 0
+
+    if len(files) != 1:
+        raise SystemExit(
+            "trace expects one trace file (or 'diff A B'): "
+            "repro trace run.jsonl"
+        )
+    summary = obs.load_trace(files[0])
+    if args.folded:
+        folded = obs.folded_stacks(summary)
+        if args.folded == "-":
+            print(folded)
+        else:
+            with open(args.folded, "w", encoding="utf-8") as fh:
+                fh.write(folded + ("\n" if folded else ""))
+    if args.json:
+        print(_json.dumps({
+            "file": files[0],
+            "records": summary.records,
+            "skipped": summary.skipped,
+            "hotspots": obs.hotspots(summary, top=args.top),
+            "counters": summary.counters,
+            "events": summary.events,
+        }, indent=2))
+        return 0
+    print(f"{files[0]}: {summary.records} records"
+          + (f" ({summary.skipped} skipped)" if summary.skipped else ""))
+    print(obs.render_hotspots(summary, top=args.top))
+    if args.folded and args.folded != "-":
+        print(f"folded stacks written to {args.folded}")
     return 0
 
 
@@ -377,12 +443,52 @@ def cmd_sweep(args) -> int:
         InstanceSpec,
         JournalError,
         SweepPlan,
+        journal_status,
         merge_journals,
         run_sweep,
         split_seed,
     )
     from .runner.tasks import POLICIES as SWEEP_POLICIES
     from .verify.differential import DifferentialReport
+
+    if args.kind == "status":
+        # Progress of a journaled sweep, from the durable file alone — no
+        # plan flags, no running process required.
+        if len(args.journals) != 1:
+            raise SystemExit(
+                "sweep status expects exactly one journal, e.g. "
+                "repro sweep status journal.jsonl"
+            )
+        try:
+            status = journal_status(args.journals[0])
+        except JournalError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            print(_json.dumps(status, indent=2))
+            return 0 if status["complete"] else 1
+        k, n = status["shard"]
+        shard_note = f" (shard {k}/{n} of a {status['plan_items']}-item plan)" \
+            if (k, n) != (0, 1) else ""
+        print(f"journal: {status['path']}{shard_note}")
+        print(f"plan fingerprint: {status['plan']}")
+        by_status = ", ".join(
+            f"{count} {name}" for name, count in status["by_status"].items()
+        ) or "none"
+        print(f"items: {status['settled']}/{status['shard_items']} settled "
+              f"({by_status}), {status['remaining']} remaining")
+        if status["retries"]:
+            print(f"retries: {status['retries']}")
+        if status["dropped"]:
+            print(f"torn tail: {status['dropped']} corrupt trailing line(s) "
+                  f"(resume will heal them)")
+        if status["rate"] is not None:
+            eta = (f", eta ~{status['eta_seconds']:.0f}s"
+                   if status["remaining"] else "")
+            print(f"throughput: {status['rate']:.1f} items/s over "
+                  f"{status['elapsed_seconds']:.1f}s{eta}")
+        print("state: " + ("complete" if status["complete"]
+                           else "incomplete (resume with --resume)"))
+        return 0 if status["complete"] else 1
 
     if args.kind == "merge":
         # Fold N shard journals into the canonical unsharded report.  The
@@ -402,6 +508,9 @@ def cmd_sweep(args) -> int:
         if args.snapshot:
             with open(args.snapshot, "w", encoding="utf-8") as fh:
                 _json.dump(report.snapshot(), fh, indent=2)
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(obs.render_prometheus(report.snapshot()))
         if args.json:
             print(_json.dumps(report.snapshot(), indent=2))
         elif report.results and all(
@@ -421,7 +530,8 @@ def cmd_sweep(args) -> int:
 
     if args.journals:
         raise SystemExit(
-            "positional journal arguments only apply to 'sweep merge'"
+            "positional journal arguments only apply to 'sweep merge' "
+            "and 'sweep status'"
         )
     if args.resume and not args.journal:
         raise SystemExit("--resume requires --journal")
@@ -480,20 +590,36 @@ def cmd_sweep(args) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
 
-    report = run_sweep(
-        plan,
-        n_jobs=args.workers,
-        chunksize=args.chunksize,
-        item_timeout=args.item_timeout,
-        retry=args.retries,
-        faults=faults,
-        journal=args.journal,
-        resume=args.resume,
-    )
+    ticker = None
+    if args.progress:
+        def ticker(sample) -> None:
+            sys.stderr.write("\r" + sample.render() + "\x1b[K")
+            sys.stderr.flush()
+
+    try:
+        report = run_sweep(
+            plan,
+            n_jobs=args.workers,
+            chunksize=args.chunksize,
+            item_timeout=args.item_timeout,
+            retry=args.retries,
+            faults=faults,
+            journal=args.journal,
+            resume=args.resume,
+            progress=ticker,
+            progress_interval=0.2 if args.progress else 1.0,
+        )
+    finally:
+        if ticker is not None:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
 
     if args.snapshot:
         with open(args.snapshot, "w", encoding="utf-8") as fh:
             _json.dump(report.snapshot(), fh, indent=2)
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(obs.render_prometheus(report.snapshot()))
 
     exit_code = 0 if report.ok else 1
     if args.json:
@@ -680,16 +806,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "(adds engine.* counters)")
     p.add_argument("--json", action="store_true",
                    help="emit the counter/span snapshot as JSON")
+    p.add_argument("--prom", action="store_true",
+                   help="emit the snapshot in Prometheus text exposition "
+                        "format (counters, gauges, histograms, span totals)")
     p.set_defaults(func=cmd_stats)
+
+    p = add_parser(
+        "trace",
+        help="analyze a --trace JSONL file (hotspots, folded stacks, diffs)",
+    )
+    p.add_argument("files", nargs="+", metavar="FILE",
+                   help="trace file; or 'analyze FILE'; or 'diff A B' for a "
+                        "before/after comparison")
+    p.add_argument("--top", type=int, default=20,
+                   help="rows in the hotspot/diff table (default 20)")
+    p.add_argument("--folded", metavar="OUT.txt", default=None,
+                   help="write folded stacks (flamegraph.pl/speedscope "
+                        "input) to this file ('-' for stdout)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the hotspot rows (or diff rows) as JSON")
+    p.set_defaults(func=cmd_trace)
 
     p = add_parser(
         "sweep",
         help="deterministic parallel sweep (process-pool fan-out)",
     )
-    p.add_argument("kind", choices=["ratio", "differential", "corpus", "merge"])
+    p.add_argument("kind",
+                   choices=["ratio", "differential", "corpus", "merge",
+                            "status"])
     p.add_argument("journals", nargs="*", metavar="JOURNAL",
-                   help="shard journals to fold ('merge' kind only): "
-                        "repro sweep merge shard0.jsonl shard1.jsonl ...")
+                   help="shard journals to fold ('merge' kind), or the one "
+                        "journal to report on ('status' kind)")
     p.add_argument("--shard", metavar="K/N", default=None,
                    help="run only the deterministic, group-preserving shard "
                         "K of N (0 <= K < N); every host computes the same "
@@ -717,6 +864,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit results + merged counter snapshot as JSON")
     p.add_argument("--snapshot", metavar="OUT.json",
                    help="also write the merged snapshot to this file")
+    p.add_argument("--prom", metavar="OUT.prom", default=None,
+                   help="also write the merged snapshot in Prometheus text "
+                        "exposition format to this file")
+    p.add_argument("--progress", action="store_true",
+                   help="render a live single-line progress ticker "
+                        "(done/failed/retried counts, throughput, ETA) on "
+                        "stderr while the sweep runs")
     p.add_argument("--journal", metavar="OUT.jsonl", default=None,
                    help="append every completed item to this durable, "
                         "checksummed journal as the sweep runs")

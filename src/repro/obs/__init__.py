@@ -17,6 +17,13 @@ explicit and scoped::
 The CLI exposes the same machinery as ``repro stats INSTANCE.json`` (one-shot
 report) and a global ``--trace out.jsonl`` flag on every subcommand.
 
+Obs v2 adds distributions and their consumers: deterministic log-bucketed
+streaming histograms (:mod:`repro.obs.hist`, fed by ``observe()`` and by
+every span duration), Prometheus text exposition of any registry snapshot
+(:mod:`repro.obs.prom`, ``repro stats --prom``), and offline trace
+analytics — hotspot tables, folded stacks, trace diffs — over the JSONL
+stream (:mod:`repro.obs.trace`, ``repro trace``).
+
 Span taxonomy and the JSONL event schema are documented in
 ``docs/ARCHITECTURE.md`` ("Observability").
 """
@@ -28,11 +35,24 @@ from .core import (
     enabled,
     event,
     gauge,
+    hist_snapshot,
     incr,
+    observe,
     span,
     span_path,
 )
+from .hist import SUBBUCKETS, Hist, bucket_bounds, bucket_index
+from .prom import render_prometheus
 from .sinks import JsonlSink, Registry, Sink, SpanStat, StderrSummary, jsonable
+from .trace import (
+    TraceSummary,
+    diff_traces,
+    folded_stacks,
+    hotspots,
+    load_trace,
+    render_diff,
+    render_hotspots,
+)
 
 __all__ = [
     "attach",
@@ -41,13 +61,27 @@ __all__ = [
     "enabled",
     "event",
     "gauge",
+    "hist_snapshot",
     "incr",
+    "observe",
     "span",
     "span_path",
+    "Hist",
+    "SUBBUCKETS",
+    "bucket_bounds",
+    "bucket_index",
+    "render_prometheus",
     "JsonlSink",
     "Registry",
     "Sink",
     "SpanStat",
     "StderrSummary",
     "jsonable",
+    "TraceSummary",
+    "diff_traces",
+    "folded_stacks",
+    "hotspots",
+    "load_trace",
+    "render_diff",
+    "render_hotspots",
 ]

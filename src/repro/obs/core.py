@@ -13,7 +13,10 @@ module-level sink list:
   across threads and async contexts; with no sink attached ``span()``
   returns a shared no-op singleton (no allocation, no clock read),
 * :func:`incr` / :func:`gauge` / :func:`event` — monotonic counters,
-  last-value gauges, and point events.
+  last-value gauges, and point events,
+* :func:`observe` — one sample into a named streaming histogram (see
+  :mod:`repro.obs.hist`); :func:`hist_snapshot` replays a whole merged
+  histogram at once (how the runner forwards worker distributions).
 
 Sinks receive the raw stream (see :mod:`repro.obs.sinks`): the in-memory
 :class:`~repro.obs.sinks.Registry` aggregates for tests and one-shot
@@ -39,8 +42,11 @@ __all__ = [
     "enabled",
     "event",
     "gauge",
+    "hist_snapshot",
     "incr",
+    "observe",
     "span",
+    "span_agg",
     "span_path",
 ]
 
@@ -143,6 +149,46 @@ def gauge(name: str, value: Any, **attrs: Any) -> None:
         return
     for sink in list(_sinks):
         sink.on_gauge(name, value, attrs)
+
+
+def observe(name: str, value: Any, **attrs: Any) -> None:
+    """Record one sample into the streaming histogram ``name``.
+
+    Histograms whose names end in ``_ns`` hold nanosecond durations;
+    everything else holds deterministic algorithmic values (see
+    :mod:`repro.obs.hist` for the convention and its consequences).
+    """
+    if not _sinks:
+        return
+    for sink in list(_sinks):
+        sink.on_observe(name, value, attrs)
+
+
+def hist_snapshot(name: str, snapshot: Dict[str, Any]) -> None:
+    """Replay a whole histogram snapshot into the attached sinks.
+
+    Used by the runner's ambient replay: a merged worker distribution is
+    forwarded in one call instead of one :func:`observe` per sample.
+    """
+    if not _sinks:
+        return
+    for sink in list(_sinks):
+        sink.on_hist(name, snapshot)
+
+
+def span_agg(path: str, stat: Dict[str, int]) -> None:
+    """Replay an aggregated span statistic into the attached sinks.
+
+    ``stat`` carries ``count``/``total_ns``/``max_ns``/``errors`` for one
+    span path — the shape of a :class:`~repro.obs.sinks.Registry` snapshot
+    entry.  Used by the runner's ambient replay so trace files and ambient
+    registries see worker span totals even though the individual span
+    records stayed worker-local.
+    """
+    if not _sinks:
+        return
+    for sink in list(_sinks):
+        sink.on_span_agg(path, stat)
 
 
 def event(name: str, **attrs: Any) -> None:

@@ -1,0 +1,148 @@
+"""Prometheus text exposition of a :class:`~repro.obs.sinks.Registry` snapshot.
+
+This is the exact payload a future ``repro serve`` ``/metrics`` route will
+return; today it is surfaced as ``repro stats --prom`` and as a CI artifact
+of the smoke sweep.  The renderer is a pure function of the snapshot dict
+(the JSON-safe output of ``Registry.snapshot()`` or a ``SweepReport``
+snapshot), so it works identically on live registries, sweep snapshots
+loaded from disk, and journal merges.
+
+Mapping (text exposition format, version 0.0.4):
+
+* counters → ``repro_<name>_total`` counter samples,
+* numeric gauges → ``repro_<name>`` gauge samples (non-numeric gauges are
+  skipped; exact ``Fraction`` strings like ``"4/3"`` are converted),
+* histograms → ``repro_<name>`` histogram families: cumulative
+  ``_bucket{le="..."}`` samples over the fixed log-bucket upper bounds
+  (see :mod:`repro.obs.hist`), the mandatory ``le="+Inf"`` bucket,
+  ``_sum``, and ``_count``,
+* span statistics → three labelled counter families
+  (``repro_span_calls_total``, ``repro_span_errors_total``,
+  ``repro_span_ns_total``) with the hierarchical path as a ``path`` label,
+  so arbitrary span trees don't explode the metric-name namespace.
+
+Metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and prefixed
+with the ``repro_`` namespace; output ordering is deterministic (sorted
+within each section) so the exposition is diffable and snapshot-testable.
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import Any, Dict, List, Optional
+
+from .hist import Hist
+
+__all__ = ["render_prometheus"]
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(raw: str, namespace: str) -> str:
+    name = _NAME_BAD.sub("_", raw)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return f"{namespace}_{name}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\"", "\\\"").replace("\n", "\\n")
+
+
+def _number(value: Any) -> Optional[float]:
+    """A finite float for a sample value, or None if it isn't numeric."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, Fraction):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(Fraction(value))
+        except (ValueError, ZeroDivisionError):
+            return None
+    return None
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Any, namespace: str = "repro") -> str:
+    """Render a registry/report snapshot in Prometheus text exposition format.
+
+    ``snapshot`` may be the dict from ``Registry.snapshot()`` (or any
+    superset, e.g. a ``SweepReport.snapshot()``) or an object exposing
+    ``snapshot()``.  Returns the full exposition text, terminated by a
+    newline, with deterministic ordering.
+    """
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    lines: List[str] = []
+    seen: set = set()
+
+    for raw, value in sorted(snapshot.get("counters", {}).items()):
+        sample = _number(value)
+        if sample is None:
+            continue
+        name = _metric_name(raw, namespace)
+        if not name.endswith("_total"):
+            name += "_total"
+        if name in seen:
+            continue
+        seen.add(name)
+        lines.append(f"# HELP {name} Counter {raw}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format(sample)}")
+
+    for raw, value in sorted(snapshot.get("gauges", {}).items()):
+        sample = _number(value)
+        if sample is None:
+            continue
+        name = _metric_name(raw, namespace)
+        if name in seen:
+            continue
+        seen.add(name)
+        lines.append(f"# HELP {name} Gauge {raw}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format(sample)}")
+
+    for raw, snap in sorted(snapshot.get("hists", {}).items()):
+        hist = Hist.from_snapshot(snap)
+        name = _metric_name(raw, namespace)
+        if name in seen:
+            continue
+        seen.add(name)
+        lines.append(f"# HELP {name} Histogram {raw}")
+        lines.append(f"# TYPE {name} histogram")
+        for upper, cumulative in hist.cumulative():
+            lines.append(
+                f'{name}_bucket{{le="{_format(float(upper))}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        total = _number(hist.sum)
+        lines.append(f"{name}_sum {_format(total if total is not None else 0.0)}")
+        lines.append(f"{name}_count {hist.count}")
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        families = (
+            ("span_calls_total", "counter", "count", "Span call count"),
+            ("span_errors_total", "counter", "errors", "Span error count"),
+            ("span_ns_total", "counter", "total_ns", "Span wall time (ns)"),
+        )
+        for suffix, kind, key, help_text in families:
+            name = f"{namespace}_{suffix}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for path, stat in sorted(spans.items()):
+                lines.append(
+                    f'{name}{{path="{_escape_label(path)}"}} '
+                    f"{_format(float(stat[key]))}"
+                )
+
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,11 +1,15 @@
 """Sinks for the observability stream.
 
-A sink is any object with the four callbacks below; :mod:`repro.obs.core`
-fans every span/counter/gauge/event out to all attached sinks:
+A sink is any object with the callbacks below; :mod:`repro.obs.core`
+fans every span/counter/gauge/event/observation out to all attached sinks:
 
 * :class:`Registry` — thread-safe in-memory aggregation (counters sum,
-  gauges keep the last value, spans keep count/total/max nanoseconds).
-  The workhorse for tests, ``repro stats``, and the benchmark harness.
+  gauges keep the last value, spans keep count/total/max nanoseconds,
+  histograms stream into fixed log buckets — see :mod:`repro.obs.hist`).
+  Every span duration additionally feeds the histogram ``<path>_ns``, so
+  latency quantiles per span path come for free wherever spans already
+  exist.  The workhorse for tests, ``repro stats``, and the benchmark
+  harness.
 * :class:`JsonlSink` — one JSON object per line, timestamps relative to
   sink creation, for offline analysis and CI artifacts.
 * :class:`StderrSummary` — aggregates like a registry and renders a
@@ -25,6 +29,8 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Dict, IO, Optional, Union
 
+from .hist import Hist
+
 __all__ = ["Sink", "Registry", "JsonlSink", "StderrSummary", "jsonable"]
 
 
@@ -41,11 +47,23 @@ def jsonable(value: Any) -> Any:
     return str(value)
 
 
+def _fmt_hist_value(name: str, value: Any) -> str:
+    """One histogram table cell; ``*_ns`` histograms render as milliseconds."""
+    if value is None:
+        return "-"
+    if name.endswith("_ns"):
+        return f"{value / 1e6:.3f}ms"
+    return f"{float(value):g}"
+
+
 class Sink:
     """Base sink: ignores everything.  Subclasses override what they need."""
 
     def on_span(self, path: str, duration_ns: int,
                 attrs: Dict[str, Any], error: Optional[str]) -> None:
+        pass
+
+    def on_span_agg(self, path: str, stat: Dict[str, int]) -> None:
         pass
 
     def on_counter(self, name: str, value: int, attrs: Dict[str, Any]) -> None:
@@ -55,6 +73,12 @@ class Sink:
         pass
 
     def on_event(self, name: str, attrs: Dict[str, Any], span_path: str) -> None:
+        pass
+
+    def on_observe(self, name: str, value: Any, attrs: Dict[str, Any]) -> None:
+        pass
+
+    def on_hist(self, name: str, snapshot: Dict[str, Any]) -> None:
         pass
 
     def close(self) -> None:
@@ -87,6 +111,7 @@ class Registry(Sink):
         self.gauges: Dict[str, Any] = {}
         self.spans: Dict[str, SpanStat] = {}
         self.events: Dict[str, int] = {}
+        self.hists: Dict[str, Hist] = {}
         self._lock = threading.Lock()
 
     def on_span(self, path, duration_ns, attrs, error) -> None:
@@ -95,6 +120,40 @@ class Registry(Sink):
             if stat is None:
                 stat = self.spans[path] = SpanStat()
             stat.add(duration_ns, error)
+            # Every span path doubles as a latency histogram, so quantiles
+            # per hierarchical path need no extra instrumentation.
+            hist = self.hists.get(path + "_ns")
+            if hist is None:
+                hist = self.hists[path + "_ns"] = Hist()
+            hist.observe(duration_ns)
+
+    def on_span_agg(self, path, stat) -> None:
+        # Fold pre-aggregated worker span totals.  The matching ``<path>_ns``
+        # histogram is NOT fed here: the workers' registries already fed it
+        # span by span, and those histograms replay separately via
+        # ``on_hist`` — feeding it again would double-count.
+        with self._lock:
+            agg = self.spans.get(path)
+            if agg is None:
+                agg = self.spans[path] = SpanStat()
+            agg.count += int(stat["count"])
+            agg.total_ns += int(stat["total_ns"])
+            agg.max_ns = max(agg.max_ns, int(stat["max_ns"]))
+            agg.errors += int(stat.get("errors", 0))
+
+    def on_observe(self, name, value, attrs) -> None:
+        with self._lock:
+            hist = self.hists.get(name)
+            if hist is None:
+                hist = self.hists[name] = Hist()
+            hist.observe(value)
+
+    def on_hist(self, name, snapshot) -> None:
+        with self._lock:
+            hist = self.hists.get(name)
+            if hist is None:
+                hist = self.hists[name] = Hist()
+            hist.merge(Hist.from_snapshot(snapshot))
 
     def on_counter(self, name, value, attrs) -> None:
         with self._lock:
@@ -124,6 +183,9 @@ class Registry(Sink):
                     for path, s in sorted(self.spans.items())
                 },
                 "events": dict(sorted(self.events.items())),
+                "hists": {
+                    name: h.snapshot() for name, h in sorted(self.hists.items())
+                },
             }
 
     def summary(self) -> str:
@@ -161,7 +223,26 @@ class Registry(Sink):
                     f"  {s['max_ns'] / 1e6:>11.3f}"
                     + (f"  ({s['errors']} errors)" if s["errors"] else "")
                 )
+        hist_rows = self.hist_quantiles()
+        if hist_rows:
+            width = max(map(len, hist_rows))
+            lines.append("histograms:" + " " * max(0, width - 9)
+                         + "   count          p50          p90          p99          max")
+            for name, row in hist_rows.items():
+                cells = "".join(
+                    f"  {_fmt_hist_value(name, row[col]):>11}"
+                    for col in ("p50", "p90", "p99", "max")
+                )
+                lines.append(f"  {name:<{width}}  {row['count']:>6}{cells}")
         return "\n".join(lines) if lines else "(no observability data)"
+
+    def hist_quantiles(self) -> Dict[str, Dict[str, Any]]:
+        """Per-histogram ``{count, p50, p90, p99, max}`` rows (sorted)."""
+        with self._lock:
+            return {
+                name: {"count": h.count, **h.quantile_row()}
+                for name, h in sorted(self.hists.items())
+            }
 
 
 class JsonlSink(Sink):
@@ -219,6 +300,27 @@ class JsonlSink(Sink):
             "name": name,
             "attrs": jsonable(attrs),
             **({"span": span_path} if span_path else {}),
+        })
+
+    def on_observe(self, name, value, attrs) -> None:
+        self._write({
+            "type": "observe",
+            "name": name,
+            "value": jsonable(value),
+            **({"attrs": jsonable(attrs)} if attrs else {}),
+        })
+
+    def on_hist(self, name, snapshot) -> None:
+        self._write({"type": "hist", "name": name, "hist": jsonable(snapshot)})
+
+    def on_span_agg(self, path, stat) -> None:
+        self._write({
+            "type": "span_agg",
+            "path": path,
+            "count": int(stat["count"]),
+            "total_ns": int(stat["total_ns"]),
+            "max_ns": int(stat["max_ns"]),
+            "errors": int(stat.get("errors", 0)),
         })
 
     def close(self) -> None:

@@ -41,6 +41,7 @@ denominator (see ``feascache.FeasibilityCache.scale_for``), so
 
 from __future__ import annotations
 
+import time
 from array import array
 from bisect import bisect_left
 from fractions import Fraction
@@ -291,6 +292,7 @@ class Dinic:
         # Local accumulators: the inner loops stay free of any obs calls;
         # one guarded flush happens at the single return point below.
         phases = paths = retreats = 0
+        t0 = time.perf_counter_ns() if _obs.enabled() else 0
         while True:
             phases += 1
             level = bfs(s, t)
@@ -300,6 +302,10 @@ class Dinic:
                     _obs.incr("dinic.aug_paths", paths)
                     _obs.incr("dinic.retreats", retreats)
                     _obs.incr("dinic.flow_pushed", added)
+                    _obs.observe("dinic.max_flow_ns",
+                                 time.perf_counter_ns() - t0)
+                    _obs.observe("dinic.phases_per_call", phases)
+                    _obs.observe("dinic.flow_per_call", added)
                 return added
             # Blocking flow: iterative DFS with current-arc pointers into
             # the CSR edge list (allocation-free: `it` is reset in place).
@@ -320,6 +326,10 @@ class Dinic:
                             _obs.incr("dinic.aug_paths", paths)
                             _obs.incr("dinic.retreats", retreats)
                             _obs.incr("dinic.flow_pushed", added)
+                            _obs.observe("dinic.max_flow_ns",
+                                         time.perf_counter_ns() - t0)
+                            _obs.observe("dinic.phases_per_call", phases)
+                            _obs.observe("dinic.flow_per_call", added)
                         return added
                     # Retreat to the shallowest saturated edge.
                     cut = next(i for i, e in enumerate(path) if not cap[e])

@@ -44,6 +44,7 @@ probe-complexity contract and the cross-caller cache behaviour.
 from __future__ import annotations
 
 import math
+import time
 from array import array
 from dataclasses import asdict, dataclass, replace
 from fractions import Fraction
@@ -411,8 +412,15 @@ class FeasibilityCache:
                 network.restore(exact)
                 self.stats.bump("restores")
         if m != network.machines:
-            network.set_machines(m)
-            network.solve()
+            if _obs.enabled():
+                t0 = time.perf_counter_ns()
+                network.set_machines(m)
+                network.solve()
+                _obs.observe("feascache.probe_ns", time.perf_counter_ns() - t0)
+                _obs.observe("feascache.probe_m", m)
+            else:
+                network.set_machines(m)
+                network.solve()
             state.snapshots[m] = network.snapshot()
             self.stats.bump("probes")
             self._verdicts[(m, speed, kernel)] = network.feasible

@@ -65,6 +65,7 @@ def migratory_optimum(
 
     def probe(m: int, kind: str) -> bool:
         _obs.incr("search.probes")
+        _obs.observe("search.probe_m", m)
         with _obs.span("optimum.probe", m=m, kind=kind):
             return migratory_feasible(
                 instance, m, speed, backend=backend, sparsify=sparsify

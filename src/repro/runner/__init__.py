@@ -68,6 +68,7 @@ from .journal import (
     JournalError,
     JournalMismatch,
     JournalRecord,
+    journal_status,
     read_journal,
     resume,
 )
@@ -89,7 +90,14 @@ from .plan import (
     instance_key,
     split_seed,
 )
-from .pool import ExecPolicy, ItemResult, SweepReport, WorkerCrash, run_sweep
+from .pool import (
+    ExecPolicy,
+    ItemResult,
+    SweepProgress,
+    SweepReport,
+    WorkerCrash,
+    run_sweep,
+)
 from .tasks import POLICIES, TASKS, register_task
 
 __all__ = [
@@ -109,6 +117,7 @@ __all__ = [
     "POLICIES",
     "RetryPolicy",
     "SweepPlan",
+    "SweepProgress",
     "SweepReport",
     "SweepShard",
     "TASKS",
@@ -118,6 +127,7 @@ __all__ = [
     "canonical_report_view",
     "chunk_items",
     "instance_key",
+    "journal_status",
     "merge_journals",
     "merge_snapshot_into",
     "merge_snapshots",

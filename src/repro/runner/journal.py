@@ -47,6 +47,7 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, IO, Optional, Tuple
 
@@ -56,6 +57,7 @@ __all__ = [
     "JournalError",
     "JournalMismatch",
     "JournalRecord",
+    "journal_status",
     "read_journal",
     "resume",
 ]
@@ -105,6 +107,10 @@ class JournalRecord:
     error: Optional[str]
     attempts: int
     snapshot: Dict[str, Any]
+    #: Wall-clock append time (``time.time()``); ``None`` in journals
+    #: written before obs v2.  Only :func:`journal_status` consumes it —
+    #: resume and merge ignore wall time entirely.
+    t: Optional[float] = None
 
     @property
     def settled(self) -> bool:
@@ -235,6 +241,9 @@ class Journal:
                 "error": error,
                 "attempts": attempts,
                 "snapshot": snapshot,
+                # Wall-clock stamp for `repro sweep status` throughput/ETA;
+                # deliberately excluded from every determinism comparison.
+                "t": round(time.time(), 3),
             },
             corrupt=corrupt,
         )
@@ -295,6 +304,7 @@ def read_journal(
                     error=payload["error"],
                     attempts=payload["attempts"],
                     snapshot=payload["snapshot"],
+                    t=payload.get("t"),
                 )
             else:
                 raise ValueError(f"unknown record kind {kind!r}")
@@ -306,6 +316,56 @@ def read_journal(
             dropped += len(lines) - lineno
             break
     return header, records, dropped
+
+
+def journal_status(path: str) -> Dict[str, Any]:
+    """Live progress of a sweep, read from its journal alone.
+
+    The primitive behind ``repro sweep status <journal.jsonl>`` (and the
+    future serve daemon's sweep-status endpoint): no plan object, no
+    running process — just the durable file.  Returns a JSON-safe dict
+    with the shard identity, per-status counts, retry total, how many
+    items remain, and — when the item records carry wall-clock stamps —
+    the observed throughput and an ETA for the remainder.
+
+    Raises :class:`JournalError` if the file is missing or its header is
+    unreadable; a torn tail is fine (reported in ``dropped``).
+    """
+    header, records, dropped = read_journal(path)
+    if header is None:
+        raise JournalError(f"{path}: missing or corrupt journal header")
+    shard = [int(x) for x in (header.get("shard") or (0, 1))]
+    shard_items = int(header.get("n_items", 0))
+    plan_items = int(header.get("plan_items", shard_items))
+    by_status: Dict[str, int] = {}
+    retries = 0
+    for record in records.values():
+        by_status[record.status] = by_status.get(record.status, 0) + 1
+        retries += max(0, record.attempts - 1)
+    settled = sum(1 for r in records.values() if r.settled)
+    remaining = max(0, shard_items - settled)
+    stamps = sorted(r.t for r in records.values() if r.t is not None)
+    elapsed = stamps[-1] - stamps[0] if len(stamps) >= 2 else None
+    rate = len(stamps) / elapsed if elapsed else None
+    return {
+        "path": path,
+        "plan": header.get("plan"),
+        "shard": shard,
+        "shard_items": shard_items,
+        "plan_items": plan_items,
+        "records": len(records),
+        "settled": settled,
+        "remaining": remaining,
+        "by_status": dict(sorted(by_status.items())),
+        "retries": retries,
+        "dropped": dropped,
+        "complete": remaining == 0 and not dropped,
+        "elapsed_seconds": None if elapsed is None else round(elapsed, 3),
+        "rate": None if rate is None else round(rate, 3),
+        "eta_seconds": (
+            None if rate is None else round(remaining / rate, 1)
+        ),
+    }
 
 
 def resume(plan, journal: str, **kwargs) -> Any:

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Optional, Sequence
 
 from ..obs import core as _obs
-from ..obs.sinks import Registry, SpanStat
+from ..obs.sinks import Registry
 from .journal import JournalError, JournalRecord, read_journal
 
 __all__ = [
@@ -61,14 +61,12 @@ def merge_snapshot_into(registry: Registry, snapshot: Dict[str, Any]) -> Registr
         with registry._lock:
             registry.events[name] = registry.events.get(name, 0) + count
     for path, stat in snapshot.get("spans", {}).items():
-        with registry._lock:
-            agg = registry.spans.get(path)
-            if agg is None:
-                agg = registry.spans[path] = SpanStat()
-            agg.count += stat["count"]
-            agg.total_ns += stat["total_ns"]
-            agg.max_ns = max(agg.max_ns, stat["max_ns"])
-            agg.errors += stat["errors"]
+        registry.on_span_agg(path, stat)
+    for name, hist_snap in snapshot.get("hists", {}).items():
+        # Histogram merges are exact (integer buckets, exact sums), so the
+        # fold is order-independent — the distributions in a merged report
+        # are bit-identical for any worker count and any shard split.
+        registry.on_hist(name, hist_snap)
     return registry
 
 
@@ -94,10 +92,16 @@ def canonical_report_view(snapshot: Any) -> Dict[str, Any]:
     (per-item status/value/error, all task counters, gauges, event counts)
     and strips only what legitimately varies between equivalent runs:
 
-    * ``runner.*`` counters/events — the runner's own bookkeeping (chunk
-      counts, retries, crash/degradation accounting) describes *how* the
-      work got done, not *what* was computed,
+    * ``runner.*`` counters/events/histograms — the runner's own
+      bookkeeping (chunk counts, retries, crash/degradation accounting,
+      item/retry/timeout latencies) describes *how* the work got done,
+      not *what* was computed,
     * span timing and wall-clock fields — genuine wall time,
+    * the *values* of ``*_ns`` timing histograms — their observation
+      counts are deterministic and are kept, the nanoseconds are not
+      (mirroring how spans reduce to ``span_counts``); every other
+      histogram holds deterministic algorithmic values and is kept in
+      full,
     * per-item ``attempts`` — a retried item is still the same result.
     """
     if hasattr(snapshot, "snapshot"):
@@ -130,6 +134,13 @@ def canonical_report_view(snapshot: Any) -> Dict[str, Any]:
             path: {"count": s["count"], "errors": s["errors"]}
             for path, s in snapshot.get("spans", {}).items()
         },
+        "hists": {
+            name: (
+                {"count": h["count"]} if name.endswith("_ns") else h
+            )
+            for name, h in snapshot.get("hists", {}).items()
+            if keep(name)
+        },
     }
 
 
@@ -146,6 +157,15 @@ def replay_into_ambient(snapshot: Dict[str, Any]) -> None:
         # serial path exactly; the workers' per-event attrs stay worker-local.
         for _ in range(count):
             _obs.event(name, replayed=True)
+    for name, hist_snap in snapshot.get("hists", {}).items():
+        # Whole distributions forward in one call; ambient registries end
+        # up with the same histograms as the serial path's raw stream.
+        _obs.hist_snapshot(name, hist_snap)
+    for path, stat in snapshot.get("spans", {}).items():
+        # Individual span records stayed worker-local; forward the
+        # aggregates so trace files and ambient registries still see where
+        # worker wall time went (``repro trace`` hotspots on sweep traces).
+        _obs.span_agg(path, stat)
 
 
 def merge_journals(paths: Sequence[str], plan: Any = None) -> Any:

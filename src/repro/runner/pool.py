@@ -53,13 +53,20 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Un
 
 from ..obs import core as _obs
 from ..obs.sinks import Registry, jsonable
-from .faults import FaultPlan, RetryPolicy, time_limit
+from .faults import FaultPlan, ItemTimeout, RetryPolicy, time_limit
 from .journal import Journal, JournalError, JournalRecord, read_journal
 from .merge import merge_snapshot_into, replay_into_ambient
 from .plan import SweepPlan, SweepShard, WorkItem, chunk_items
 from .tasks import TASKS
 
-__all__ = ["ExecPolicy", "ItemResult", "SweepReport", "WorkerCrash", "run_sweep"]
+__all__ = [
+    "ExecPolicy",
+    "ItemResult",
+    "SweepProgress",
+    "SweepReport",
+    "WorkerCrash",
+    "run_sweep",
+]
 
 #: (index, status, value, error, attempts, snapshot) — the wire format an
 #: executed item ships back.  The snapshot is the successful attempt's obs
@@ -106,6 +113,131 @@ class ItemResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One live progress sample of a running sweep.
+
+    Delivered to the ``progress`` callback of :func:`run_sweep` and
+    emitted as a ``runner.progress`` obs event (ambient sinks only — the
+    sample cadence is wall-clock-dependent, so progress never enters the
+    merged report registry and cannot disturb its determinism).
+    """
+
+    total: int
+    done: int  # settled this run or restored from the journal
+    ok: int
+    errors: int
+    failed: int  # quarantined (retry budget exhausted)
+    crashed: int
+    retried: int  # extra attempts beyond the first, summed over items
+    resumed: int
+    elapsed_seconds: float
+    rate: Optional[float]  # items/second executed this run, None until known
+    eta_seconds: Optional[float]  # None until the rate is known
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    def render(self) -> str:
+        """The single-line ticker ``repro sweep --progress`` prints."""
+        parts = [f"{self.done}/{self.total}", f"ok={self.ok}"]
+        for label, count in (
+            ("err", self.errors),
+            ("failed", self.failed),
+            ("crashed", self.crashed),
+            ("retried", self.retried),
+            ("resumed", self.resumed),
+        ):
+            if count:
+                parts.append(f"{label}={count}")
+        if self.rate is not None:
+            parts.append(f"{self.rate:.1f} it/s")
+        if self.eta_seconds is not None:
+            parts.append(f"eta {self.eta_seconds:.0f}s")
+        return "[sweep] " + " ".join(parts)
+
+
+class _ProgressTracker:
+    """Samples sweep state into :class:`SweepProgress` at a bounded cadence.
+
+    Opt-in (``run_sweep(progress=...)``): each emission goes to the ambient
+    obs stream as a ``runner.progress`` event and to the callback, rate-
+    limited to one per ``interval`` seconds plus a forced final sample —
+    so even an instant sweep reports once.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        resumed: int,
+        callback: Optional[Callable[[SweepProgress], None]],
+        interval: float,
+    ) -> None:
+        self._total = total
+        self._resumed = resumed
+        self._callback = callback
+        self._interval = interval
+        self._t0 = time.perf_counter()
+        self._last_emit: Optional[float] = None
+
+    def sample(self, results: Dict[int, ItemResult]) -> SweepProgress:
+        counts = {"ok": 0, "error": 0, "failed": 0, "crashed": 0}
+        retried = 0
+        for result in results.values():
+            if result.status in counts:
+                counts[result.status] += 1
+            retried += max(0, result.attempts - 1)
+        done = len(results)
+        elapsed = time.perf_counter() - self._t0
+        executed = done - self._resumed
+        rate = executed / elapsed if executed > 0 and elapsed > 0 else None
+        eta = (self._total - done) / rate if rate else None
+        return SweepProgress(
+            total=self._total,
+            done=done,
+            ok=counts["ok"],
+            errors=counts["error"],
+            failed=counts["failed"],
+            crashed=counts["crashed"],
+            retried=retried,
+            resumed=self._resumed,
+            elapsed_seconds=elapsed,
+            rate=rate,
+            eta_seconds=eta,
+        )
+
+    def tick(self, results: Dict[int, ItemResult], force: bool = False) -> None:
+        now = time.perf_counter()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self._interval
+        ):
+            return
+        self._last_emit = now
+        progress = self.sample(results)
+        _obs.event(
+            "runner.progress",
+            done=progress.done,
+            total=progress.total,
+            ok=progress.ok,
+            errors=progress.errors,
+            failed=progress.failed,
+            crashed=progress.crashed,
+            retried=progress.retried,
+            resumed=progress.resumed,
+            rate=None if progress.rate is None else round(progress.rate, 3),
+            eta_s=(
+                None
+                if progress.eta_seconds is None
+                else round(progress.eta_seconds, 1)
+            ),
+        )
+        if self._callback is not None:
+            self._callback(progress)
 
 
 @dataclass
@@ -171,6 +303,18 @@ class SweepReport:
                 f"{self.n_chunks} chunks on {self.n_jobs} worker(s) "
                 f"in {self.wall_seconds:.2f}s"
             )
+        item_ns = self.registry.hists.get("runner.item_ns")
+        if item_ns is not None and item_ns.count:
+            row = item_ns.quantile_row()
+            parts.append(
+                "item latency p50={:.1f}ms p90={:.1f}ms p99={:.1f}ms "
+                "max={:.1f}ms".format(
+                    row["p50"] / 1e6,
+                    row["p90"] / 1e6,
+                    row["p99"] / 1e6,
+                    row["max"] / 1e6,
+                )
+            )
         return ", ".join(parts)
 
     def snapshot(self) -> Dict[str, Any]:
@@ -222,12 +366,20 @@ def _run_item(
     one attempt's worth of counters — the same as a fault-free run.
     Injected faults fire before any task work (inside the deadline scope),
     so a struck attempt leaves no trace at all.
+
+    Latency telemetry rides in the successful attempt's snapshot as
+    ``runner.*`` histograms (``runner.item_ns`` per-item wall time;
+    ``runner.retry_ns``/``runner.timeout_ns`` for the attempts that were
+    retried away) — stripped by ``canonical_report_view`` like every other
+    ``runner.*`` name, so clean and chaos runs still compare equal.
     """
     from .. import obs
 
     attempt = base_attempt
+    lost_attempts: List[Tuple[str, int]] = []  # (hist name, wasted ns)
     while True:
         with obs.capture() as registry:
+            t_attempt = time.perf_counter_ns()
             try:
                 with time_limit(
                     policy.deadline, label=f"item {item.index} ({item.task})"
@@ -236,11 +388,20 @@ def _run_item(
                         policy.faults.fire(item.index, attempt, policy.deadline)
                     instance = item.materialize(instances)
                     value = TASKS[item.task](instance, **item.kwargs)
+                obs.observe("runner.item_ns", time.perf_counter_ns() - t_attempt)
+                for hist_name, wasted_ns in lost_attempts:
+                    obs.observe(hist_name, wasted_ns)
                 return (item.index, "ok", value, None, attempt, registry.snapshot())
             except Exception as exc:  # noqa: BLE001 — contained per item
+                wasted_ns = time.perf_counter_ns() - t_attempt
                 detail = traceback.format_exception_only(type(exc), exc)[-1].strip()
                 transient = policy.retry.is_transient(exc)
+                timed_out = isinstance(exc, ItemTimeout)
         if transient and (attempt - base_attempt) < policy.retry.max_retries:
+            lost_attempts.append((
+                "runner.timeout_ns" if timed_out else "runner.retry_ns",
+                wasted_ns,
+            ))
             attempt += 1
             continue
         status = "failed" if transient else "error"
@@ -419,6 +580,8 @@ def run_sweep(
     faults: Optional[FaultPlan] = None,
     journal: Optional[str] = None,
     resume: bool = False,
+    progress: Union[bool, Callable[[SweepProgress], None], None] = None,
+    progress_interval: float = 1.0,
 ) -> SweepReport:
     """Execute ``plan`` on ``n_jobs`` processes; see the module contract.
 
@@ -440,6 +603,14 @@ def run_sweep(
     indices, so ``faults`` and journals speak parent-global indices) and
     stamps the shard identity into the journal header for
     :func:`~repro.runner.merge.merge_journals`.
+
+    ``progress`` opts into live telemetry: ``True`` emits periodic
+    ``runner.progress`` obs events (ambient sinks only, at most one per
+    ``progress_interval`` seconds plus a final sample); a callable is
+    additionally invoked with each :class:`SweepProgress` sample — the
+    hook behind the ``repro sweep --progress`` ticker.  Progress never
+    touches the merged report registry, so enabling it cannot perturb the
+    determinism contract.
     """
     if n_jobs < 1:
         raise ValueError("n_jobs must be >= 1")
@@ -453,6 +624,7 @@ def run_sweep(
     interrupted = False
     stream = _ResultStream(on_result, ordered)
     degradations: List[Tuple[str, str]] = []
+    tracker: Optional[_ProgressTracker] = None
 
     results_by_index: Dict[int, ItemResult] = {}
     snapshots_by_index: Dict[int, Dict[str, Any]] = {}
@@ -536,6 +708,8 @@ def run_sweep(
             results_by_index[index] = result
             snapshots_by_index[index] = snapshot
             out.append(result)
+        if tracker is not None and out:
+            tracker.tick(results_by_index)
         return out
 
     for index, rec in resumed_records.items():
@@ -549,6 +723,14 @@ def run_sweep(
     pending = [item for item in plan if item.index not in resumed_records]
     chunks = chunk_items(pending, chunksize) if pending else []
     n_worker_crashes = 0
+
+    if progress:
+        tracker = _ProgressTracker(
+            total=len(plan),
+            resumed=len(resumed_records),
+            callback=progress if callable(progress) else None,
+            interval=progress_interval,
+        )
 
     # -- execution ------------------------------------------------------------
     try:
@@ -698,6 +880,9 @@ def run_sweep(
         for name, count in bookkeeping:
             if count:
                 _obs.incr(name, count)
+
+    if tracker is not None:
+        tracker.tick(results_by_index, force=True)
 
     stream.flush_remaining(results)
 

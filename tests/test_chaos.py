@@ -76,6 +76,9 @@ alarm_only = pytest.mark.skipif(
 def _counting_task(instance, *, tag: str = ""):
     obs.incr("test.work", len(instance))
     obs.event("test.visited")
+    # A deterministic value histogram: canonical views keep it in full, so
+    # every clean-vs-chaos comparison below also pins exact hist merging.
+    obs.observe("test.sizes", len(instance))
     return len(instance)
 
 
@@ -593,6 +596,32 @@ class TestMergeJournals:
             merged_reg.snapshot()["events"]["test.visited"]
             == clean_reg.snapshot()["events"]["test.visited"]
         )
+
+    def test_merge_histograms_bit_identical_to_unsharded(self, tmp_path):
+        """3-shard merge vs unsharded: value hists byte-equal, `_ns` counts too."""
+        plan = _grouped_plan(9)
+        clean = run_sweep(plan, n_jobs=1, chunksize=2)
+        merged = merge_journals(_shard_paths(plan, tmp_path, n=3))
+
+        def split(report):
+            hists = report.registry.snapshot()["hists"]
+            values = {
+                name: h for name, h in hists.items()
+                if not name.endswith("_ns") and not name.startswith("runner.")
+            }
+            ns_counts = {
+                name: h["count"] for name, h in hists.items()
+                if name.endswith("_ns") and not name.startswith("runner.")
+            }
+            return values, ns_counts
+
+        clean_values, clean_ns = split(clean)
+        assert clean_values["test.sizes"]["count"] == 9
+        merged_values, merged_ns = split(merged)
+        assert json.dumps(merged_values, sort_keys=True) == json.dumps(
+            clean_values, sort_keys=True
+        )
+        assert merged_ns == clean_ns
 
     def test_merged_report_summary_names_the_shards(self, tmp_path):
         plan = _grouped_plan(4)

@@ -205,6 +205,116 @@ class TestObservability:
         assert net["edges_after"] > 0
 
 
+class TestObsV2:
+    """`stats --prom`, the `trace` subcommand, `sweep status/--progress/--prom`."""
+
+    FIXTURE = "tests/data/trace_fixture.jsonl"
+
+    def test_stats_prom_exposition(self, loose_file, capsys):
+        assert main(["stats", loose_file, "--policy", "edf", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_dinic_aug_paths_total" in out
+        hist_families = [
+            line for line in out.splitlines()
+            if line.startswith("# TYPE") and line.endswith("histogram")
+        ]
+        assert len(hist_families) >= 3
+        assert 'le="+Inf"' in out
+        for line in out.splitlines():
+            assert line
+            if not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])  # every sample parses
+
+    def test_stats_json_has_hist_quantiles(self, loose_file, capsys):
+        assert main(["stats", loose_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["hist_quantiles"]
+        assert rows
+        assert all(
+            {"count", "p50", "p90", "p99", "max"} <= set(row)
+            for row in rows.values()
+        )
+        assert "dinic.solve" in json.dumps(list(rows))
+        assert payload["hists"].keys() == rows.keys()
+
+    def test_trace_analyze_table(self, capsys):
+        assert main(["trace", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "16 records (1 skipped)" in out
+        assert "span path" in out
+        assert "optimum.search/optimum.probe" in out
+
+    def test_trace_analyze_json_and_folded(self, tmp_path, capsys):
+        folded = tmp_path / "folded.txt"
+        assert main(["trace", "analyze", self.FIXTURE,
+                     "--folded", str(folded), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 16 and payload["skipped"] == 1
+        assert payload["hotspots"][0]["path"] == "runner.chunk"
+        assert payload["counters"]["dinic.aug_paths"] == 10
+        text = folded.read_text()
+        assert "engine.simulate 4000000" in text
+        assert "optimum.search;optimum.probe;dinic.solve 900000" in text
+
+    def test_trace_diff_of_identical_traces_is_flat(self, capsys):
+        assert main(["trace", "diff", self.FIXTURE, self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "Δself_ms" in out
+        assert "+5" not in out  # no nonzero deltas
+
+    def test_trace_arity_errors(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "diff", self.FIXTURE])
+        with pytest.raises(SystemExit):
+            main(["trace", self.FIXTURE, self.FIXTURE])
+
+    def _sweep(self, extra):
+        return main([
+            "sweep", "ratio", "--policies", "edf", "--families", "uniform",
+            "-n", "6", "--seeds", "2", *extra,
+        ])
+
+    def test_sweep_prom_status_and_latency_summary(self, tmp_path, capsys):
+        journal, prom = tmp_path / "j.jsonl", tmp_path / "m.prom"
+        assert self._sweep(["--journal", str(journal),
+                            "--prom", str(prom)]) == 0
+        assert "item latency p50=" in capsys.readouterr().out
+        text = prom.read_text()
+        assert "# TYPE repro_runner_item_ns histogram" in text
+        assert 'le="+Inf"' in text
+
+        assert main(["sweep", "status", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "state: complete" in out
+        assert "2/2 settled (2 ok), 0 remaining" in out
+
+        # A torn tail flips the journal to incomplete: exit 1, healable.
+        with open(journal, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        assert main(["sweep", "status", str(journal), "--json"]) == 1
+        status = json.loads(capsys.readouterr().out)
+        assert status["dropped"] == 1 and not status["complete"]
+
+    def test_sweep_status_names_the_shard(self, tmp_path, capsys):
+        journal = tmp_path / "shard1.jsonl"
+        assert self._sweep(["--shard", "1/2", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "status", str(journal)]) == 0
+        assert "(shard 1/2 of a 2-item plan)" in capsys.readouterr().out
+
+    def test_sweep_status_arity_and_missing(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "status"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "status", str(tmp_path / "nope.jsonl")])
+
+    def test_sweep_progress_ticker_on_stderr(self, capsys):
+        assert self._sweep(["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep]" in err
+        assert "2/2" in err
+
+
 class TestErrorPaths:
     def test_missing_file(self, tmp_path):
         with pytest.raises((SystemExit, FileNotFoundError)):

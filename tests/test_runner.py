@@ -278,6 +278,35 @@ class TestDeterminism:
         # ...and so do the ambient captures around each call
         assert _strip_volatile(reg1.snapshot()) == _strip_volatile(reg2.snapshot())
 
+    def test_histograms_bit_identical_across_worker_counts(self):
+        """Merged value histograms are byte-equal for n_jobs 1, 2, and 4.
+
+        Timing histograms (`*_ns`) hold genuine wall time, so only their
+        observation *counts* must agree; every other histogram carries
+        deterministic algorithmic values and must match bit for bit.
+        """
+        plan = SweepPlan.competitive(
+            ["edf", "firstfit"], ["uniform", "tight"], n=8, seeds=3
+        )
+        base = None
+        for n_jobs in (1, 2, 4):
+            hists = run_sweep(
+                plan, n_jobs=n_jobs, chunksize=2
+            ).registry.snapshot()["hists"]
+            values = json.dumps(
+                {k: v for k, v in hists.items() if not k.endswith("_ns")},
+                sort_keys=True,
+            )
+            ns_counts = {
+                k: v["count"] for k, v in hists.items() if k.endswith("_ns")
+            }
+            if base is None:
+                base = (values, ns_counts)
+                assert ns_counts  # span auto-feed produced latency hists
+                assert json.loads(values)  # and at least one value histogram
+            else:
+                assert (values, ns_counts) == base
+
     def test_chunksize_does_not_change_results(self):
         plan = SweepPlan.competitive(["edf"], ["uniform"], n=6, seeds=4)
         baseline = run_sweep(plan, n_jobs=1, chunksize=1)

@@ -1,0 +1,228 @@
+"""Trace analysis + Prometheus exposition goldens (`repro.obs.trace` / `.prom`).
+
+The fixture trace (``tests/data/trace_fixture.jsonl``) is a small
+hand-written ``--trace`` stream exercising every record type — nested
+spans, an errored span, counters, events, a gauge, an observe, a replayed
+``hist`` snapshot, a replayed ``span_agg``, an unknown future record
+type, and a torn trailing line.  The hotspot table, folded stacks, and
+Prometheus text are pinned byte-for-byte: they are the stable interface
+consumed by flamegraph.pl/speedscope and scrape targets, so accidental
+format drift should fail loudly.
+"""
+
+import io
+import json
+
+from repro.obs import (
+    Registry,
+    diff_traces,
+    folded_stacks,
+    hotspots,
+    load_trace,
+    render_diff,
+    render_hotspots,
+    render_prometheus,
+)
+
+FIXTURE = "tests/data/trace_fixture.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# loading
+
+
+def test_load_trace_counts_and_tolerates_junk():
+    s = load_trace(FIXTURE)
+    # 16 parseable records (the unknown "mystery" type still counts), one
+    # torn trailing line skipped.
+    assert s.records == 16
+    assert s.skipped == 1
+    assert s.counters == {"dinic.aug_paths": 10, "search.probes": 2}
+    assert s.events == {"engine.decision": 2}
+
+
+def test_load_trace_accepts_streams():
+    with open(FIXTURE, "r", encoding="utf-8") as fh:
+        from_stream = load_trace(fh)
+    assert from_stream.spans.keys() == load_trace(FIXTURE).spans.keys()
+
+
+def test_span_agg_records_fold_like_spans():
+    s = load_trace(FIXTURE)
+    agg = s.spans["runner.chunk"]
+    assert (agg.count, agg.total_ns, agg.max_ns, agg.errors) == (
+        4, 7_000_000, 3_000_000, 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# hotspots: self vs cumulative
+
+
+def test_hotspot_self_time_subtracts_direct_children():
+    rows = {r["path"]: r for r in hotspots(load_trace(FIXTURE), top=None)}
+    # optimum.search: 5ms total, direct child (probe) totals 2ms -> 3ms self.
+    assert rows["optimum.search"]["cum_ns"] == 5_000_000
+    assert rows["optimum.search"]["self_ns"] == 3_000_000
+    # probe: 2ms total, dinic.solve child 0.9ms -> 1.1ms self.
+    assert rows["optimum.search/optimum.probe"]["self_ns"] == 1_100_000
+    # leaves keep self == cum.
+    leaf = rows["optimum.search/optimum.probe/dinic.solve"]
+    assert leaf["self_ns"] == leaf["cum_ns"] == 900_000
+    assert rows["engine.simulate"]["errors"] == 1
+
+
+GOLDEN_HOTSPOTS = """\
+span path                                  count      self_ms       cum_ms   self%
+runner.chunk                                   4        7.000        7.000   43.8%  (1 errors)
+engine.simulate                                2        4.000        4.000   25.0%  (1 errors)
+optimum.search                                 1        3.000        5.000   18.8%
+optimum.search/optimum.probe                   2        1.100        2.000    6.9%
+optimum.search/optimum.probe/dinic.solve       1        0.900        0.900    5.6%"""
+
+
+def test_hotspot_table_golden():
+    assert render_hotspots(load_trace(FIXTURE)) == GOLDEN_HOTSPOTS
+
+
+GOLDEN_FOLDED = """\
+engine.simulate 4000000
+optimum.search 3000000
+optimum.search;optimum.probe 1100000
+optimum.search;optimum.probe;dinic.solve 900000
+runner.chunk 7000000"""
+
+
+def test_folded_stacks_golden():
+    assert folded_stacks(load_trace(FIXTURE)) == GOLDEN_FOLDED
+
+
+def test_empty_trace_renders_placeholder():
+    empty = load_trace(io.StringIO(""))
+    assert render_hotspots(empty) == "(no spans in trace)"
+    assert folded_stacks(empty) == ""
+
+
+# ---------------------------------------------------------------------------
+# diffing
+
+
+def test_diff_traces_after_minus_before():
+    before = load_trace(FIXTURE)
+    after = load_trace(FIXTURE)
+    # Identical traces: all deltas zero, counts aligned.
+    for row in diff_traces(before, after, top=None):
+        assert row["self_ns_delta"] == 0
+        assert row["cum_ns_delta"] == 0
+        assert row["count_before"] == row["count_after"]
+
+    slower = io.StringIO(
+        json.dumps({"type": "span", "path": "engine.simulate", "ns": 9_000_000})
+        + "\n"
+        + json.dumps({"type": "span", "path": "fresh.path", "ns": 1_000_000})
+        + "\n"
+    )
+    rows = diff_traces(before, load_trace(slower), top=None)
+    by_path = {r["path"]: r for r in rows}
+    assert by_path["engine.simulate"]["self_ns_delta"] == 5_000_000
+    assert by_path["engine.simulate"]["count_before"] == 2
+    assert by_path["engine.simulate"]["count_after"] == 1
+    assert by_path["fresh.path"]["count_before"] == 0
+    assert by_path["runner.chunk"]["self_ns_delta"] == -7_000_000
+    # Sorted by |delta| descending.
+    deltas = [abs(r["self_ns_delta"]) for r in rows]
+    assert deltas == sorted(deltas, reverse=True)
+    assert "Δself_ms" in render_diff(before, load_trace(io.StringIO("")))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+
+
+def _golden_registry() -> Registry:
+    reg = Registry()
+    reg.on_counter("dinic.aug_paths", 10, {})
+    reg.on_counter("search.probes", 2, {})
+    reg.on_gauge("search.optimum", 4, {})
+    reg.on_gauge("search.note", "not-a-number", {})  # skipped: non-numeric
+    for v in (1, 2, 3, 1000):
+        reg.on_observe("feascache.probe_m", v, {})
+    for v in (0, 4):
+        reg.on_observe("dinic.flow_per_call", v, {})
+    reg.on_span("optimum.search", 5_000_000, {}, None)
+    return reg
+
+
+GOLDEN_PROM = """\
+# HELP repro_dinic_aug_paths_total Counter dinic.aug_paths
+# TYPE repro_dinic_aug_paths_total counter
+repro_dinic_aug_paths_total 10
+# HELP repro_search_probes_total Counter search.probes
+# TYPE repro_search_probes_total counter
+repro_search_probes_total 2
+# HELP repro_search_optimum Gauge search.optimum
+# TYPE repro_search_optimum gauge
+repro_search_optimum 4
+# HELP repro_dinic_flow_per_call Histogram dinic.flow_per_call
+# TYPE repro_dinic_flow_per_call histogram
+repro_dinic_flow_per_call_bucket{le="0"} 1
+repro_dinic_flow_per_call_bucket{le="4.5"} 2
+repro_dinic_flow_per_call_bucket{le="+Inf"} 2
+repro_dinic_flow_per_call_sum 4
+repro_dinic_flow_per_call_count 2
+# HELP repro_feascache_probe_m Histogram feascache.probe_m
+# TYPE repro_feascache_probe_m histogram
+repro_feascache_probe_m_bucket{le="1.125"} 1
+repro_feascache_probe_m_bucket{le="2.25"} 2
+repro_feascache_probe_m_bucket{le="3.25"} 3
+repro_feascache_probe_m_bucket{le="1024"} 4
+repro_feascache_probe_m_bucket{le="+Inf"} 4
+repro_feascache_probe_m_sum 1006
+repro_feascache_probe_m_count 4
+# HELP repro_optimum_search_ns Histogram optimum.search_ns
+# TYPE repro_optimum_search_ns histogram
+repro_optimum_search_ns_bucket{le="5242880"} 1
+repro_optimum_search_ns_bucket{le="+Inf"} 1
+repro_optimum_search_ns_sum 5000000
+repro_optimum_search_ns_count 1
+# HELP repro_span_calls_total Span call count
+# TYPE repro_span_calls_total counter
+repro_span_calls_total{path="optimum.search"} 1
+# HELP repro_span_errors_total Span error count
+# TYPE repro_span_errors_total counter
+repro_span_errors_total{path="optimum.search"} 0
+# HELP repro_span_ns_total Span wall time (ns)
+# TYPE repro_span_ns_total counter
+repro_span_ns_total{path="optimum.search"} 5000000
+"""
+
+
+def test_prometheus_exposition_golden():
+    assert render_prometheus(_golden_registry().snapshot()) == GOLDEN_PROM
+
+
+def test_prometheus_cumulative_buckets_are_monotone():
+    text = render_prometheus(_golden_registry().snapshot())
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if "_bucket{" in line and "probe_m" in line
+    ]
+    assert counts == sorted(counts)
+    assert counts[-1] == 4  # +Inf bucket == observation count
+
+
+def test_prometheus_accepts_registry_objects():
+    reg = _golden_registry()
+    assert render_prometheus(reg) == render_prometheus(reg.snapshot())
+
+
+def test_prometheus_output_is_wellformed():
+    for line in render_prometheus(_golden_registry()).splitlines():
+        assert line  # no blank lines
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+        else:
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("repro_")
+            float(value)  # every sample value parses as a number

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
-"""Mutation smoke gate for the feasibility core and the sharded runner.
+"""Mutation smoke gate for the feasibility core, sharded runner, and obs hists.
 
 Applies small, deterministic AST mutations (operator swaps, comparison
 negations, min/max swaps) to the solver modules under ``src/repro/offline/``
-— plus the sweep-sharding partition (``runner/plan.py::shard``) and the
-multi-journal merge (``runner/merge.py::merge_journals``) — and re-runs the
-kill-set tests for each mutant.  Every mutant must be *killed* — a
+— plus the sweep-sharding partition (``runner/plan.py::shard``), the
+multi-journal merge (``runner/merge.py::merge_journals``), and the obs v2
+histogram core (``obs/hist.py`` bucket/merge/quantile logic) — and re-runs
+the kill-set tests for each mutant.  Every mutant must be *killed* — a
 surviving mutant means the certificate layer would accept output from a
 subtly broken solver (or the merge layer would accept an unsound shard
 partition), which is exactly the failure mode those layers exist to
@@ -54,6 +55,17 @@ TARGETS: Dict[str, Optional[Set[str]]] = {
     # journal) must be caught by the sharding and merge kill-sets below.
     "src/repro/runner/plan.py": {"shard"},
     "src/repro/runner/merge.py": {"merge_journals"},
+    # Obs v2 histograms (ISSUE 8): mutated bucket geometry, inexact merges,
+    # or skewed quantiles would silently corrupt every latency report and
+    # break the bit-identical sweep-merge invariant; tests/test_hist.py is
+    # the kill-set.
+    "src/repro/obs/hist.py": {
+        "bucket_index",
+        "bucket_bounds",
+        "observe",
+        "merge",
+        "quantile",
+    },
 }
 
 #: The kill-set: fast, deterministic, certificate-backed.
@@ -61,6 +73,7 @@ DEFAULT_TESTS = [
     "tests/test_corpus.py",
     "tests/test_runner.py::TestSharding",
     "tests/test_chaos.py::TestMergeJournals",
+    "tests/test_hist.py",
 ]
 
 COMPARE_SWAP = {
@@ -150,10 +163,22 @@ def mutate_source(source: str, site: Site) -> Optional[str]:
                 site.col,
             ):
                 continue
-            if site.node_kind == "binop" and isinstance(node, ast.BinOp):
+            # Nested expressions can share (lineno, col) — e.g. in
+            # ``a * b / c`` the Div node starts at ``a`` too — so the op
+            # kind must match the enumerated site, not just the position.
+            if (
+                site.node_kind == "binop"
+                and isinstance(node, ast.BinOp)
+                and type(node.op).__name__ == site.detail
+            ):
                 node.op = BINOP_SWAP[type(node.op)]()
                 return ast.unparse(tree)
-            if site.node_kind == "compare" and isinstance(node, ast.Compare):
+            if (
+                site.node_kind == "compare"
+                and isinstance(node, ast.Compare)
+                and len(node.ops) == 1
+                and type(node.ops[0]).__name__ == site.detail
+            ):
                 node.ops = [COMPARE_SWAP[type(node.ops[0])]()]
                 return ast.unparse(tree)
             if site.node_kind == "minmax" and isinstance(node, ast.Call):
