@@ -94,21 +94,35 @@ def test_flow_optimum_speedup_n1000(benchmark):
     assert speedup >= 5
 
 
-@pytest.mark.parametrize("backend", ["dinic", "dinic_np"])
+@pytest.mark.parametrize("backend", ["dinic", "dinic_np", "dinic_c"])
 def test_flow_optimum_kernels_n1000(benchmark, backend):
-    """Both Dinic level-graph kernels on the flat-buffer solver, cold cache.
+    """All three Dinic kernels on the flat-buffer solver, cold cache.
 
-    The numpy BFS (``dinic_np``) produces bit-identical flows (differential-
-    tested in ``tests/test_sparsify.py``); this benchmark tracks whether the
-    vectorized level build pays for its buffer-view overhead at n = 1000.
+    The numpy BFS (``dinic_np``) and the compiled kernel (``dinic_c``)
+    produce bit-identical flows (differential-tested in
+    ``tests/test_sparsify.py`` and ``tests/test_kernel.py``); this
+    benchmark is the cross-kernel trajectory — it tracks whether the
+    vectorized level build pays for its buffer-view overhead and how much
+    the native BFS+DFS buys at n = 1000 (the ISSUE 9 acceptance gate:
+    ``dinic_c`` ≤ 10 ms here).
     """
     if backend == "dinic_np":
         pytest.importorskip("numpy")
+    if backend == "dinic_c":
+        from repro.offline import kernel
+
+        if not kernel.available():
+            pytest.skip("no C compiler and no cached kernel build")
     jobs = list(uniform_random_instance(1000, horizon=2000, seed=1000))
+    # One warmup round keeps one-time process effects (dlopen + ctypes
+    # binding on the first compiled call, allocator first-touch) out of the
+    # committed trajectory; every measured round still builds its network
+    # cold (fresh Instance → fresh cache).
     m = benchmark.pedantic(
         lambda: migratory_optimum(Instance(jobs), backend=backend),
         rounds=5,
         iterations=1,
+        warmup_rounds=1,
     )
     assert m == 5
 

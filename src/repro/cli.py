@@ -54,7 +54,7 @@ from .generators import (
 )
 from .model import Instance, Schedule
 from .model.io import InstanceFormatError, load, save
-from .offline.flow import BACKENDS, DEFAULT_BACKEND
+from .offline.flow import BACKENDS, DEFAULT_BACKEND, resolve_backend
 from .offline.nonmigratory import nonmigratory_optimum_bounds
 from .offline.optimum import migratory_optimum
 from .verify import (
@@ -116,7 +116,7 @@ def cmd_classify(args) -> int:
 
 def cmd_opt(args) -> int:
     instance = _load_instance(args.instance)
-    m = migratory_optimum(instance)
+    m = migratory_optimum(instance, backend=args.backend)
     print(f"migratory optimum: {m}")
     if args.nonmigratory:
         lo, hi = nonmigratory_optimum_bounds(instance, exact_threshold=args.exact_threshold)
@@ -342,9 +342,10 @@ def cmd_stats(args) -> int:
 
     instance = _load_instance(args.instance)
     speed = Fraction(args.speed)
+    backend = resolve_backend(args.backend)
     with obs.capture() as registry:
         try:
-            co = certified_optimum(instance, speed, backend=args.backend)
+            co = certified_optimum(instance, speed, backend=backend)
             headline = f"certified optimum: {co.machines}"
             optimum = co.machines
         except Unsatisfiable:
@@ -360,11 +361,16 @@ def cmd_stats(args) -> int:
     if args.prom:
         print(obs.render_prometheus(registry.snapshot()), end="")
         return 0
+    from .offline import kernel as _kernel
+
+    kernel_info = _kernel.build_info() if backend == "dinic_c" else None
     if args.json:
         payload = {
             "instance": args.instance,
             "speed": str(speed),
-            "backend": args.backend,
+            "backend": backend,
+            "backend_requested": args.backend,
+            **({"kernel": kernel_info} if kernel_info else {}),
             "optimum": optimum,
             "hist_quantiles": registry.hist_quantiles(),
             **registry.snapshot(),
@@ -372,6 +378,12 @@ def cmd_stats(args) -> int:
         print(_json.dumps(payload, indent=2))
         return 0
     print(headline)
+    note = f" (requested {args.backend})" if args.backend != backend else ""
+    print(f"backend: {backend}{note}")
+    if kernel_info and "path" in kernel_info:
+        hit = "cache hit" if kernel_info["cache_hit"] else "compiled"
+        print(f"kernel: {hit} via {kernel_info['compiler'] or 'cached object'} "
+              f"at {kernel_info['path']}")
     print(registry.summary())
     return 0
 
@@ -729,6 +741,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = add_parser("opt", help="exact optima of an instance")
     p.add_argument("instance")
+    p.add_argument("--backend", default=DEFAULT_BACKEND,
+                   choices=["auto", *sorted(BACKENDS)])
     p.add_argument("--nonmigratory", action="store_true")
     p.add_argument("--exact-threshold", type=int, default=14)
     p.set_defaults(func=cmd_opt)
@@ -786,7 +800,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--m", type=int, default=None,
                    help="certify at this machine count (default: certified optimum)")
     p.add_argument("--speed", default="1")
-    p.add_argument("--backend", default=DEFAULT_BACKEND, choices=sorted(BACKENDS))
+    p.add_argument("--backend", default=DEFAULT_BACKEND,
+                   choices=["auto", *sorted(BACKENDS)])
     p.add_argument("--schedule",
                    help="verify this schedule JSON against the instance instead")
     p.add_argument("--differential", action="store_true",
@@ -800,7 +815,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("instance")
     p.add_argument("--speed", default="1")
-    p.add_argument("--backend", default=DEFAULT_BACKEND, choices=sorted(BACKENDS))
+    p.add_argument("--backend", default=DEFAULT_BACKEND,
+                   choices=["auto", *sorted(BACKENDS)])
     p.add_argument("--policy", default=None, choices=sorted(POLICIES),
                    help="also simulate this policy at the optimum "
                         "(adds engine.* counters)")

@@ -13,11 +13,13 @@ from .feascache import CacheStats, FeasibilityCache, cache_for
 from .flow import (
     BACKENDS,
     DEFAULT_BACKEND,
+    available_backends,
     max_flow_assignment,
     mcnaughton,
     migratory_feasible,
     migratory_schedule,
     networkx_min_cut,
+    resolve_backend,
     schedule_from_work,
 )
 from .nonmigratory import (
@@ -50,6 +52,8 @@ __all__ = [
     "cache_for",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "available_backends",
+    "resolve_backend",
     "scaled_lower_bound",
     "lp_feasible",
     "exact_np_optimum",

@@ -16,7 +16,10 @@ buffers so a probe is allocation-free and snapshots are single ``memcpy``s:
   buffers are preallocated once and reset by slice copies.  An optional
   numpy-vectorized BFS (``kernel="np"``) builds the level graph with array
   operations over zero-copy views of the same buffers — bit-identical
-  levels, hence bit-identical flows.
+  levels, hence bit-identical flows.  A compiled kernel (``kernel="c"``,
+  lazily built by :mod:`repro.offline.kernel`) runs the whole phase loop
+  natively over the *same* capacity buffer, zero-copy, mirroring the
+  Python loop step for step so its flows are bit-identical too.
 * :class:`FeasibilityNetwork` — the ``source → job → interval → sink``
   network specialized to the job/interval bipartite structure.  Edge ids
   are *arithmetic*: sink arc of interval ``k`` is ``2k``, and each job's
@@ -48,9 +51,10 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import core as _obs
+from . import kernel as _ckernel
 
 #: Level-graph kernels accepted by :meth:`Dinic.max_flow`.
-KERNELS = ("py", "np")
+KERNELS = ("py", "np", "c")
 
 _EMPTY_I = array("i")
 
@@ -78,7 +82,7 @@ class Dinic:
 
     __slots__ = (
         "n", "to", "cap", "_head", "_elist",
-        "_level", "_it", "_minus1", "_np_csr",
+        "_level", "_it", "_minus1", "_np_csr", "_c_csr",
     )
 
     def __init__(self, n_nodes: int) -> None:
@@ -88,6 +92,7 @@ class Dinic:
         self._head: Optional[array] = None
         self._elist: Optional[array] = None
         self._np_csr = None
+        self._c_csr = None
 
     # -- construction ---------------------------------------------------------
 
@@ -266,14 +271,59 @@ class Dinic:
         out[:] = level.tolist()
         return out
 
+    def _csr_c(self) -> Tuple[array, array, array]:
+        """The CSR topology as int32 arrays for the compiled kernel.
+
+        Built once per solver (feasibility networks on the compiled path
+        share theirs through ``NetworkTables.topology_c`` instead); list
+        topologies are copied, array topologies passed through zero-copy.
+        """
+        if self._c_csr is None:
+            to = self.to if isinstance(self.to, array) else array("i", self.to)
+            head = (self._head if isinstance(self._head, array)
+                    else array("i", self._head))
+            elist = (self._elist if isinstance(self._elist, array)
+                     else array("i", self._elist))
+            self._c_csr = (to, head, elist)
+        return self._c_csr
+
+    def _max_flow_c(self, s: int, t: int, limit: Optional[int]) -> int:
+        """The ``"c"`` kernel: one native call covers every phase.
+
+        Counters come back from the kernel's stats block, so the pinned
+        ``dinic.*`` counter snapshots are identical across kernels.
+        """
+        ck = _ckernel.load()
+        to, head, elist = self._csr_c()
+        climit = -1 if limit is None else limit
+        if not _obs.enabled():
+            return ck.max_flow(self.n, to, head, elist, self.cap, s, t, climit)
+        t0 = time.perf_counter_ns()
+        stats = array("q", (0, 0, 0))
+        added = ck.max_flow(
+            self.n, to, head, elist, self.cap, s, t, climit, stats
+        )
+        dt = time.perf_counter_ns() - t0
+        _obs.incr("dinic.bfs_phases", stats[0])
+        _obs.incr("dinic.aug_paths", stats[1])
+        _obs.incr("dinic.retreats", stats[2])
+        _obs.incr("dinic.flow_pushed", added)
+        _obs.observe("dinic.max_flow_ns", dt)
+        _obs.observe("dinic.max_flow_c_ns", dt)
+        _obs.observe("dinic.phases_per_call", stats[0])
+        _obs.observe("dinic.flow_per_call", added)
+        return added
+
     def max_flow(self, s: int, t: int, kernel: str = "py",
                  limit: Optional[int] = None) -> int:
         """Push a maximum flow from ``s`` to ``t``; returns the amount *added*.
 
         Starting from the current residual capacities, so repeated calls
         after capacity increases implement a warm start.  ``kernel``
-        selects the level-graph build: ``"py"`` (pure stdlib, default) or
-        ``"np"`` (numpy-vectorized BFS, identical results).
+        selects the level-graph build: ``"py"`` (pure stdlib, default),
+        ``"np"`` (numpy-vectorized BFS, identical results), or ``"c"``
+        (the compiled kernel of :mod:`repro.offline.kernel`, which runs
+        BFS *and* the blocking-flow DFS natively — identical results).
 
         ``limit`` is an optional *known upper bound* on the flow still
         missing (e.g. the unmet demand in a feasibility probe).  Once the
@@ -285,6 +335,8 @@ class Dinic:
             raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
         if limit is not None and limit <= 0:
             return 0
+        if kernel == "c":
+            return self._max_flow_c(s, t, limit)
         bfs = self._bfs_np if kernel == "np" else self._bfs_py
         to, cap, head, elist = self.to, self.cap, self._head, self._elist
         it = self._it
@@ -298,12 +350,13 @@ class Dinic:
             level = bfs(s, t)
             if level[t] < 0:
                 if _obs.enabled():
+                    dt = time.perf_counter_ns() - t0
                     _obs.incr("dinic.bfs_phases", phases)
                     _obs.incr("dinic.aug_paths", paths)
                     _obs.incr("dinic.retreats", retreats)
                     _obs.incr("dinic.flow_pushed", added)
-                    _obs.observe("dinic.max_flow_ns",
-                                 time.perf_counter_ns() - t0)
+                    _obs.observe("dinic.max_flow_ns", dt)
+                    _obs.observe("dinic.max_flow_%s_ns" % kernel, dt)
                     _obs.observe("dinic.phases_per_call", phases)
                     _obs.observe("dinic.flow_per_call", added)
                 return added
@@ -322,12 +375,13 @@ class Dinic:
                         cap[e ^ 1] += aug
                     if limit is not None and added >= limit:
                         if _obs.enabled():
+                            dt = time.perf_counter_ns() - t0
                             _obs.incr("dinic.bfs_phases", phases)
                             _obs.incr("dinic.aug_paths", paths)
                             _obs.incr("dinic.retreats", retreats)
                             _obs.incr("dinic.flow_pushed", added)
-                            _obs.observe("dinic.max_flow_ns",
-                                         time.perf_counter_ns() - t0)
+                            _obs.observe("dinic.max_flow_ns", dt)
+                            _obs.observe("dinic.max_flow_%s_ns" % kernel, dt)
                             _obs.observe("dinic.phases_per_call", phases)
                             _obs.observe("dinic.flow_per_call", added)
                         return added
@@ -434,6 +488,26 @@ def _feasibility_topology(
     return to, head, elist
 
 
+def _feasibility_topology_c(
+    ck, n: int, n_iv: int, k0s: array, k1s: array, srcs: array,
+) -> Tuple[array, array, array]:
+    """:func:`_feasibility_topology` built natively, as int32 arrays.
+
+    Byte-for-byte the same ``(to, head, elist)`` contents (pinned by
+    ``tests/test_kernel.py``); arrays instead of lists so the compiled
+    kernel reads them zero-copy.  The interpreted kernels can index them
+    too, but each kernel keeps its own cached topology representation
+    (``NetworkTables.topology`` vs ``topology_c``) so neither pays the
+    other's access cost.
+    """
+    if n:
+        last = n - 1
+        e2 = srcs[last] + 2 * (1 + k1s[last] - k0s[last])
+    else:
+        e2 = 2 * n_iv
+    return ck.build_topology(n, n_iv, k0s, k1s, srcs, e2, 2 + n + n_iv)
+
+
 class FeasibilityNetwork:
     """Horn's feasibility network with in-place machine-count scaling.
 
@@ -472,6 +546,7 @@ class FeasibilityNetwork:
         "_k1",
         "_src",
         "_edf",
+        "_ck",
         "_cap_mv",
         "n_nodes",
         "n_edges",
@@ -488,6 +563,10 @@ class FeasibilityNetwork:
     ) -> None:
         n = len(instance)
         n_iv = len(intervals)
+        # The compiled kernel is resolved once per network; an explicit
+        # kernel="c" request raises KernelUnavailable here (the "auto"
+        # backend checks availability before ever asking for "c").
+        ck = _ckernel.load() if kernel == "c" else None
         if tables is not None:
             # Integer fast path: all Fraction arithmetic happened once, in
             # the cache's table sweep.  ``speed·scale`` is an integer
@@ -501,23 +580,40 @@ class FeasibilityNetwork:
                 )
             lenfac = sp.numerator // base       # len_base → interval capacity
             demfac = scale // base              # demand_base → demand
-            iv_caps = [lb * lenfac for lb in tables.len_base]
             demand_base = tables.demand_base
             k0s, k1s, srcs = tables.k0, tables.k1, tables.src
             edf = tables.edf
             total = tables.total_demand_base * demfac
-            if tables.topology is None:
-                tables.topology = _feasibility_topology(n, n_iv, k0s, k1s, srcs)
-            to_l, head, elist = tables.topology
-            cap_arr = array("q", bytes(8 * len(to_l)))
-            for idx in range(n):
-                e = srcs[idx]
-                cap_arr[e] = demand_base[idx] * demfac
-                e += 2
-                for k in range(k0s[idx], k1s[idx]):
-                    cap_arr[e] = iv_caps[k]
+            if ck is not None:
+                # Compiled build: topology, capacity scaling, and the cold
+                # fill all happen natively over the shared int32/int64
+                # buffers — identical contents to the Python build.
+                iv_caps = ck.scale_caps(tables.len_base, lenfac)
+                if tables.topology_c is None:
+                    tables.topology_c = _feasibility_topology_c(
+                        ck, n, n_iv, k0s, k1s, srcs
+                    )
+                to_l, head, elist = tables.topology_c
+                cap_arr = array("q", bytes(8 * len(to_l)))
+                ck.fill_caps(
+                    n, k0s, k1s, srcs, demand_base, demfac, iv_caps, cap_arr
+                )
+                dinic = Dinic.from_csr(2 + n + n_iv, to_l, cap_arr, head, elist)
+                dinic._c_csr = (to_l, head, elist)
+            else:
+                iv_caps = [lb * lenfac for lb in tables.len_base]
+                if tables.topology is None:
+                    tables.topology = _feasibility_topology(n, n_iv, k0s, k1s, srcs)
+                to_l, head, elist = tables.topology
+                cap_arr = array("q", bytes(8 * len(to_l)))
+                for idx in range(n):
+                    e = srcs[idx]
+                    cap_arr[e] = demand_base[idx] * demfac
                     e += 2
-            dinic = Dinic.from_csr(2 + n + n_iv, to_l, cap_arr, head, elist)
+                    for k in range(k0s[idx], k1s[idx]):
+                        cap_arr[e] = iv_caps[k]
+                        e += 2
+                dinic = Dinic.from_csr(2 + n + n_iv, to_l, cap_arr, head, elist)
         else:
             # Stand-alone path (no cache): compute the tables inline.
             dinic = Dinic(2 + n + n_iv)
@@ -555,8 +651,14 @@ class FeasibilityNetwork:
                     add_edge(jn, 2 + n + k, iv_caps[k])
             edf = array("i", sorted(range(n), key=lambda i: (k1s[i], k0s[i], i)))
             dinic.finalize()
+            if ck is not None:
+                # The stand-alone build keeps the generic list construction;
+                # only the per-interval capacities move to the int64 layout
+                # the native grow/greedy entry points read.
+                iv_caps = array("q", iv_caps)
         self.dinic = dinic
         self.kernel = kernel
+        self._ck = ck
         self.iv_caps = iv_caps
         self.job_ids = [job.id for job in instance]
         self.total_demand = total
@@ -586,9 +688,12 @@ class FeasibilityNetwork:
         """
         delta = m - self.machines
         if delta > 0:
-            cap = self.dinic.cap
-            for k, c in enumerate(self.iv_caps):
-                cap[2 * k] += delta * c
+            if self._ck is not None:
+                self._ck.grow_sinks(delta, self.iv_caps, self.dinic.cap)
+            else:
+                cap = self.dinic.cap
+                for k, c in enumerate(self.iv_caps):
+                    cap[2 * k] += delta * c
         elif delta < 0:
             self._drain(-delta)
         self.machines = m
@@ -655,7 +760,16 @@ class FeasibilityNetwork:
         earliest-deadline-first with leftmost filling is near-optimal for
         this interval-structured network, so the rerouting left for Dinic
         — the expensive part of an infeasibility proof — is minimal.
+
+        On the compiled kernel the identical pass (same EDF order, same
+        left-to-right fill) runs natively; the pinned
+        ``dinic.greedy_pushed`` counters agree across kernels.
         """
+        if self._ck is not None:
+            return self._ck.greedy_blocking(
+                len(self.job_ids), self._edf, self._k0, self._k1,
+                self._src, self.dinic.cap,
+            )
         cap = self.dinic.cap
         k0s, k1s, srcs = self._k0, self._k1, self._src
         pushed = 0

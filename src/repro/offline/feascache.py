@@ -110,7 +110,8 @@ class NetworkTables:
         "zero_laxity_max",  # max concurrency among zero-laxity jobs
         "total_demand_base",
         "base_scale",
-        "topology",        # None | (to: array, head: array, elist: array)
+        "topology",        # None | (to, head, elist) as plain lists
+        "topology_c",      # None | the same CSR as int32 arrays ("c" kernel)
     )
 
 
@@ -133,6 +134,7 @@ def _build_tables(
     t.elementary_count = m_el
     t.base_scale = base_scale
     t.topology = None
+    t.topology_c = None
     if n == 0:
         t.intervals = []
         t.len_base = _EMPTY_Q

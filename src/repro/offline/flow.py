@@ -17,15 +17,22 @@ All rational data is scaled by the common denominator so the flow problem is
 explicit migratory :class:`~repro.model.schedule.Schedule` by McNaughton's
 wrap-around rule inside each elementary interval.
 
-Three interchangeable solver backends answer the flow question:
+Four interchangeable solver backends answer the flow question (the default
+``"auto"`` resolves to the fastest one available — see
+:func:`resolve_backend`):
 
-* ``"dinic"`` (default) — the flat-array solver in
-  :mod:`repro.offline.dinic`, fed by the per-instance memo in
-  :mod:`repro.offline.feascache` (event intervals, scales, and verdicts are
-  computed once per instance; feasibility probes warm-start each other);
+* ``"dinic"`` — the flat-array solver in :mod:`repro.offline.dinic`, fed by
+  the per-instance memo in :mod:`repro.offline.feascache` (event intervals,
+  scales, and verdicts are computed once per instance; feasibility probes
+  warm-start each other);
 * ``"dinic_np"`` — the same solver with a numpy-vectorized BFS level build
   (bit-identical levels, hence bit-identical flows); opt-in and
   differential-tested against the pure-stdlib kernel;
+* ``"dinic_c"`` — the compiled kernel of :mod:`repro.offline.kernel`: the
+  whole blocking-flow loop (plus the greedy pass, topology build, and
+  warm-start capacity updates) runs natively over the same zero-copy
+  buffers, bit-identical again; lazily compiled at first use and
+  unavailable (gracefully) when no C compiler or cached build exists;
 * ``"networkx"`` — the original generic ``nx.maximum_flow`` formulation,
   kept as an independent implementation for differential testing and as the
   baseline in ``benchmarks/bench_scale.py``.
@@ -53,16 +60,59 @@ _SOURCE = "s"
 _SINK = "t"
 
 #: Solver backends accepted by :func:`max_flow_assignment` and friends.
-BACKENDS = ("dinic", "dinic_np", "networkx")
-DEFAULT_BACKEND = "dinic"
+BACKENDS = ("dinic", "dinic_np", "dinic_c", "networkx")
+
+#: ``"auto"`` resolves to the fastest kernel available in this process
+#: (``dinic_c`` → ``dinic_np`` → ``dinic``); see :func:`resolve_backend`.
+DEFAULT_BACKEND = "auto"
 
 #: Dinic-family backends and the level-graph kernel each one selects.
-_DINIC_KERNELS = {"dinic": "py", "dinic_np": "np"}
+_DINIC_KERNELS = {"dinic": "py", "dinic_np": "np", "dinic_c": "c"}
+
+#: Inverse map: kernel name → backend name (used by the auto resolution).
+_KERNEL_BACKENDS = {"py": "dinic", "np": "dinic_np", "c": "dinic_c"}
 
 
 def _check_backend(backend: str) -> None:
-    if backend not in BACKENDS:
-        raise ValueError(f"unknown flow backend {backend!r}; expected one of {BACKENDS}")
+    if backend not in BACKENDS and backend != "auto":
+        raise ValueError(
+            f"unknown flow backend {backend!r}; expected one of "
+            f"{BACKENDS + ('auto',)}"
+        )
+
+
+def resolve_backend(backend: str = DEFAULT_BACKEND) -> str:
+    """The concrete backend a request will run on.
+
+    ``"auto"`` picks the fastest kernel usable in this process, probing the
+    ladder ``dinic_c`` (compiled; needs a C compiler or a warm build cache)
+    → ``dinic_np`` (numpy BFS) → ``dinic`` (pure stdlib).  All three
+    produce bit-identical flows, so the choice is invisible except in
+    speed; the resolved name is what result metadata and obs spans record.
+    Concrete names pass through unchanged (after validation) — including
+    ``dinic_c`` on a host that cannot provide it, which then raises
+    :class:`~repro.offline.kernel.KernelUnavailable` at first use rather
+    than silently degrading an explicit request.
+    """
+    if backend == "auto":
+        from .kernel import best_kernel
+
+        return _KERNEL_BACKENDS[best_kernel()]
+    _check_backend(backend)
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The subset of :data:`BACKENDS` usable in this process.
+
+    Only ``dinic_c`` is conditional (it needs a C compiler or a warm build
+    cache, and honors the ``REPRO_DINIC_C=off`` escape hatch); this is the
+    default backend set of the differential harness, so cross-checks run
+    everywhere without configuration.
+    """
+    from .kernel import available
+
+    return tuple(b for b in BACKENDS if b != "dinic_c" or available())
 
 
 def _event_intervals(instance: Instance) -> List[Tuple[Fraction, Fraction]]:
@@ -138,7 +188,7 @@ def max_flow_assignment(
     times speed).  The interval list is the (sparsified, by default) event
     structure the network was built over.
     """
-    _check_backend(backend)
+    backend = resolve_backend(backend)
     if len(instance) == 0:
         return True, {}, []
     if m <= 0:
@@ -180,7 +230,7 @@ def migratory_feasible(
     probes on the same instance reuse the built network, warm-start from
     each other's residual flows, and memoize ``(m, speed)`` verdicts.
     """
-    _check_backend(backend)
+    backend = resolve_backend(backend)
     kernel = _DINIC_KERNELS.get(backend)
     if kernel is not None:
         if len(instance) == 0:

@@ -1,0 +1,132 @@
+"""The compiled Dinic kernel: lazy codegen build with graceful fallback.
+
+Public surface:
+
+* :func:`load` — the process-wide :class:`~repro.offline.kernel.abi.DinicCKernel`
+  (compiled on first use, then dlopen'ed from the content-addressed cache);
+  raises :class:`KernelUnavailable` when it cannot be provided.
+* :func:`available` — ``True`` iff :func:`load` would succeed (memoized,
+  including the negative answer).
+* :func:`best_kernel` — the fastest usable level-graph kernel name for
+  :meth:`repro.offline.dinic.Dinic.max_flow`: ``"c"`` when the compiled
+  kernel loads, else ``"np"`` when numpy imports, else ``"py"``.  This is
+  the resolution ladder behind ``backend="auto"``.
+* :func:`build_info` — how the kernel was provided (cache hit, compiler,
+  object path, content key), surfaced by ``repro stats``.
+* :func:`reset` — drop the memoized state (tests flip the env knobs).
+
+Nothing here touches the obs layer: kernel loading happens lazily inside
+whatever probe runs first, and emitting counters there would make pinned
+counter snapshots depend on load order.  Build provenance is exposed as
+plain data via :func:`build_info` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .abi import DinicCKernel
+from .build import (
+    CACHE_ENV,
+    CC_ENV,
+    DISABLE_ENV,
+    BuildResult,
+    KernelUnavailable,
+    cache_root,
+    disabled,
+    ensure_built,
+    find_compiler,
+)
+
+__all__ = [
+    "DinicCKernel",
+    "KernelUnavailable",
+    "available",
+    "best_kernel",
+    "build_info",
+    "load",
+    "reset",
+    "CACHE_ENV",
+    "CC_ENV",
+    "DISABLE_ENV",
+]
+
+_kernel: Optional[DinicCKernel] = None
+_build: Optional[BuildResult] = None
+_error: Optional[KernelUnavailable] = None
+_best: Optional[str] = None
+
+
+def load() -> DinicCKernel:
+    """The process-wide compiled kernel (built/loaded on first call).
+
+    The outcome is memoized either way: a failed load raises the *same*
+    :class:`KernelUnavailable` on every later call without re-probing the
+    filesystem (call :func:`reset` after changing the env knobs).
+    """
+    global _kernel, _build, _error
+    if _kernel is not None:
+        return _kernel
+    if _error is not None:
+        raise _error
+    try:
+        result = ensure_built()
+        kernel = DinicCKernel(str(result.path))
+    except KernelUnavailable as exc:
+        _error = exc
+        raise
+    except OSError as exc:  # corrupt cached object: treat as unavailable
+        _error = KernelUnavailable(f"cached kernel failed to load: {exc}")
+        raise _error from exc
+    _kernel, _build = kernel, result
+    return kernel
+
+
+def available() -> bool:
+    """Whether the compiled kernel can be used in this process."""
+    try:
+        load()
+    except KernelUnavailable:
+        return False
+    return True
+
+
+def best_kernel() -> str:
+    """The fastest usable kernel name: ``"c"`` → ``"np"`` → ``"py"``."""
+    global _best
+    if _best is None:
+        if available():
+            _best = "c"
+        else:
+            try:
+                import numpy  # noqa: F401
+            except ImportError:
+                _best = "py"
+            else:
+                _best = "np"
+    return _best
+
+
+def build_info() -> Dict[str, Any]:
+    """Provenance of the compiled kernel for ``repro stats`` and debugging."""
+    info: Dict[str, Any] = {
+        "available": available(),
+        "disabled": disabled(),
+        "cache_dir": str(cache_root()),
+    }
+    if _build is not None:
+        info.update(
+            cache_hit=_build.cache_hit,
+            compiler=_build.compiler,
+            path=str(_build.path),
+            key=_build.key,
+        )
+    elif _error is not None:
+        info["error"] = str(_error)
+    return info
+
+
+def reset() -> None:
+    """Forget the memoized kernel/verdict (after env-knob changes in tests)."""
+    global _kernel, _build, _error, _best
+    _kernel = _build = _error = _best = None

@@ -1,0 +1,150 @@
+"""ctypes bindings over the compiled kernel: zero-copy on the live buffers.
+
+Every exported function takes raw buffer addresses obtained from
+``array.buffer_info()`` — no marshalling, no copies.  That is what keeps
+the warm-start machinery intact across kernels: the C code mutates the
+*same* ``array('q')`` capacity buffer that ``FeasibilityNetwork``
+snapshots (``cap.tobytes()``), restores (memoryview slice assignment, in
+place), and drains, so a probe may freely mix compiled and interpreted
+steps on one network.
+
+The address of an ``array``'s buffer is stable for the lifetime of the
+object as long as its *length* never changes — the solver's contract after
+``finalize()`` (topology frozen, only capacity values change) — so
+addresses are taken per call without pinning.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from array import array
+from typing import Optional, Tuple
+
+_I64 = ctypes.c_int64
+_I32 = ctypes.c_int32
+_PTR = ctypes.c_void_p
+
+
+def _addr(buf: array) -> Optional[int]:
+    """Base address of an array's buffer (NULL for an empty array)."""
+    if len(buf) == 0:
+        return None
+    return buf.buffer_info()[0]
+
+
+class DinicCKernel:
+    """The loaded shared object with typed entry points.
+
+    Thin by design: argument validation lives on the Python callers (which
+    own the layout invariants); this class only guards the buffer typecodes
+    so a mis-wired caller fails loudly instead of corrupting memory.
+    """
+
+    __slots__ = ("lib", "path", "_max_flow", "_greedy", "_topology",
+                 "_scale_caps", "_fill_caps", "_grow_sinks")
+
+    def __init__(self, path: str) -> None:
+        lib = ctypes.CDLL(str(path))
+        self.lib = lib
+        self.path = str(path)
+        f = lib.repro_dinic_max_flow
+        f.restype = _I64
+        f.argtypes = (_I32, _PTR, _PTR, _PTR, _PTR, _I32, _I32, _I64, _PTR)
+        self._max_flow = f
+        f = lib.repro_greedy_blocking
+        f.restype = _I64
+        f.argtypes = (_I32, _PTR, _PTR, _PTR, _PTR, _PTR)
+        self._greedy = f
+        f = lib.repro_build_topology
+        f.restype = _I32
+        f.argtypes = (_I32, _I32, _PTR, _PTR, _PTR, _PTR, _PTR, _PTR)
+        self._topology = f
+        f = lib.repro_scale_caps
+        f.restype = None
+        f.argtypes = (_I32, _PTR, _I64, _PTR)
+        self._scale_caps = f
+        f = lib.repro_fill_caps
+        f.restype = None
+        f.argtypes = (_I32, _PTR, _PTR, _PTR, _PTR, _I64, _PTR, _PTR)
+        self._fill_caps = f
+        f = lib.repro_grow_sinks
+        f.restype = None
+        f.argtypes = (_I32, _I64, _PTR, _PTR)
+        self._grow_sinks = f
+
+    # -- entry points ---------------------------------------------------------
+
+    def max_flow(
+        self, n: int, to: array, head: array, elist: array, cap: array,
+        s: int, t: int, limit: int, stats: Optional[array] = None,
+    ) -> int:
+        """Flow added from ``s`` to ``t`` on the current residual.
+
+        ``limit < 0`` runs to disconnection; ``stats`` (an ``array('q')``
+        of length >= 3) receives ``(phases, paths, retreats)`` when given.
+        """
+        if to.typecode != "i" or head.typecode != "i" or elist.typecode != "i":
+            raise TypeError("CSR topology buffers must be array('i')")
+        if cap.typecode != "q":
+            raise TypeError("capacity buffer must be array('q')")
+        added = self._max_flow(
+            n, _addr(to), _addr(head), _addr(elist), _addr(cap),
+            s, t, limit, _addr(stats) if stats is not None else None,
+        )
+        if added < 0:
+            raise MemoryError("dinic_c: scratch allocation failed")
+        return added
+
+    def greedy_blocking(
+        self, n_jobs: int, edf: array, k0: array, k1: array, src: array,
+        cap: array,
+    ) -> int:
+        """The EDF greedy blocking pass; returns the flow pushed."""
+        if cap.typecode != "q":
+            raise TypeError("capacity buffer must be array('q')")
+        return self._greedy(
+            n_jobs, _addr(edf), _addr(k0), _addr(k1), _addr(src), _addr(cap)
+        )
+
+    def build_topology(
+        self, n_jobs: int, n_iv: int, k0: array, k1: array, src: array,
+        n_edges2: int, n_nodes: int,
+    ) -> Tuple[array, array, array]:
+        """The arithmetic CSR topology as fresh int32 arrays.
+
+        ``n_edges2`` is the paired edge count ``2 * n_edges`` (the length
+        of ``to``/``elist``); ``n_nodes`` sizes ``head``.
+        """
+        to = array("i", bytes(4 * n_edges2))
+        head = array("i", bytes(4 * (n_nodes + 1)))
+        elist = array("i", bytes(4 * n_edges2))
+        rc = self._topology(
+            n_jobs, n_iv, _addr(k0), _addr(k1), _addr(src),
+            _addr(to), _addr(head), _addr(elist),
+        )
+        if rc != 0:
+            raise MemoryError("dinic_c: topology scratch allocation failed")
+        return to, head, elist
+
+    def scale_caps(self, len_base: array, lenfac: int) -> array:
+        """Per-interval unit capacities ``len_base[k] * lenfac`` (int64)."""
+        n_iv = len(len_base)
+        iv_caps = array("q", bytes(8 * n_iv))
+        self._scale_caps(n_iv, _addr(len_base), lenfac, _addr(iv_caps))
+        return iv_caps
+
+    def fill_caps(
+        self, n_jobs: int, k0: array, k1: array, src: array,
+        demand_base: array, demfac: int, iv_caps: array, cap: array,
+    ) -> None:
+        """Cold capacity fill (source demands + window arcs) into ``cap``."""
+        if cap.typecode != "q":
+            raise TypeError("capacity buffer must be array('q')")
+        self._fill_caps(
+            n_jobs, _addr(k0), _addr(k1), _addr(src),
+            _addr(demand_base), demfac, _addr(iv_caps), _addr(cap),
+        )
+
+    def grow_sinks(self, delta: int, iv_caps: array, cap: array) -> None:
+        """Grow every sink arc by ``delta`` machines' worth of capacity."""
+        self._grow_sinks(len(iv_caps), delta, _addr(iv_caps), _addr(cap))

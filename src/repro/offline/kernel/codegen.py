@@ -1,0 +1,358 @@
+"""The C source of the compiled Dinic kernel, as a Python string.
+
+The kernel is *generated* rather than shipped as a source file on disk so
+the build cache can be content-addressed: the cache key is a hash over this
+string plus :data:`ABI_VERSION`, which means an edit here (or an ABI bump)
+transparently invalidates every stale shared object without any version
+bookkeeping.  See :mod:`repro.offline.kernel.build`.
+
+The C code mirrors the pure-Python reference in
+:mod:`repro.offline.dinic` **step for step** — the depth-synchronized BFS
+(the whole frontier of the depth that reaches ``t`` is finished before the
+search stops), the iterative current-arc DFS, the retreat to the
+shallowest saturated edge after an augment, and the dead-end
+``level[u] = -1`` pruning — so the flows it produces are bit-identical to
+the ``py``/``np`` kernels, not merely maximum.  The differential suites
+(``tests/test_kernel.py``, ``tests/test_sparsify.py``) pin that equality
+byte for byte.
+
+Buffer ABI (shared with the Python side, all zero-copy):
+
+* ``cap`` — the live ``array('q')`` capacity buffer (int64).  The reverse
+  edge of ``e`` is ``e ^ 1``; forward edges are even.  This is the *same*
+  buffer ``FeasibilityNetwork`` snapshots, restores, and drains.
+* ``to`` / ``head`` / ``elist`` — the immutable CSR topology as int32
+  arrays (``head`` offsets into ``elist``; ``elist[head[u]:head[u+1]]``
+  are node ``u``'s incident edge ids in ascending order).
+* Job tables (``k0``/``k1``/``src``/``edf``) — int32; base-scaled lengths,
+  demands, and interval capacities — int64.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Bump when the exported symbols or their signatures change; part of the
+#: build-cache key, so old shared objects are never dlopen'ed into a new ABI.
+ABI_VERSION = 1
+
+C_SOURCE = r"""
+/* Flat-CSR blocking-flow Dinic core for the feasibility network.
+ *
+ * Mirrors repro/offline/dinic.py exactly (BFS depth synchronization, DFS
+ * current-arc pointers, retreat and pruning rules) so flows, residual
+ * capacities, and min cuts are bit-identical to the Python kernels.
+ *
+ * Conventions: node/edge ids are int32, capacities int64; the reverse edge
+ * of e is e ^ 1 and forward edges are even.  All buffers are caller-owned;
+ * the only allocations are per-call scratch (freed before returning).
+ */
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#if defined(_WIN32)
+#  define API __declspec(dllexport)
+#else
+#  define API __attribute__((visibility("default")))
+#endif
+
+/* Max flow added on the current residual from s to t.
+ *
+ * limit >= 0 is a known upper bound on the missing flow: once the added
+ * flow reaches it the routine returns immediately (the bound certifies
+ * maximality); limit < 0 means run to disconnection.  stats (optional,
+ * may be NULL) receives {bfs phases, augmenting paths, retreats}.
+ * Returns -1 on allocation failure. */
+API int64_t repro_dinic_max_flow(
+    int32_t n, const int32_t *to, const int32_t *head, const int32_t *elist,
+    int64_t *cap, int32_t s, int32_t t, int64_t limit, int64_t *stats)
+{
+    int32_t *scratch = (int32_t *)malloc(4 * (size_t)n * sizeof(int32_t));
+    int32_t *level, *it, *queue, *path;
+    int64_t added = 0, phases = 0, paths = 0, retreats = 0;
+
+    if (!scratch)
+        return -1;
+    level = scratch;
+    it = scratch + n;
+    queue = scratch + 2 * (size_t)n;
+    path = scratch + 3 * (size_t)n;
+
+    for (;;) {
+        int32_t qhead = 0, qtail = 1, depth = 0, plen = 0, u;
+        phases += 1;
+        /* Level graph: depth-synchronized BFS.  The whole frontier at the
+         * depth that reaches t is labeled before the loop stops, exactly
+         * like the Python _bfs_py, so levels are identical. */
+        memset(level, -1, (size_t)n * sizeof(int32_t));
+        level[s] = 0;
+        queue[0] = s;
+        while (qhead < qtail) {
+            int32_t frontier_end = qtail;
+            depth += 1;
+            while (qhead < frontier_end) {
+                int32_t i, end;
+                u = queue[qhead++];
+                end = head[u + 1];
+                for (i = head[u]; i < end; i++) {
+                    int32_t e = elist[i];
+                    if (cap[e]) {
+                        int32_t v = to[e];
+                        if (level[v] < 0) {
+                            level[v] = depth;
+                            queue[qtail++] = v;
+                        }
+                    }
+                }
+            }
+            if (level[t] >= 0)
+                break;
+        }
+        if (level[t] < 0)
+            break;
+        /* Blocking flow: iterative DFS with current-arc pointers. */
+        memcpy(it, head, (size_t)n * sizeof(int32_t));
+        u = s;
+        for (;;) {
+            int32_t i, end, lu, e, v;
+            if (u == t) {
+                int64_t aug;
+                int32_t cut;
+                if (!plen)
+                    goto done;  /* degenerate s == t */
+                paths += 1;
+                aug = cap[path[0]];
+                for (i = 1; i < plen; i++)
+                    if (cap[path[i]] < aug)
+                        aug = cap[path[i]];
+                added += aug;
+                for (i = 0; i < plen; i++) {
+                    e = path[i];
+                    cap[e] -= aug;
+                    cap[e ^ 1] += aug;
+                }
+                if (limit >= 0 && added >= limit)
+                    goto done;
+                /* Retreat to the shallowest saturated edge. */
+                cut = 0;
+                while (cap[path[cut]])
+                    cut++;
+                e = path[cut];     /* del path[cut+1:]; e = path.pop() */
+                plen = cut;
+                u = to[e ^ 1];
+                it[u] += 1;
+                continue;
+            }
+            i = it[u];
+            end = head[u + 1];
+            lu = level[u] + 1;
+            e = -1;
+            v = -1;
+            while (i < end) {
+                e = elist[i];
+                v = to[e];
+                if (cap[e] && level[v] == lu)
+                    break;
+                i += 1;
+            }
+            it[u] = i;
+            if (i < end) {
+                path[plen++] = e;
+                u = v;
+            } else if (plen) {
+                retreats += 1;
+                level[u] = -1;  /* dead end: prune from this phase */
+                e = path[--plen];
+                u = to[e ^ 1];
+                it[u] += 1;
+            } else {
+                break;  /* source exhausted: blocking flow complete */
+            }
+        }
+    }
+done:
+    if (stats) {
+        stats[0] = phases;
+        stats[1] = paths;
+        stats[2] = retreats;
+    }
+    free(scratch);
+    return added;
+}
+
+/* The EDF greedy blocking pass of FeasibilityNetwork._greedy_blocking:
+ * for each job in edf order, push source residual left to right through
+ * its window arcs into the sink arcs (sink arc of interval k is edge 2k;
+ * job idx's source arc is src[idx], window arcs the following even ids).
+ * Returns the total flow pushed. */
+API int64_t repro_greedy_blocking(
+    int32_t n_jobs, const int32_t *edf, const int32_t *k0, const int32_t *k1,
+    const int32_t *src, int64_t *cap)
+{
+    int64_t pushed = 0;
+    int32_t j;
+    for (j = 0; j < n_jobs; j++) {
+        int32_t idx = edf[j];
+        int32_t se = src[idx];
+        int64_t resid = cap[se];
+        int64_t sent = 0;
+        int64_t e;
+        int32_t k, kend;
+        if (!resid)
+            continue;
+        e = (int64_t)se + 2;
+        kend = k1[idx];
+        for (k = k0[idx]; k < kend; k++, e += 2) {
+            int64_t r = cap[e];
+            if (r) {
+                int64_t ks = 2 * (int64_t)k;
+                int64_t room = cap[ks];
+                if (room) {
+                    int64_t push = resid;
+                    if (r < push)
+                        push = r;
+                    if (room < push)
+                        push = room;
+                    cap[e] = r - push;
+                    cap[e + 1] += push;  /* forward ids are even: e^1 == e+1 */
+                    cap[ks] = room - push;
+                    cap[ks + 1] += push;
+                    resid -= push;
+                    sent += push;
+                    if (!resid)
+                        break;
+                }
+            }
+        }
+        if (sent) {
+            cap[se] = resid;
+            cap[se + 1] += sent;
+            pushed += sent;
+        }
+    }
+    return pushed;
+}
+
+/* The arithmetic CSR topology of _feasibility_topology: fills the
+ * caller-allocated (and zero-initialized) to/head/elist buffers.  Sizes:
+ * to[n_edges2], head[2 + n_jobs + n_iv + 1], elist[n_edges2] where
+ * n_edges2 = src[n_jobs-1] + 2*(1 + k1[n_jobs-1] - k0[n_jobs-1]) (or
+ * 2*n_iv for an empty instance).  Returns 0, or -1 on allocation failure. */
+API int32_t repro_build_topology(
+    int32_t n_jobs, int32_t n_iv, const int32_t *k0, const int32_t *k1,
+    const int32_t *src, int32_t *to, int32_t *head, int32_t *elist)
+{
+    int32_t base_iv = 2 + n_jobs;
+    int32_t *cover = (int32_t *)calloc((size_t)n_iv + 1, sizeof(int32_t));
+    int32_t *ivfill = (int32_t *)malloc(((size_t)n_iv + 1) * sizeof(int32_t));
+    int32_t idx, k, p, running;
+    if (!cover || !ivfill) {
+        free(cover);
+        free(ivfill);
+        return -1;
+    }
+    for (k = 0; k < n_iv; k++) {
+        to[2 * k] = 1;  /* SINK */
+        to[2 * k + 1] = base_iv + k;
+    }
+    for (idx = 0; idx < n_jobs; idx++) {
+        int32_t jn = 2 + idx;
+        int32_t e = src[idx];
+        int32_t a = k0[idx], b = k1[idx];
+        to[e] = jn;  /* to[e + 1] stays 0 == SOURCE */
+        cover[a] += 1;
+        cover[b] -= 1;
+        for (k = a; k < b; k++) {
+            e += 2;
+            to[e] = base_iv + k;
+            to[e + 1] = jn;
+        }
+    }
+    head[0] = 0;
+    head[1] = n_jobs;          /* source's arcs */
+    head[2] = n_jobs + n_iv;   /* sink's (reverse) arcs */
+    for (idx = 0; idx < n_jobs; idx++)
+        head[3 + idx] = head[2 + idx] + 1 + k1[idx] - k0[idx];
+    running = 0;
+    for (k = 0; k < n_iv; k++) {
+        running += cover[k];
+        head[base_iv + k + 1] = head[base_iv + k] + 1 + running;
+    }
+    for (idx = 0; idx < n_jobs; idx++)
+        elist[idx] = src[idx];            /* source list (head[0] == 0) */
+    p = head[1];
+    for (k = 0; k < n_iv; k++)
+        elist[p + k] = 2 * k + 1;         /* sink list */
+    for (k = 0; k < n_iv; k++) {
+        ivfill[k] = head[base_iv + k];
+        elist[ivfill[k]] = 2 * k;  /* interval lists start with the sink arc */
+        ivfill[k] += 1;
+    }
+    for (idx = 0; idx < n_jobs; idx++) {
+        int32_t e = src[idx];
+        int32_t b = k1[idx];
+        p = head[2 + idx];
+        elist[p] = e + 1;          /* reverse source arc heads the job list */
+        p += 1;
+        for (k = k0[idx]; k < b; k++) {
+            e += 2;
+            elist[p] = e;
+            p += 1;
+            elist[ivfill[k]] = e + 1;  /* reverse window arc on the interval */
+            ivfill[k] += 1;
+        }
+    }
+    free(cover);
+    free(ivfill);
+    return 0;
+}
+
+/* iv_caps[k] = len_base[k] * lenfac  (per-interval unit capacity). */
+API void repro_scale_caps(
+    int32_t n_iv, const int64_t *len_base, int64_t lenfac, int64_t *iv_caps)
+{
+    int32_t k;
+    for (k = 0; k < n_iv; k++)
+        iv_caps[k] = len_base[k] * lenfac;
+}
+
+/* The cold capacity fill of FeasibilityNetwork.__init__ (tables path):
+ * source arcs carry demand_base * demfac, window arcs the interval's unit
+ * capacity.  Sink arcs stay 0 (m = 0); cap must be zero-initialized. */
+API void repro_fill_caps(
+    int32_t n_jobs, const int32_t *k0, const int32_t *k1, const int32_t *src,
+    const int64_t *demand_base, int64_t demfac, const int64_t *iv_caps,
+    int64_t *cap)
+{
+    int32_t idx, k;
+    for (idx = 0; idx < n_jobs; idx++) {
+        int64_t e = src[idx];
+        int32_t b = k1[idx];
+        cap[e] = demand_base[idx] * demfac;
+        e += 2;
+        for (k = k0[idx]; k < b; k++) {
+            cap[e] = iv_caps[k];
+            e += 2;
+        }
+    }
+}
+
+/* The warm-start grow of set_machines: sink arc of interval k gains
+ * delta machines' worth of capacity. */
+API void repro_grow_sinks(
+    int32_t n_iv, int64_t delta, const int64_t *iv_caps, int64_t *cap)
+{
+    int32_t k;
+    for (k = 0; k < n_iv; k++)
+        cap[2 * (int64_t)k] += delta * iv_caps[k];
+}
+"""
+
+
+def source_hash() -> str:
+    """Content hash keying the build cache (source + ABI version)."""
+    h = hashlib.sha256()
+    h.update(b"repro-dinic-c-abi-%d\n" % ABI_VERSION)
+    h.update(C_SOURCE.encode("utf-8"))
+    return h.hexdigest()

@@ -14,6 +14,7 @@ from .flow import (
     _DINIC_KERNELS,
     migratory_feasible,
     migratory_schedule,
+    resolve_backend,
     schedule_from_work,
 )
 from .workload import scaled_lower_bound
@@ -52,6 +53,9 @@ def migratory_optimum(
     """
     if len(instance) == 0:
         return 0
+    # Resolve "auto" once, up front: every probe of the search runs on the
+    # same kernel and the search span records the concrete backend.
+    backend = resolve_backend(backend)
     speed = to_fraction(speed)
     if speed <= 0:
         raise ValueError("speed must be positive")
@@ -107,6 +111,7 @@ def optimal_migratory_schedule(
     networkx backend stays a deliberately independent implementation and
     re-solves at the optimum.
     """
+    backend = resolve_backend(backend)
     m = migratory_optimum(instance, speed, backend=backend, sparsify=sparsify)
     if m == 0:
         return 0, Schedule([])

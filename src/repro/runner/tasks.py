@@ -80,15 +80,24 @@ def task_ratio_sample(instance: Instance, *, policy: str, family: str = "") -> D
     }
 
 
-def task_certified_optimum(instance: Instance, *, speed: str = "1") -> Dict[str, Any]:
-    """Certified optimum of one instance; unsat instances report ``optimum=None``."""
+def task_certified_optimum(
+    instance: Instance, *, speed: str = "1", backend: str = "auto"
+) -> Dict[str, Any]:
+    """Certified optimum of one instance; unsat instances report ``optimum=None``.
+
+    ``backend`` is resolved before the solve and the concrete name is
+    recorded in the result, so sweep snapshots say which kernel actually
+    answered (``auto`` resolves identically in every worker of a run).
+    """
+    from ..offline.flow import resolve_backend
     from ..verify import Unsatisfiable, certified_optimum
 
+    resolved = resolve_backend(backend)
     try:
-        co = certified_optimum(instance, Fraction(speed))
+        co = certified_optimum(instance, Fraction(speed), backend=resolved)
     except Unsatisfiable:
-        return {"optimum": None, "unsat": True}
-    return {"optimum": co.machines, "unsat": False}
+        return {"optimum": None, "unsat": True, "backend": resolved}
+    return {"optimum": co.machines, "unsat": False, "backend": resolved}
 
 
 def task_min_machines(instance: Instance, *, policy: str, speed: str = "1") -> int:
@@ -113,13 +122,13 @@ def task_differential_optimum(
     shows up as a ``("timeout", …)`` leg in the record's timings instead of
     eating the whole item deadline.
     """
-    from ..offline.flow import BACKENDS
+    from ..offline.flow import available_backends
     from ..verify.differential import differential_optimum
 
     report = differential_optimum(
         instance,
         Fraction(speed),
-        backends=backends or BACKENDS,
+        backends=backends or available_backends(),
         use_lp=use_lp,
         lp_deadline=lp_deadline,
     )

@@ -31,9 +31,9 @@ from ..offline.feascache import cache_for
 from ..offline.flow import (
     DEFAULT_BACKEND,
     _DINIC_KERNELS,
-    _check_backend,
     max_flow_assignment,
     networkx_min_cut,
+    resolve_backend,
     schedule_from_work,
 )
 from ..offline.optimum import migratory_optimum
@@ -80,7 +80,7 @@ def certify(
     sparsify: bool = True,
 ) -> Certificate:
     """Feasibility verdict at ``m`` machines with an attached witness."""
-    _check_backend(backend)
+    backend = resolve_backend(backend)
     speed = to_fraction(speed)
     if speed <= 0:
         raise ValueError("speed must be positive")
@@ -163,6 +163,7 @@ def certified_optimum(
     Raises :class:`Unsatisfiable` (with the degenerate witness attached)
     when no machine count is feasible.
     """
+    backend = resolve_backend(backend)
     speed = to_fraction(speed)
     unsat = unsat_certificate(instance, speed)
     if unsat is not None:

@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..model.instance import Instance
 from ..model.intervals import Numeric, to_fraction
 from ..obs import core as _obs
-from ..offline.flow import BACKENDS, migratory_feasible
+from ..offline.flow import available_backends, migratory_feasible
 from ..offline.optimum import migratory_optimum
 from .certify import certify, unsat_certificate
 from .checkers import check_certificate
@@ -132,7 +132,7 @@ def differential_check(
     instance: Instance,
     m: int,
     speed: Numeric = 1,
-    backends: Sequence[str] = BACKENDS,
+    backends: Optional[Sequence[str]] = None,
     use_lp: bool = True,
     lp_deadline: Optional[float] = None,
 ) -> DifferentialRecord:
@@ -143,7 +143,13 @@ def differential_check(
     ``differential.lp_timeouts`` counter) instead of stalling the probe —
     the exact backends are never deadline-bounded here, their budget is the
     sweep's per-item deadline.
+
+    ``backends`` defaults to :func:`~repro.offline.flow.available_backends`
+    — every exact backend this process can actually run (``dinic_c`` drops
+    out on compiler-less hosts instead of failing the harness).
     """
+    if backends is None:
+        backends = available_backends()
     speed = to_fraction(speed)
     failures: List[str] = []
     verdicts: Dict[str, bool] = {}
@@ -197,7 +203,7 @@ def differential_check(
 def differential_optimum(
     instance: Instance,
     speed: Numeric = 1,
-    backends: Sequence[str] = BACKENDS,
+    backends: Optional[Sequence[str]] = None,
     use_lp: bool = True,
     lp_deadline: Optional[float] = None,
 ) -> DifferentialReport:
@@ -206,6 +212,8 @@ def differential_optimum(
     Every backend must compute the same optimum; unsatisfiable instances
     (``speed < 1``) must carry a valid degenerate witness instead.
     """
+    if backends is None:
+        backends = available_backends()
     speed = to_fraction(speed)
     unsat = unsat_certificate(instance, speed)
     if unsat is not None:
@@ -249,7 +257,7 @@ def differential_optimum(
 def differential_sweep(
     instances: Iterable[Instance],
     speeds: Sequence[Numeric] = (1,),
-    backends: Sequence[str] = BACKENDS,
+    backends: Optional[Sequence[str]] = None,
     use_lp: bool = True,
     lp_deadline: Optional[float] = None,
     n_jobs: int = 1,
@@ -259,8 +267,12 @@ def differential_sweep(
 
     With ``n_jobs != 1`` the probes fan out through :mod:`repro.runner`
     (one work item per instance × speed); the record order and contents are
-    bit-identical to the serial path for every worker count.
+    bit-identical to the serial path for every worker count.  The backend
+    set is resolved *here* (to the available backends by default) so every
+    worker cross-checks the same set regardless of its own environment.
     """
+    if backends is None:
+        backends = available_backends()
     if n_jobs != 1:
         from ..runner import SweepPlan, run_sweep
 

@@ -23,7 +23,7 @@ from hypothesis import strategies as st
 from repro.model import Instance, Job, Schedule, Segment
 from repro.model.intervals import IntervalUnion
 from repro.offline.feascache import cache_for
-from repro.offline.flow import BACKENDS
+from repro.offline.flow import available_backends
 from repro.verify import (
     FeasibleCertificate,
     InfeasibleCertificate,
@@ -41,7 +41,7 @@ from tests.strategies import instances_st
 
 SPEEDS = [Fraction(1), Fraction(1, 2), Fraction(3, 2)]
 
-backends_st = st.sampled_from(BACKENDS)
+backends_st = st.sampled_from(available_backends())
 speeds_st = st.sampled_from(SPEEDS)
 
 

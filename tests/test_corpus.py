@@ -18,7 +18,7 @@ from fractions import Fraction
 import pytest
 
 from repro.model.io import load
-from repro.offline.flow import BACKENDS
+from repro.offline.flow import available_backends
 from repro.offline.optimum import migratory_optimum
 from repro.verify import (
     Unsatisfiable,
@@ -38,7 +38,7 @@ def _case_id(case) -> str:
 
 
 @pytest.mark.parametrize("case", CASES, ids=_case_id)
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", available_backends())
 def test_corpus_certified_optimum(case, backend):
     instance = load(os.path.join(CORPUS_DIR, case["file"]))
     speed = Fraction(case["speed"])

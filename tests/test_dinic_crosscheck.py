@@ -1,10 +1,12 @@
-"""Differential tests: dinic backend vs. networkx backend.
+"""Differential tests: dinic backends vs. networkx backend.
 
 The dedicated Dinic solver (``repro.offline.dinic``) replaced networkx on
 the feasibility hot path; the networkx formulation is kept precisely so the
 two independent implementations can be cross-checked.  Property tests here
 assert they agree on ``(feasible, total flow)`` across random, laminar, and
-agreeable instances, with fractional data and speeds below 1.
+agreeable instances, with fractional data and speeds below 1.  When the
+compiled kernel is available, ``dinic_c`` joins the cross-check and must
+reproduce the python kernel's work map exactly.
 """
 
 from fractions import Fraction
@@ -14,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.generators import agreeable_instance, laminar_instance
 from repro.model import Instance, Job
+from repro.offline import kernel as _kernel
 from repro.offline.flow import max_flow_assignment, migratory_feasible
 from repro.offline.optimum import migratory_optimum
 
@@ -46,7 +49,13 @@ def fractional_instances_st(draw, max_size: int = 6):
 
 
 def assert_backends_agree(instance: Instance, m: int, speed: Fraction) -> None:
-    """Both backends: same verdict and the same maximum-flow value."""
+    """All backends: same verdict and the same maximum-flow value.
+
+    The compiled kernel must match the python kernel *bit for bit* — same
+    work map, not just the same total — because it is the same algorithm on
+    the same buffers; on compiler-less hosts that leg drops out and the
+    dinic-vs-networkx check still runs.
+    """
     fd, wd, ivd = max_flow_assignment(instance, m, speed, backend="dinic")
     fn, wn, ivn = max_flow_assignment(instance, m, speed, backend="networkx")
     assert fd == fn
@@ -56,6 +65,11 @@ def assert_backends_agree(instance: Instance, m: int, speed: Fraction) -> None:
     assert total_d == total_n
     assert migratory_feasible(instance, m, speed, backend="dinic") == fn
     assert migratory_feasible(instance, m, speed, backend="networkx") == fn
+    if _kernel.available():
+        fc, wc, ivc = max_flow_assignment(instance, m, speed, backend="dinic_c")
+        assert (fc, ivc) == (fd, ivd)
+        assert wc == wd
+        assert migratory_feasible(instance, m, speed, backend="dinic_c") == fd
 
 
 class TestBackendsAgree:
@@ -105,4 +119,15 @@ class TestOptimumAgrees:
     def test_fractional_optimum_matches(self, inst):
         assert migratory_optimum(inst, backend="dinic") == migratory_optimum(
             inst, backend="networkx"
+        )
+
+    @given(instances_st(max_size=6), st.sampled_from([Fraction(1), Fraction(1, 2)]))
+    @settings(max_examples=30, deadline=None)
+    def test_compiled_optimum_matches(self, inst, speed):
+        if not _kernel.available():
+            return
+        if speed < 1 and any(j.processing > speed * j.window for j in inst):
+            return  # unsatisfiable at every m for both backends
+        assert migratory_optimum(inst, speed, backend="dinic_c") == (
+            migratory_optimum(inst, speed, backend="dinic")
         )

@@ -1,0 +1,353 @@
+"""The compiled Dinic kernel: build cache, fallback ladder, bit-identity.
+
+Four angles on ``repro.offline.kernel``:
+
+* **Build cache** — the shared object is compiled once per source content
+  into ``REPRO_KERNEL_CACHE``; a second load is a pure ``dlopen`` (cache
+  hit, no compiler), and a warm cache keeps working after the compiler
+  disappears.
+* **Fallback ladder** — with no compiler and a cold cache (or with
+  ``REPRO_DINIC_C=off``) the kernel reports unavailable, ``best_kernel``
+  steps down to the interpreted kernels, ``auto`` resolves past
+  ``dinic_c``, and the solver stack keeps answering; only an *explicit*
+  ``backend="dinic_c"`` request surfaces :class:`KernelUnavailable`.
+* **Bit-identity** — the C kernel is the same algorithm as the python
+  kernel on the same buffers, so its residual capacity array (not just the
+  flow value) must match byte for byte, on random CSR graphs and through
+  the full certificate pipeline over the golden corpus.
+* **Kill set** (``TestKillSet``) — small deterministic py-vs-c equality
+  checks wired into ``tools/mutation_smoke.py``; with ``auto`` resolving
+  to ``dinic_c`` everywhere else, these are what keep mutants of the
+  python kernel and of the C dispatch dead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from array import array
+from fractions import Fraction
+
+import pytest
+
+from repro.model import Instance, Job
+from repro.model.io import load
+from repro.offline import kernel
+from repro.offline.dinic import Dinic, FeasibilityNetwork
+from repro.offline.feascache import cache_for
+from repro.offline.flow import (
+    available_backends,
+    migratory_feasible,
+    resolve_backend,
+)
+from repro.offline.kernel import KernelUnavailable
+from repro.offline.kernel.codegen import ABI_VERSION, source_hash
+from repro.verify import Unsatisfiable, certified_optimum
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "data", "corpus")
+
+with open(os.path.join(CORPUS_DIR, "expectations.json"), "r", encoding="utf-8") as fh:
+    CORPUS_CASES = json.load(fh)["cases"]
+
+HAVE_COMPILER = kernel.find_compiler() is not None
+
+needs_compiler = pytest.mark.skipif(
+    not HAVE_COMPILER, reason="no C compiler on this host"
+)
+
+
+@pytest.fixture(autouse=True)
+def _neutral_disable_knob(monkeypatch):
+    """Shield this module from an ambient ``REPRO_DINIC_C=off``.
+
+    The no-kernel CI leg disables the compiled kernel for the *product*
+    code, but this file tests the kernel machinery itself and sets the
+    knob explicitly where the disabled path is under test
+    (``test_disable_env_wins_even_with_compiler``).  Without this, the
+    build-cache and bit-identity tests would fail on that leg instead of
+    exercising the real build.
+    """
+    if os.environ.get(kernel.DISABLE_ENV):
+        monkeypatch.delenv(kernel.DISABLE_ENV)
+        kernel.reset()
+        yield
+        kernel.reset()
+    else:
+        yield
+
+
+@pytest.fixture
+def kernel_memo():
+    """Reset the process-wide kernel memo around a test that flips env knobs.
+
+    The memo is reset again at teardown so later tests re-resolve against
+    the real environment (their first load is a cache hit on the real
+    cache, no compiler needed).
+    """
+    kernel.reset()
+    yield
+    kernel.reset()
+
+
+def random_csr(rng: random.Random, n: int, arcs: int):
+    """A random small flow network in the Dinic builder's CSR form."""
+    d = Dinic(n)
+    for _ in range(arcs):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            d.add_edge(u, v, rng.randrange(0, 9))
+    d.finalize()
+    return d
+
+
+def clone(d: Dinic) -> Dinic:
+    """A solver over the same (shared) topology with a private cap copy."""
+    return Dinic.from_csr(d.n, d.to, array("q", d.cap), d._head, d._elist)
+
+
+def cert_dict(cert) -> dict:
+    """A certificate's payload without the solver-effort bookkeeping.
+
+    ``cache_stats`` counts probes against the *shared* per-instance cache,
+    so the second backend to run sees larger totals; the witness itself —
+    schedule or overloaded set — is what must be identical.
+    """
+    payload = cert.to_dict()
+    payload.pop("cache_stats", None)
+    return payload
+
+
+class TestBuildCache:
+    @needs_compiler
+    def test_cold_build_then_cache_hit(self, kernel_memo, monkeypatch, tmp_path):
+        monkeypatch.setenv(kernel.CACHE_ENV, str(tmp_path))
+        kernel.reset()
+        kernel.load()
+        first = kernel.build_info()
+        assert first["available"] is True
+        assert first["cache_hit"] is False
+        assert first["compiler"]
+        assert first["path"].startswith(str(tmp_path))
+        assert first["key"] == source_hash()
+
+        kernel.reset()
+        kernel.load()
+        second = kernel.build_info()
+        assert second["cache_hit"] is True
+        assert second["compiler"] is None
+        assert second["path"] == first["path"]
+
+    @needs_compiler
+    def test_warm_cache_needs_no_compiler(self, kernel_memo, monkeypatch, tmp_path):
+        monkeypatch.setenv(kernel.CACHE_ENV, str(tmp_path))
+        kernel.reset()
+        kernel.load()  # compile into the fresh cache
+
+        # The compiler vanishes; the cached object must still dlopen.
+        monkeypatch.setenv(kernel.CC_ENV, str(tmp_path / "no-such-cc"))
+        kernel.reset()
+        assert kernel.find_compiler() is None
+        kernel.load()
+        assert kernel.build_info()["cache_hit"] is True
+
+    @needs_compiler
+    def test_cache_key_is_content_addressed(self, kernel_memo, monkeypatch, tmp_path):
+        monkeypatch.setenv(kernel.CACHE_ENV, str(tmp_path))
+        kernel.reset()
+        kernel.load()
+        info = kernel.build_info()
+        # The object lives under a prefix of the source hash, so editing
+        # the generated C (or bumping ABI_VERSION) can never collide with
+        # this directory.
+        assert ABI_VERSION == 1
+        assert os.path.dirname(info["path"]).endswith(info["key"][:24])
+
+
+class TestFallbackLadder:
+    def test_no_compiler_cold_cache_unavailable(self, kernel_memo, monkeypatch, tmp_path):
+        monkeypatch.setenv(kernel.CACHE_ENV, str(tmp_path / "empty"))
+        monkeypatch.setenv(kernel.CC_ENV, str(tmp_path / "no-such-cc"))
+        kernel.reset()
+        with pytest.raises(KernelUnavailable):
+            kernel.load()
+        assert not kernel.available()
+        assert kernel.best_kernel() in ("np", "py")  # numpy-dependent
+        assert resolve_backend("auto") in ("dinic_np", "dinic")
+        assert "dinic_c" not in available_backends()
+        assert "error" in kernel.build_info()
+
+    def test_disable_env_wins_even_with_compiler(self, kernel_memo, monkeypatch):
+        monkeypatch.setenv(kernel.DISABLE_ENV, "off")
+        kernel.reset()
+        assert kernel.disabled()
+        assert not kernel.available()
+        assert resolve_backend("auto") != "dinic_c"
+        assert kernel.build_info()["disabled"] is True
+
+    def test_auto_still_solves_without_kernel(self, kernel_memo, monkeypatch, tmp_path):
+        monkeypatch.setenv(kernel.CACHE_ENV, str(tmp_path / "empty"))
+        monkeypatch.setenv(kernel.CC_ENV, str(tmp_path / "no-such-cc"))
+        kernel.reset()
+        inst = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+        assert migratory_feasible(inst, 2, backend="auto")
+        assert not migratory_feasible(inst, 1, backend="auto")
+
+    def test_explicit_dinic_c_request_surfaces_error(
+        self, kernel_memo, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(kernel.CACHE_ENV, str(tmp_path / "empty"))
+        monkeypatch.setenv(kernel.CC_ENV, str(tmp_path / "no-such-cc"))
+        kernel.reset()
+        inst = Instance([Job(0, 2, 3, id=i) for i in range(3)])
+        with pytest.raises(KernelUnavailable):
+            migratory_feasible(inst, 2, backend="dinic_c")
+
+
+@needs_compiler
+class TestBitIdentical:
+    """C kernel vs python kernel: same residual caps, byte for byte."""
+
+    def test_random_graphs_full_and_limited(self):
+        rng = random.Random(9)
+        for trial in range(120):
+            n = rng.randrange(2, 12)
+            d_py = random_csr(rng, n, rng.randrange(1, 4 * n))
+            d_c = clone(d_py)
+            s, t = rng.sample(range(n), 2)
+            limit = rng.choice([None, None, rng.randrange(0, 12)])
+            f_py = d_py.max_flow(s, t, limit=limit, kernel="py")
+            f_c = d_c.max_flow(s, t, limit=limit, kernel="c")
+            assert f_py == f_c, f"trial {trial}: flow {f_py} != {f_c}"
+            assert d_py.cap.tobytes() == d_c.cap.tobytes(), f"trial {trial}"
+
+    def test_drain_and_regrow_match(self):
+        """Warm-start sequence (grow, drain, restore) sees the same bytes."""
+        rng = random.Random(23)
+        jobs = []
+        for i in range(25):
+            release = rng.randrange(0, 20)
+            processing = rng.randrange(1, 6)
+            deadline = release + processing + rng.randrange(0, 8)
+            jobs.append(Job(release, processing, deadline, id=i))
+        cache = cache_for(Instance(jobs))
+        for m in (3, 1, 5, 2, 4, 2):
+            net_py = cache.solved_network(m, 1, "py")
+            state_py = (net_py.feasible, net_py.snapshot())
+            net_c = cache.solved_network(m, 1, "c")
+            state_c = (net_c.feasible, net_c.snapshot())
+            assert state_py == state_c, f"diverged at m={m}"
+
+    @pytest.mark.parametrize(
+        "case",
+        CORPUS_CASES,
+        ids=lambda c: f"{c['file']}@s={c['speed']}",
+    )
+    def test_corpus_certificates_identical(self, case):
+        instance = load(os.path.join(CORPUS_DIR, case["file"]))
+        speed = Fraction(case["speed"])
+        if case.get("unsat"):
+            for backend in ("dinic", "dinic_c"):
+                with pytest.raises(Unsatisfiable):
+                    certified_optimum(instance, speed, backend=backend)
+            return
+        co_py = certified_optimum(instance, speed, backend="dinic")
+        co_c = certified_optimum(instance, speed, backend="dinic_c")
+        assert co_py.machines == co_c.machines
+        assert cert_dict(co_py.feasible) == cert_dict(co_c.feasible)
+        if co_py.infeasible is None:
+            assert co_c.infeasible is None
+        else:
+            assert cert_dict(co_py.infeasible) == cert_dict(co_c.infeasible)
+
+
+@needs_compiler
+class TestKillSet:
+    """Fast deterministic py-vs-c checks for the mutation smoke gate."""
+
+    def test_fixed_graph_caps_identical(self):
+        rng = random.Random(4)
+        d_py = random_csr(rng, 8, 24)
+        d_c = clone(d_py)
+        assert d_py.max_flow(0, 7, kernel="py") == d_c.max_flow(0, 7, kernel="c")
+        assert d_py.cap.tobytes() == d_c.cap.tobytes()
+
+    @pytest.mark.parametrize("name", ["overload_six.json", "nested_tight.json",
+                                      "fractional_thirds.json"])
+    def test_corpus_pair_certificates(self, name):
+        instance = load(os.path.join(CORPUS_DIR, name))
+        co_py = certified_optimum(instance, backend="dinic")
+        co_c = certified_optimum(instance, backend="dinic_c")
+        assert co_py.machines == co_c.machines
+        assert cert_dict(co_py.feasible) == cert_dict(co_c.feasible)
+
+    def test_standalone_build_matches_tables_build(self):
+        """The no-tables constructor builds the *same network*, byte for byte.
+
+        Production always goes through the cache's integer tables; the
+        standalone path is the reference construction, so any drift between
+        the two (topology, capacities, or post-solve residual) is a bug in
+        one of them — for the python and the compiled build alike.
+        """
+        inst = Instance(
+            [Job(0, 3, 5, id=0), Job(1, 2, 4, id=1), Job(2, 4, 9, id=2),
+             Job(0, 1, 2, id=3), Job(3, 2, 6, id=4)]
+        )
+        cache = cache_for(inst)
+        tables = cache.tables
+        scale = cache.scale_for(Fraction(1))
+        for kern in ("py", "c"):
+            standalone = FeasibilityNetwork(
+                inst, Fraction(1), tables.intervals, scale, kernel=kern
+            )
+            cached = FeasibilityNetwork(
+                inst, Fraction(1), tables.intervals, scale, kernel=kern,
+                tables=tables,
+            )
+            assert list(standalone.dinic.to) == list(cached.dinic.to), kern
+            assert standalone.dinic.cap.tobytes() == cached.dinic.cap.tobytes()
+            for m in (1, 2, 3):
+                standalone.set_machines(m)
+                cached.set_machines(m)
+                standalone.solve()
+                cached.solve()
+                assert standalone.feasible == cached.feasible, (kern, m)
+                assert standalone.dinic.cap.tobytes() == (
+                    cached.dinic.cap.tobytes()
+                ), (kern, m)
+
+    def test_greedy_and_grow_paths_match(self):
+        inst = Instance(
+            [Job(0, 3, 5, id=0), Job(1, 2, 4, id=1), Job(2, 4, 9, id=2),
+             Job(0, 1, 2, id=3)]
+        )
+        cache = cache_for(inst)
+        scale = cache.scale_for(Fraction(1))
+        for m in (1, 2, 3):
+            net_py = cache.solved_network(m, 1, "py")
+            feas_py, snap_py = net_py.feasible, net_py.snapshot()
+            work_py = net_py.work_by_job(Fraction(1), scale) if feas_py else None
+            net_c = cache.solved_network(m, 1, "c")
+            assert net_c.feasible == feas_py
+            assert net_c.snapshot() == snap_py
+            if feas_py:
+                assert net_c.work_by_job(Fraction(1), scale) == work_py
+
+
+class TestResolution:
+    def test_auto_resolves_to_best(self):
+        resolved = resolve_backend("auto")
+        assert resolved in ("dinic_c", "dinic_np", "dinic")
+        if kernel.available():
+            assert resolved == "dinic_c"
+
+    def test_available_backends_subset(self):
+        got = available_backends()
+        assert "dinic" in got and "networkx" in got
+        assert ("dinic_c" in got) == kernel.available()
+
+    def test_concrete_backends_pass_through(self):
+        assert resolve_backend("dinic") == "dinic"
+        assert resolve_backend("networkx") == "networkx"
+        with pytest.raises(ValueError):
+            resolve_backend("no-such-backend")

@@ -21,13 +21,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.model import Instance, Job
-from repro.offline.flow import BACKENDS
+from repro.offline.flow import available_backends
 from repro.offline.optimum import migratory_optimum
 from repro.verify import certify
 
 from tests.strategies import instances_st
 
-backends_st = st.sampled_from(BACKENDS)
+backends_st = st.sampled_from(available_backends())
 machines_st = st.integers(0, 4)
 SPEEDS = [Fraction(1, 2), Fraction(2, 3), Fraction(1), Fraction(3, 2), Fraction(2)]
 

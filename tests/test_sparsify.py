@@ -24,7 +24,7 @@ from repro.model import Instance, Job
 from repro.model.io import load
 from repro.obs import core as obs
 from repro.offline.feascache import cache_for
-from repro.offline.flow import BACKENDS, max_flow_assignment
+from repro.offline.flow import available_backends, max_flow_assignment
 from repro.offline.optimum import migratory_optimum
 from repro.verify import Unsatisfiable, certified_optimum, certify
 
@@ -63,7 +63,7 @@ class TestGoldenCorpus:
     """Byte-identical serialized certificates across sparsify on/off."""
 
     @pytest.mark.parametrize("case", CASES, ids=_case_id)
-    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
     def test_certificates_identical(self, case, backend):
         instance = load(os.path.join(CORPUS_DIR, case["file"]))
         speed = Fraction(case["speed"])

@@ -21,6 +21,7 @@ sys.path.insert(0, str(ROOT / "src"))
 PACKAGES = [
     "repro.model",
     "repro.offline",
+    "repro.offline.kernel",
     "repro.verify",
     "repro.online",
     "repro.core",
@@ -60,6 +61,10 @@ CLI_SECTION = [
     "| `repro verify INSTANCE.json` | Certified optimum: prints the optimum"
     " with its feasible/infeasible witness pair, re-checked by exact"
     " arithmetic. |",
+    "| `repro opt INSTANCE.json [--backend auto\\|dinic\\|dinic_np\\|dinic_c"
+    "\\|networkx]` | Exact migratory/non-migratory optima; `auto` (default)"
+    " picks the fastest available Dinic kernel, compiling the native one on"
+    " first use. |",
     "| `repro verify INSTANCE.json --m M [--speed S] [--backend B]` |"
     " Certificate for the verdict at a fixed machine count;"
     " `-o CERT.json` archives it. |",
@@ -71,7 +76,9 @@ CLI_SECTION = [
     "| `repro stats INSTANCE.json [--policy P] [--json]` | One-shot"
     " observability report: certified optimum plus the counter/gauge/span"
     " table and per-histogram p50/p90/p99/max latency columns captured"
-    " while computing it (and simulating `P`, if given). |",
+    " while computing it (and simulating `P`, if given); reports the"
+    " resolved backend and, for `dinic_c`, the kernel build-cache"
+    " hit/compiler/path. |",
     "| `repro stats INSTANCE.json --prom` | The same run rendered in"
     " Prometheus text exposition format: counters, numeric gauges,"
     " histograms with cumulative `le` buckets, and span totals. |",

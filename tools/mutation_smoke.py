@@ -66,6 +66,15 @@ TARGETS: Dict[str, Optional[Set[str]]] = {
         "merge",
         "quantile",
     },
+    # Compiled kernel (ISSUE 9): the ctypes ABI layer (buffer addresses,
+    # error propagation, allocation sizes) and the build-cache publish
+    # logic.  With ``auto`` resolving to ``dinic_c``, test_corpus alone no
+    # longer exercises the python kernel — the explicit py-vs-c equality
+    # checks in tests/test_kernel.py::TestKillSet keep both sides honest,
+    # and TestBuildCache kills mutants that break the compile/cache path
+    # (which would otherwise hide behind the graceful auto fallback).
+    "src/repro/offline/kernel/abi.py": None,
+    "src/repro/offline/kernel/build.py": {"ensure_built"},
 }
 
 #: The kill-set: fast, deterministic, certificate-backed.
@@ -74,6 +83,8 @@ DEFAULT_TESTS = [
     "tests/test_runner.py::TestSharding",
     "tests/test_chaos.py::TestMergeJournals",
     "tests/test_hist.py",
+    "tests/test_kernel.py::TestKillSet",
+    "tests/test_kernel.py::TestBuildCache",
 ]
 
 COMPARE_SWAP = {
@@ -91,6 +102,11 @@ NAME_SWAP = {"min": "max", "max": "min"}
 #: (``level[v] == lu``) degenerates into plain DFS augmentation — slower but
 #: still a maximum flow, i.e. an equivalent mutant for correctness tests.
 NO_EQ_SWAP_FUNCS = {"max_flow"}
+
+#: Functions where ``^``/``|`` swaps are excluded: ``work_by_job`` reads
+#: ``cap[e ^ 1]`` only on *forward* (even) edge ids, where ``e ^ 1 == e | 1``
+#: — a textbook equivalent mutant.
+NO_XOR_SWAP_FUNCS = {"work_by_job"}
 
 
 class Site:
@@ -125,7 +141,14 @@ def iter_sites(path: str, tree: ast.Module, allow: Optional[Set[str]]) -> Iterat
         if allow is not None and func.name not in allow:
             continue
         for node in ast.walk(func):
-            if isinstance(node, ast.BinOp) and type(node.op) in BINOP_SWAP:
+            if (
+                isinstance(node, ast.BinOp)
+                and type(node.op) in BINOP_SWAP
+                and not (
+                    func.name in NO_XOR_SWAP_FUNCS
+                    and isinstance(node.op, ast.BitXor)
+                )
+            ):
                 yield Site(path, func.name, node.lineno, node.col_offset,
                            "binop", type(node.op).__name__)
             elif (
