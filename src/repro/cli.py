@@ -608,6 +608,20 @@ def cmd_sweep(args) -> int:
             sys.stderr.write("\r" + sample.render() + "\x1b[K")
             sys.stderr.flush()
 
+    # SIGTERM behaves like Ctrl-C: run_sweep's interrupt path flushes and
+    # fsyncs the journal and reports the cut-short items as "cancelled",
+    # so a supervisor's polite kill never leaves a torn journal tail.
+    import signal as _signal
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    old_sigterm = None
+    try:
+        old_sigterm = _signal.signal(_signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use): keep default behavior
+
     try:
         report = run_sweep(
             plan,
@@ -621,7 +635,17 @@ def cmd_sweep(args) -> int:
             progress=ticker,
             progress_interval=0.2 if args.progress else 1.0,
         )
+    except KeyboardInterrupt:
+        # The interrupt landed outside run_sweep's own catch (e.g. between
+        # chunks on the serial path) — the journal is already synced by its
+        # finally; report the cancellation instead of a traceback.
+        print("sweep interrupted; journal flushed"
+              + (f": {args.journal} (re-run with --resume)" if args.journal
+                 else ""))
+        return 130
     finally:
+        if old_sigterm is not None:
+            _signal.signal(_signal.SIGTERM, old_sigterm)
         if ticker is not None:
             sys.stderr.write("\n")
             sys.stderr.flush()
@@ -675,6 +699,23 @@ def cmd_sweep(args) -> int:
     if bad_items and args.journal:
         print(f"  journal: {args.journal} (re-run with --resume to retry)")
     return exit_code
+
+
+def cmd_serve(args) -> int:
+    """Run the crash-only scheduling daemon (see ``repro.serve``)."""
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        journal_dir=args.journal_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        sweep_workers=args.sweep_workers,
+        max_body=args.max_body,
+    )
+    return daemon.run()
 
 
 def cmd_adversary(args) -> int:
@@ -906,6 +947,36 @@ def build_parser() -> argparse.ArgumentParser:
                         "e.g. 'sigkill:2,transient:4,hang:0@1' "
                         "(kind:item-index[@attempt])")
     p.set_defaults(func=cmd_sweep)
+
+    p = add_parser(
+        "serve",
+        help="run the crash-only HTTP scheduling daemon",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123,
+                   help="TCP port (0 binds an ephemeral port; the daemon "
+                        "prints the bound address on startup)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="compute threads for certify/optimum requests")
+    p.add_argument("--journal-dir", default="serve-journal",
+                   help="durable queue directory: sweep specs, item "
+                        "journals, and finished reports live here; a "
+                        "restarted daemon resumes every unfinished sweep "
+                        "it finds")
+    p.add_argument("--max-queue", type=int, default=8,
+                   help="pending-sweep bound; a full queue answers 429 "
+                        "with Retry-After instead of growing a backlog")
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   metavar="SEC",
+                   help="per-request deadline; overruns answer 503 with "
+                        "Retry-After while the computation finishes in "
+                        "the background and warms the cache")
+    p.add_argument("--sweep-workers", type=int, default=1,
+                   help="max worker processes per sweep (specs may ask "
+                        "for fewer)")
+    p.add_argument("--max-body", type=int, default=1_000_000,
+                   help="request body size bound in bytes (413 beyond)")
+    p.set_defaults(func=cmd_serve)
 
     p = add_parser("adversary", help="run a lower-bound adversary")
     p.add_argument("kind", choices=["migration-gap", "agreeable"])

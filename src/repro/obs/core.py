@@ -3,7 +3,8 @@
 The observability layer has one hard constraint: when nothing is listening
 it must cost *nothing measurable* on the hot path.  Every primitive
 therefore bottoms out in the same guard — a truthiness check on the
-module-level sink list:
+module-level sink list plus an open-capture counter (the ContextVar that
+scopes captures per context is only consulted when a capture exists):
 
 * :func:`enabled` — ``True`` iff at least one sink is attached; hot call
   sites (the Dinic inner loop, the engine step) accumulate plain local
@@ -30,6 +31,7 @@ benchmark harness, and the test suite all consume the layer.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -50,8 +52,26 @@ __all__ = [
     "span_path",
 ]
 
-#: Attached sinks.  Empty list == observability disabled (the default).
+#: Globally attached sinks.  Empty list == no ambient observability (the
+#: default).  Global sinks see emissions from *every* thread — this is what
+#: ``--trace`` and the serve daemon's service registry use.
 _sinks: List[Any] = []
+
+#: Context-local sinks (what :func:`capture` attaches).  A capture is only
+#: visible to the context (thread / task) that opened it, so concurrent
+#: captures — e.g. the serve daemon handling requests while a sweep runs in
+#: its executor thread — cannot contaminate each other's registries.
+_local_sinks: ContextVar[Tuple[Any, ...]] = ContextVar(
+    "repro_obs_local_sinks", default=()
+)
+
+#: Count of open captures across all contexts.  The hot-path guard stays a
+#: pair of plain truthiness checks (``_sinks or _n_local``) — the ContextVar
+#: is only consulted when at least one capture exists somewhere, keeping the
+#: nothing-attached cost unmeasurable (the <5% overhead gate in
+#: ``benchmarks/bench_obs_overhead.py`` leans on this).
+_n_local = 0
+_local_lock = threading.Lock()
 
 #: Current span path, e.g. ``("optimum.search", "optimum.probe")``.
 _span_path: ContextVar[Tuple[str, ...]] = ContextVar(
@@ -62,8 +82,17 @@ _perf_ns = time.perf_counter_ns
 
 
 def enabled() -> bool:
-    """True iff at least one sink is attached (the hot-path guard)."""
-    return bool(_sinks)
+    """True iff the calling context has a sink listening (the hot-path guard)."""
+    return bool(_sinks) or bool(_n_local and _local_sinks.get())
+
+
+def _active_sinks() -> List[Any]:
+    """The sinks visible to the calling context: global + its captures."""
+    if _n_local:
+        local = _local_sinks.get()
+        if local:
+            return [*_sinks, *local]
+    return list(_sinks)
 
 
 def attach(sink) -> Any:
@@ -117,7 +146,7 @@ class _Span:
         _span_path.reset(self._token)
         error = exc_type.__name__ if exc_type is not None else None
         path = "/".join(self.path)
-        for sink in list(_sinks):
+        for sink in _active_sinks():
             sink.on_span(path, duration_ns, self.attrs, error)
         return False  # exceptions always propagate
 
@@ -130,24 +159,24 @@ def span(name: str, **attrs: Any):
     Exceptions propagate; the span is still closed and reported with the
     exception's class name attached.
     """
-    if not _sinks:
+    if not (_sinks or _n_local):
         return _NOOP_SPAN
     return _Span(name, attrs)
 
 
 def incr(name: str, value: int = 1, **attrs: Any) -> None:
     """Add ``value`` to the monotonic counter ``name``."""
-    if not _sinks:
+    if not (_sinks or _n_local):
         return
-    for sink in list(_sinks):
+    for sink in _active_sinks():
         sink.on_counter(name, value, attrs)
 
 
 def gauge(name: str, value: Any, **attrs: Any) -> None:
     """Record the current value of ``name`` (last write wins)."""
-    if not _sinks:
+    if not (_sinks or _n_local):
         return
-    for sink in list(_sinks):
+    for sink in _active_sinks():
         sink.on_gauge(name, value, attrs)
 
 
@@ -158,9 +187,9 @@ def observe(name: str, value: Any, **attrs: Any) -> None:
     everything else holds deterministic algorithmic values (see
     :mod:`repro.obs.hist` for the convention and its consequences).
     """
-    if not _sinks:
+    if not (_sinks or _n_local):
         return
-    for sink in list(_sinks):
+    for sink in _active_sinks():
         sink.on_observe(name, value, attrs)
 
 
@@ -170,9 +199,9 @@ def hist_snapshot(name: str, snapshot: Dict[str, Any]) -> None:
     Used by the runner's ambient replay: a merged worker distribution is
     forwarded in one call instead of one :func:`observe` per sample.
     """
-    if not _sinks:
+    if not (_sinks or _n_local):
         return
-    for sink in list(_sinks):
+    for sink in _active_sinks():
         sink.on_hist(name, snapshot)
 
 
@@ -185,18 +214,18 @@ def span_agg(path: str, stat: Dict[str, int]) -> None:
     registries see worker span totals even though the individual span
     records stayed worker-local.
     """
-    if not _sinks:
+    if not (_sinks or _n_local):
         return
-    for sink in list(_sinks):
+    for sink in _active_sinks():
         sink.on_span_agg(path, stat)
 
 
 def event(name: str, **attrs: Any) -> None:
     """Record a point event (e.g. one online-engine decision point)."""
-    if not _sinks:
+    if not (_sinks or _n_local):
         return
     path = "/".join(_span_path.get())
-    for sink in list(_sinks):
+    for sink in _active_sinks():
         sink.on_event(name, attrs, path)
 
 
@@ -210,15 +239,25 @@ def capture(*extra_sinks) -> Iterator[Any]:
         with capture() as reg:
             migratory_optimum(instance)
         reg.counters["dinic.aug_paths"]
+
+    The capture is **context-local**: only emissions from the context
+    (thread / async task) that opened it land in the registry.  Globally
+    attached sinks (:func:`attach`) keep seeing everything.  This is what
+    lets the serve daemon run concurrent request captures and a sweep
+    executor in one process without cross-contaminating their registries —
+    a prerequisite for the byte-identical kill-resume conformance the
+    chaos suite pins.
     """
     from .sinks import Registry
 
+    global _n_local
     registry = Registry()
-    attached = [registry, *extra_sinks]
-    for sink in attached:
-        attach(sink)
+    token = _local_sinks.set(_local_sinks.get() + (registry, *extra_sinks))
+    with _local_lock:
+        _n_local += 1
     try:
         yield registry
     finally:
-        for sink in attached:
-            detach(sink)
+        with _local_lock:
+            _n_local -= 1
+        _local_sinks.reset(token)

@@ -38,6 +38,34 @@ so replaying only the missing half of a group from a cold cache would
 shift cache counters away from the clean run.  Re-running incomplete
 groups whole reproduces the exact hit/miss pattern — the determinism proof
 in ``docs/ARCHITECTURE.md`` § Failure model leans on this.
+
+Durability contract
+-------------------
+
+What survives which failure, and why:
+
+* **Process kill** (SIGKILL, OOM, crash): every *appended* record survives
+  — each append is one ``write`` of one line, flushed to the OS
+  immediately, so the kernel owns the bytes before the next item starts.
+  The tail record may be torn (the process died mid-``write``); the
+  prefix-validating reader drops it and resume re-runs that item.
+* **Machine crash** (power loss, kernel panic): every record up to the
+  last explicit :meth:`Journal.sync` (``fsync``) survives.  The runner
+  syncs on interrupt/cancel paths and on close; between syncs, records
+  are flushed but not forced to media — a deliberate trade (per-item
+  ``fsync`` would serialize the sweep on disk latency) that loses at most
+  the since-last-sync suffix, which resume recomputes.
+* **Freshly created journals** are findable after a machine crash: both
+  :meth:`Journal.create` and :meth:`Journal.append_to`'s torn-tail
+  rewrite fsync the **parent directory** after creating/replacing the
+  file, so the directory entry itself is durable — without this, a
+  crash shortly after creation could leave a correct-but-unreachable
+  file (the classic create-then-crash anomaly).
+
+Acknowledgement rule for consumers (the serve daemon's queue): a sweep is
+*accepted* only after its spec file and journal entry are written and the
+directory fsynced — whatever is acknowledged is durable, whatever is not
+durable was never acknowledged.
 """
 
 from __future__ import annotations
@@ -77,6 +105,25 @@ def _identity(fingerprint: Optional[str], shard: Tuple[int, int]) -> str:
     """Human-readable sweep identity: plan fingerprint + ``k/n`` shard."""
     k, n = shard
     return f"plan {fingerprint!r} shard {k}/{n}"
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync the directory containing ``path`` (durable directory entry).
+
+    Creating or replacing a file makes its *name* durable only once the
+    parent directory's metadata reaches disk; ``fsync`` on the file alone
+    does not cover that.  Best-effort on platforms whose directories
+    cannot be opened for reading (the data fsync still happened).
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _checksum(payload: Dict[str, Any]) -> str:
@@ -156,6 +203,11 @@ class Journal:
         count (defaults to ``n_items``); both are stamped into the header
         so resume and :func:`~repro.runner.merge.merge_journals` can
         validate journals without access to the original plan object.
+
+        The header is fsynced and the parent directory entry made durable
+        before returning (see *Durability contract* in the module
+        docstring): once ``create`` returns, the journal survives a
+        machine-level crash, not just a process kill.
         """
         k, n = shard
         fh = open(path, "w", encoding="utf-8")
@@ -170,6 +222,8 @@ class Journal:
                 "plan_items": int(n_items if plan_items is None else plan_items),
             }
         )
+        journal.sync()
+        _fsync_dir(path)
         return journal
 
     @classmethod
@@ -204,6 +258,11 @@ class Journal:
                 lines = fh.readlines()
             with open(path, "w", encoding="utf-8") as fh:
                 fh.writelines(lines[: len(lines) - dropped])
+                fh.flush()
+                os.fsync(fh.fileno())
+            # The truncate-rewrite replaced the file's contents in place;
+            # make the (possibly re-created) directory entry durable too.
+            _fsync_dir(path)
         return cls(path, open(path, "a", encoding="utf-8"))
 
     # -- writing -------------------------------------------------------------

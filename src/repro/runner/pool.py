@@ -348,9 +348,16 @@ def _init_worker() -> None:
     Under the fork start method the child inherits the parent's attached
     sinks — including open ``--trace`` file descriptors, which concurrent
     workers would interleave garbage into.  Workers report exclusively
-    through their row snapshots, so all inherited sinks are dropped.
+    through their row snapshots, so all inherited sinks are dropped —
+    both the global list and any context-local capture the forking thread
+    had open (fork copies that thread's contextvars into the child's main
+    thread, e.g. when a serve daemon's drained request capture forks a
+    sweep pool).
     """
     _obs._sinks.clear()
+    _obs._local_sinks.set(())
+    with _obs._local_lock:
+        _obs._n_local = 0
 
 
 def _run_item(

@@ -1,0 +1,61 @@
+"""Crash-only scheduling service: the ``repro serve`` daemon.
+
+A stdlib-only HTTP/JSON layer over the repo's certified feasibility core
+and durable sweep runner:
+
+========  ==================  ==============================================
+method    path                does
+========  ==================  ==============================================
+POST      ``/v1/certify``     certified feasibility verdict at ``m`` machines
+POST      ``/v1/optimum``     certified optimum (sandwich certificates)
+POST      ``/v1/sweeps``      submit a sweep — journaled before acknowledged
+GET       ``/v1/sweeps/{id}`` durable status / finished report
+GET       ``/healthz``        liveness (always 200 while the process lives)
+GET       ``/readyz``         readiness (503 while draining or queue-full)
+GET       ``/metrics``        Prometheus text exposition of the service
+========  ==================  ==============================================
+
+Module map: :mod:`~repro.serve.app` (routing + hardening + deadlines),
+:mod:`~repro.serve.queue` (durable sweep queue, drain state machine),
+:mod:`~repro.serve.cache` (per-tenant warm-instance pool),
+:mod:`~repro.serve.daemon` (HTTP + signals), :mod:`~repro.serve.errors`
+(typed API errors), :mod:`~repro.serve.testclient` (socketless client).
+"""
+
+from .app import Request, Response, ServeApp
+from .cache import TenantCachePool
+from .daemon import ServeDaemon, make_server
+from .errors import (
+    ApiError,
+    BadRequest,
+    DeadlineExceeded,
+    MethodNotAllowed,
+    NotFound,
+    PayloadTooLarge,
+    ServiceUnavailable,
+    TooManyRequests,
+)
+from .queue import SweepQueue, normalize_spec, plan_from_spec
+from .testclient import TestClient, TestResponse
+
+__all__ = [
+    "ApiError",
+    "BadRequest",
+    "DeadlineExceeded",
+    "MethodNotAllowed",
+    "NotFound",
+    "PayloadTooLarge",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeDaemon",
+    "ServiceUnavailable",
+    "SweepQueue",
+    "TenantCachePool",
+    "TestClient",
+    "TestResponse",
+    "TooManyRequests",
+    "make_server",
+    "normalize_spec",
+    "plan_from_spec",
+]

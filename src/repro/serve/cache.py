@@ -1,0 +1,95 @@
+"""Shared, size-bounded feasibility-cache pool with per-tenant namespaces.
+
+The feasibility core hangs a :class:`~repro.offline.feascache.FeasibilityCache`
+off each :class:`~repro.model.Instance`, so *keeping the instance object
+alive between requests* is what keeps its probe cache warm.  The pool maps
+``(tenant, instance content)`` to one canonical instance object:
+
+* repeated requests for the same instance reuse the warm object (and its
+  cache) instead of re-solving from scratch,
+* each tenant has its own LRU of at most ``per_tenant`` instances, so one
+  tenant's flood of novel instances evicts only *its own* warm entries —
+  never another tenant's,
+* at most ``max_tenants`` tenant namespaces exist at once (tenants
+  themselves are LRU), bounding total memory by
+  ``max_tenants × per_tenant`` instances.
+
+A :class:`FeasibilityCache` is **not** thread-safe, so every entry carries
+a lock; concurrent requests touching the same warm instance serialize on
+it, while requests for different instances proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..model import Instance
+from ..runner.plan import instance_key
+
+__all__ = ["TenantCachePool"]
+
+
+class _Entry:
+    __slots__ = ("instance", "lock")
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.lock = threading.Lock()
+
+
+class TenantCachePool:
+    """``(tenant, instance) → (canonical instance, its lock)`` with LRU bounds."""
+
+    def __init__(self, per_tenant: int = 32, max_tenants: int = 64) -> None:
+        if per_tenant < 1 or max_tenants < 1:
+            raise ValueError("per_tenant and max_tenants must be >= 1")
+        self.per_tenant = per_tenant
+        self.max_tenants = max_tenants
+        self._lock = threading.Lock()
+        self._tenants: "OrderedDict[str, OrderedDict[str, _Entry]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, tenant: str, instance: Instance) -> Tuple[Instance, threading.Lock]:
+        """The canonical warm instance for this content, and its lock.
+
+        On a miss the given ``instance`` becomes the canonical object; on a
+        hit the previously stored (warm) object is returned and the given
+        one is discarded.  Callers must hold the returned lock while
+        certifying against the instance.
+        """
+        key = instance_key(instance)
+        with self._lock:
+            entries = self._tenants.get(tenant)
+            if entries is None:
+                while len(self._tenants) >= self.max_tenants:
+                    _, dropped = self._tenants.popitem(last=False)
+                    self.evictions += len(dropped)
+                entries = self._tenants[tenant] = OrderedDict()
+            else:
+                self._tenants.move_to_end(tenant)
+            entry = entries.get(key)
+            if entry is not None:
+                entries.move_to_end(key)
+                self.hits += 1
+                return entry.instance, entry.lock
+            while len(entries) >= self.per_tenant:
+                entries.popitem(last=False)
+                self.evictions += 1
+            entry = entries[key] = _Entry(instance)
+            self.misses += 1
+            return entry.instance, entry.lock
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-safe counters for the ``/metrics`` exposition."""
+        with self._lock:
+            return {
+                "tenants": len(self._tenants),
+                "entries": sum(len(e) for e in self._tenants.values()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

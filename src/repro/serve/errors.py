@@ -1,0 +1,115 @@
+"""Typed API errors: every client-visible failure is one of these.
+
+The serve layer never leaks a traceback to a client.  Handlers raise
+:class:`ApiError` subclasses (or :class:`~repro.model.io.InstanceFormatError`,
+which the app maps to :class:`BadRequest`); the app renders them as a JSON
+body ``{"error": {"code": ..., "message": ...}}`` with the matching HTTP
+status.  Overload errors (429/503) carry a ``Retry-After`` header so
+clients back off instead of hammering — the daemon's answer to pressure
+is always a fast, honest status, never a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ApiError",
+    "BadRequest",
+    "DeadlineExceeded",
+    "MethodNotAllowed",
+    "NotFound",
+    "PayloadTooLarge",
+    "ServiceUnavailable",
+    "TooManyRequests",
+]
+
+
+class ApiError(Exception):
+    """Base of all client-visible errors; renders as a JSON error body."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        #: Seconds the client should wait before retrying; rendered as a
+        #: ``Retry-After`` header when set (429/503 responses).
+        self.retry_after = retry_after
+
+    def headers(self) -> dict:
+        if self.retry_after is None:
+            return {}
+        # Retry-After is delta-seconds; round up so "0.2" does not render
+        # as an immediate-retry "0".
+        return {"Retry-After": str(max(1, int(self.retry_after + 0.999)))}
+
+
+class BadRequest(ApiError):
+    """The request body is structurally or semantically invalid."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ApiError):
+    """No route (or no resource) matches the request path."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ApiError):
+    """The path exists but not for this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+    def __init__(self, message: str, allowed: tuple = ()) -> None:
+        super().__init__(message)
+        self.allowed = tuple(allowed)
+
+    def headers(self) -> dict:
+        return {"Allow": ", ".join(self.allowed)} if self.allowed else {}
+
+
+class PayloadTooLarge(ApiError):
+    """The request body exceeds the configured size bound."""
+
+    status = 413
+    code = "payload_too_large"
+
+
+class TooManyRequests(ApiError):
+    """Backpressure: the bounded work queue is full."""
+
+    status = 429
+    code = "too_many_requests"
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, retry_after=retry_after)
+
+
+class DeadlineExceeded(ApiError):
+    """The per-request deadline elapsed before the computation finished.
+
+    503 (not 504): the work is still running server-side and will warm the
+    cache, so a client retry after ``Retry-After`` is likely to succeed.
+    """
+
+    status = 503
+    code = "deadline_exceeded"
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, retry_after=retry_after)
+
+
+class ServiceUnavailable(ApiError):
+    """The daemon is draining (or otherwise not accepting new work)."""
+
+    status = 503
+    code = "unavailable"
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, retry_after=retry_after)

@@ -1,0 +1,94 @@
+"""Socketless test client: drive a :class:`ServeApp` without a server.
+
+The client speaks the app's own ``Request``/``Response`` vocabulary and
+encodes bodies through the same :func:`~repro.serve.app.encode_body` the
+HTTP daemon uses, so a test sees byte-identical payloads to a real client
+— minus sockets, ports, and timing flakiness.  ~100 lines, stdlib only::
+
+    app = ServeApp(queue)
+    client = TestClient(app)
+    resp = client.post("/v1/certify", json={"instance": …, "m": 2})
+    assert resp.status == 200 and resp.json()["kind"] == "feasible"
+"""
+
+from __future__ import annotations
+
+import json as _json
+from typing import Any, Dict, Optional
+
+from ..obs.sinks import jsonable
+from .app import Request, ServeApp, encode_body
+
+__all__ = ["TestClient", "TestResponse"]
+
+
+class TestResponse:
+    """What a request returned: status, headers, and the encoded body."""
+
+    __test__ = False  # "Test" prefix is descriptive, not a pytest class
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes,
+                 content_type: str) -> None:
+        self.status = status
+        self.headers = dict(headers)
+        self.body = body
+        self.content_type = content_type
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self) -> Any:
+        return _json.loads(self.body)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<TestResponse {self.status} {self.body[:80]!r}>"
+
+
+class TestClient:
+    """In-process client for a :class:`~repro.serve.app.ServeApp`."""
+
+    __test__ = False  # "Test" prefix is descriptive, not a pytest class
+
+    def __init__(self, app: ServeApp) -> None:
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        json: Any = None,
+        data: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> TestResponse:
+        """One request through the app's full hardening ladder.
+
+        ``json`` is serialized exactly as a real client would send it
+        (rationals as ``"num/den"`` strings via ``jsonable``); ``data``
+        sends raw bytes instead — the hook for malformed-body tests.
+        """
+        if json is not None and data is not None:
+            raise ValueError("pass json= or data=, not both")
+        body = data if data is not None else (
+            _json.dumps(jsonable(json)).encode("utf-8")
+            if json is not None
+            else b""
+        )
+        response = self.app.handle(
+            Request(
+                method=method.upper(),
+                path=path,
+                body=body,
+                headers={k.lower(): v for k, v in (headers or {}).items()},
+            )
+        )
+        payload, content_type = encode_body(response)
+        return TestResponse(
+            response.status, response.headers, payload, content_type
+        )
+
+    def get(self, path: str, **kwargs) -> TestResponse:
+        return self.request("GET", path, **kwargs)
+
+    def post(self, path: str, **kwargs) -> TestResponse:
+        return self.request("POST", path, **kwargs)

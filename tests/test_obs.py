@@ -14,6 +14,7 @@ Covers the contract pinned by ISSUE 3:
 * CacheStats surfaced on certificates and certified optima (satellite).
 """
 
+import contextvars
 import json
 import threading
 from fractions import Fraction
@@ -100,17 +101,71 @@ class TestNoSinkFastPath:
         assert snap["gauges"] == {} and snap["events"] == {}
 
     def test_counter_atomicity_under_threads(self):
+        # Captures are context-local, and a fresh Thread starts with an
+        # empty context — a thread that should report into an enclosing
+        # capture must carry the opener's context across explicitly.
         with obs.capture() as reg:
+            ctx = contextvars.copy_context()
+
             def worker():
                 for _ in range(10_000):
                     obs.incr("threads.counter")
 
-            threads = [threading.Thread(target=worker) for _ in range(8)]
+            threads = [
+                threading.Thread(target=ctx.copy().run, args=(worker,))
+                for _ in range(8)
+            ]
             for t in threads:
                 t.start()
             for t in threads:
                 t.join()
         assert reg.counters["threads.counter"] == 80_000
+
+    def test_captures_are_context_local_across_threads(self):
+        # Two threads capturing concurrently must not see each other's
+        # emissions — the serve daemon leans on this to run request
+        # captures and a sweep executor in one process.
+        registries = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with obs.capture() as reg:
+                barrier.wait()  # both captures provably open at once
+                obs.incr(f"{name}.counter")
+                obs.event(f"{name}.event")
+                barrier.wait()
+            registries[name] = reg.snapshot()
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registries["a"]["counters"] == {"a.counter": 1}
+        assert registries["b"]["counters"] == {"b.counter": 1}
+        assert registries["a"]["events"] == {"a.event": 1}
+        assert registries["b"]["events"] == {"b.event": 1}
+
+    def test_global_attach_sees_every_thread(self):
+        # attach() stays global: a --trace sink or the serve daemon's
+        # service registry aggregates across all request threads.
+        from repro.obs.sinks import Registry
+
+        sink = obs.attach(Registry())
+        try:
+            threads = [
+                threading.Thread(target=obs.incr, args=("global.counter",))
+                for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            obs.detach(sink)
+        assert sink.counters["global.counter"] == 4
 
 
 class TestJsonlSink:

@@ -31,6 +31,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.runner",
+    "repro.serve",
 ]
 
 

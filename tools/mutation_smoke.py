@@ -75,6 +75,21 @@ TARGETS: Dict[str, Optional[Set[str]]] = {
     # (which would otherwise hide behind the graceful auto fallback).
     "src/repro/offline/kernel/abi.py": None,
     "src/repro/offline/kernel/build.py": {"ensure_built"},
+    # Serve layer (ISSUE 10): the request router (a swapped comparison
+    # routes certify traffic to the wrong handler or forgives trailing
+    # slashes) and the queue's drain state machine (int-coded lifecycle
+    # precisely so these comparisons are mutable sites — a mutant that
+    # accepts submits while draining, or resurrects a stopped queue,
+    # breaks the crash-only acknowledgement rule).  tests/test_serve.py's
+    # routing/backpressure/drain classes are the kill-set.
+    "src/repro/serve/app.py": {"dispatch", "_match", "handle"},
+    "src/repro/serve/queue.py": {
+        "submit",
+        "_outcome",
+        "_run",
+        "begin_drain",
+        "drain",
+    },
 }
 
 #: The kill-set: fast, deterministic, certificate-backed.
@@ -85,6 +100,10 @@ DEFAULT_TESTS = [
     "tests/test_hist.py",
     "tests/test_kernel.py::TestKillSet",
     "tests/test_kernel.py::TestBuildCache",
+    "tests/test_serve.py::TestRouting",
+    "tests/test_serve.py::TestBackpressure",
+    "tests/test_serve.py::TestSweepEndpoints",
+    "tests/test_serve.py::TestDrainStateMachine",
 ]
 
 COMPARE_SWAP = {

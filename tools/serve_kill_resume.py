@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI kill-resume scenario for the ``repro serve`` daemon.
+
+Drives the full crash-only story end to end against real processes:
+
+1. start the daemon on an ephemeral port over ``--journal-dir``,
+2. submit the sweep spec (JSON on the command line) and record the 202,
+3. poll ``/v1/sweeps/{id}`` until a few items have settled, then SIGKILL
+   the daemon mid-sweep — no drain, no warning,
+4. restart the daemon over the same directory; it must re-own the sweep
+   without being asked and finish it,
+5. scrape ``/metrics`` (saved for the artifact upload), SIGTERM the
+   daemon and require a clean exit 0 with the drain banner,
+6. diff the finished report's ``canonical_report_view`` against an
+   offline ``repro sweep`` snapshot of the same plan — byte-identical or
+   the job fails.
+
+Exit code 0 iff every step held.  Stdlib only; used by the ``serve`` CI
+job but runnable locally::
+
+    PYTHONPATH=src python tools/serve_kill_resume.py \
+        --journal-dir serve-journal --offline-snapshot offline.json \
+        --metrics-out serve-metrics.prom \
+        '{"kind":"ratio","policies":["edf"],"families":["uniform"],"n":120,"seeds":25}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def log(message: str) -> None:
+    print(f"serve-ci: {message}", flush=True)
+
+
+def start_daemon(journal_dir: str, timeout: float = 30.0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--journal-dir", journal_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=REPO,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on" in line:
+            url = line.strip().rsplit(" ", 1)[-1]
+            log(f"daemon pid {proc.pid} on {url}")
+            return proc, url
+    proc.kill()
+    raise SystemExit("daemon never printed its listening banner")
+
+
+def http_json(method: str, url: str, payload=None, timeout: float = 15.0):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def poll(url: str, sweep_id: str, until, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, body = http_json("GET", f"{url}/v1/sweeps/{sweep_id}")
+        if until(body):
+            return body
+        time.sleep(0.05)
+    raise SystemExit(f"timed out after {timeout}s waiting for {what}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spec", help="sweep spec as a JSON object")
+    parser.add_argument("--journal-dir", required=True)
+    parser.add_argument("--offline-snapshot", required=True,
+                        help="snapshot JSON of the offline reference run")
+    parser.add_argument("--metrics-out", required=True,
+                        help="file to save the /metrics scrape to")
+    parser.add_argument("--kill-after", type=int, default=3,
+                        help="settled items before the SIGKILL lands")
+    args = parser.parse_args(argv)
+    spec = json.loads(args.spec)
+
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.runner import canonical_report_view
+
+    proc, url = start_daemon(args.journal_dir)
+    status, body = http_json("POST", f"{url}/v1/sweeps", spec)
+    if status != 202:
+        raise SystemExit(f"submit returned {status}, wanted 202: {body}")
+    sweep_id = body["id"]
+    log(f"sweep {sweep_id} acknowledged (202)")
+
+    def some_progress(body):
+        if body.get("state") == "done":
+            return True  # too fast to kill mid-run; still a valid scenario
+        return body.get("progress", {}).get("settled", 0) >= args.kill_after
+
+    poll(url, sweep_id, some_progress, 60, f"{args.kill_after} settled items")
+    log("SIGKILL mid-sweep — no drain, no goodbye")
+    proc.kill()
+    proc.wait(timeout=30)
+
+    proc2, url2 = start_daemon(args.journal_dir)
+    done = poll(url2, sweep_id, lambda b: b.get("state") == "done",
+                300, "the restarted daemon to finish the sweep")
+    log("restarted daemon resumed the sweep to completion")
+
+    with urllib.request.urlopen(f"{url2}/metrics", timeout=15) as resp:
+        metrics = resp.read().decode("utf-8")
+    with open(args.metrics_out, "w", encoding="utf-8") as fh:
+        fh.write(metrics)
+    if "repro_serve_requests_total" not in metrics:
+        raise SystemExit("metrics scrape is missing the request counter")
+    log(f"saved /metrics scrape to {args.metrics_out}")
+
+    proc2.send_signal(signal.SIGTERM)
+    out, _ = proc2.communicate(timeout=60)
+    if proc2.returncode != 0:
+        raise SystemExit(f"graceful drain exited {proc2.returncode}:\n{out}")
+    if "drained, exiting" not in out:
+        raise SystemExit(f"daemon exited 0 without the drain banner:\n{out}")
+    log("SIGTERM drained cleanly, exit 0")
+
+    with open(args.offline_snapshot, encoding="utf-8") as fh:
+        offline = json.load(fh)
+    if canonical_report_view(done["report"]) != canonical_report_view(offline):
+        raise SystemExit(
+            "kill-resume report diverged from the offline reference run"
+        )
+    log("canonical report is byte-identical to the offline sweep — PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
